@@ -1,0 +1,18 @@
+//! Baseline comparison benchmark — paper Table 9 (1-NN on YEAST versus
+//! EHI / MPT / FDH / trivial download-all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcloud_bench::{comparison_1nn, Which};
+
+fn bench_comparison(c: &mut Criterion) {
+    let yeast = Which::Yeast.dataset(1200, 21);
+    let mut g = c.benchmark_group("table9_1nn_comparison");
+    g.sample_size(10);
+    g.bench_function("all_schemes", |b| {
+        b.iter(|| std::hint::black_box(comparison_1nn(&yeast, 10, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Component micro-benchmarks: the algorithmic primitives inside the
+//! M-Index hot paths (permutation computation, promise ranking, pivot
+//! filtering, cell-tree routing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcloud_metric::{permutation_from_distances, Metric, Vector, L1};
+use simcloud_mindex::pruning::{pivot_filter_keep, pivot_filter_lower_bound};
+use simcloud_mindex::PromiseEvaluator;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pivot_permutation");
+    for n in [30usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let ds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| std::hint::black_box(permutation_from_distances(ds)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_promise(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ds: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let ev = PromiseEvaluator::from_distances(ds.clone());
+    let prefix: Vec<u16> = vec![17, 42, 63, 8];
+    c.bench_function("promise_prefix_penalty", |b| {
+        b.iter(|| std::hint::black_box(ev.prefix_penalty(&prefix)))
+    });
+    let perm = permutation_from_distances(&ds);
+    let pev = PromiseEvaluator::from_permutation(perm);
+    c.bench_function("promise_prefix_penalty_permutation", |b| {
+        b.iter(|| std::hint::black_box(pev.prefix_penalty(&prefix)))
+    });
+}
+
+fn bench_pivot_filter(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let q: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let objects: Vec<Vec<f32>> = (0..1000)
+        .map(|_| (0..100).map(|_| rng.gen_range(0.0f32..100.0)).collect())
+        .collect();
+    c.bench_function("pivot_filter_1000_objects", |b| {
+        b.iter(|| {
+            let mut kept = 0usize;
+            for o in &objects {
+                if pivot_filter_keep(&q, o, 30.0) {
+                    kept += 1;
+                }
+            }
+            std::hint::black_box(kept)
+        })
+    });
+    c.bench_function("pivot_filter_lower_bound", |b| {
+        b.iter(|| std::hint::black_box(pivot_filter_lower_bound(&q, &objects[0])))
+    });
+}
+
+fn bench_metric_eval(c: &mut Criterion) {
+    // The L1/CombinedMetric costs that dominate the paper's CoPhIR rows.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut mk = |dim: usize| {
+        Vector::new((0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
+    };
+    let a17 = mk(17);
+    let b17 = mk(17);
+    c.bench_function("l1_17d", |b| {
+        b.iter(|| std::hint::black_box(L1.distance(&a17, &b17)))
+    });
+    let comb = simcloud_metric::CombinedMetric::cophir_default();
+    let a282 = mk(282);
+    let b282 = mk(282);
+    c.bench_function("combined_282d", |b| {
+        b.iter(|| std::hint::black_box(comb.distance(&a282, &b282)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_permutation, bench_promise, bench_pivot_filter, bench_metric_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Construction benchmarks — paper Tables 3 & 4 (encrypted vs plain index
+//! build). Reduced cardinalities keep criterion runs short; the `repro`
+//! binary regenerates the full tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcloud_bench::{construction_encrypted, construction_plain, Which};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for (which, n) in [(Which::Yeast, 1000usize), (Which::Human, 1000)] {
+        let ds = which.dataset(n, 7);
+        g.bench_with_input(
+            BenchmarkId::new("encrypted", &ds.name),
+            &ds,
+            |b, ds| b.iter(|| std::hint::black_box(construction_encrypted(ds, 1))),
+        );
+        g.bench_with_input(BenchmarkId::new("plain", &ds.name), &ds, |b, ds| {
+            b.iter(|| std::hint::black_box(construction_plain(ds, 1)))
+        });
+    }
+    // CoPhIR's expensive combined metric at small cardinality: shows the
+    // encryption share vanishing relative to distance computations
+    // (the paper's Table 3 CoPhIR observation).
+    let cophir = Which::Cophir.dataset(500, 7);
+    g.bench_function("encrypted/CoPhIR-500", |b| {
+        b.iter(|| std::hint::black_box(construction_encrypted(&cophir, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

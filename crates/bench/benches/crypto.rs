@@ -1,0 +1,57 @@
+//! Crypto micro-benchmarks: the encryption-layer cost drivers behind the
+//! paper's "Encryption time" and "Decryption time" rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcloud_crypto::envelope::EnvelopeMode;
+use simcloud_crypto::{Aes, CipherKey, Sha256};
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes::new(b"0123456789abcdef").unwrap();
+    c.bench_function("aes128_encrypt_block", |b| {
+        let mut block = [0x42u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            std::hint::black_box(&block);
+        })
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| std::hint::black_box(Sha256::digest(data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_seal_unseal(c: &mut Criterion) {
+    let key = CipherKey::derive_from_master(b"bench master");
+    let mut g = c.benchmark_group("envelope");
+    // A YEAST object is 17 floats (~72 B), a CoPhIR object ~1.1 kB.
+    for (label, size) in [("yeast_obj", 72usize), ("cophir_obj", 1132)] {
+        let plain = vec![0x3Cu8; size];
+        let mut rng = StdRng::seed_from_u64(1);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(BenchmarkId::new("seal_ctr", label), |b| {
+            b.iter(|| std::hint::black_box(key.seal(&plain, EnvelopeMode::Ctr, &mut rng)))
+        });
+        let sealed = key.seal(&plain, EnvelopeMode::Ctr, &mut rng);
+        g.bench_function(BenchmarkId::new("unseal_ctr", label), |b| {
+            b.iter(|| std::hint::black_box(key.unseal(&sealed).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_aes_block, bench_sha256, bench_seal_unseal
+}
+criterion_main!(benches);

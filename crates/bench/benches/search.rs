@@ -1,0 +1,46 @@
+//! Search benchmarks — paper Tables 5–8 (encrypted vs plain approximate
+//! k-NN across candidate-set sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcloud_bench::{search_encrypted, search_plain, Which};
+
+fn bench_search(c: &mut Criterion) {
+    let yeast = Which::Yeast.dataset(1500, 11);
+    let mut g = c.benchmark_group("search_yeast_30nn");
+    g.sample_size(10);
+    for cand in [150usize, 600] {
+        g.bench_with_input(
+            BenchmarkId::new("encrypted", cand),
+            &cand,
+            |b, &cand| {
+                b.iter(|| {
+                    std::hint::black_box(search_encrypted(&yeast, &[cand], 5, 30, 3))
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("plain", cand), &cand, |b, &cand| {
+            b.iter(|| std::hint::black_box(search_plain(&yeast, &[cand], 5, 30, 3)))
+        });
+    }
+    g.finish();
+
+    // CoPhIR-style expensive metric: client-side refinement dominates.
+    let cophir = Which::Cophir.dataset(3000, 12);
+    let mut g = c.benchmark_group("search_cophir_30nn");
+    g.sample_size(10);
+    for cand in [150usize, 600] {
+        g.bench_with_input(
+            BenchmarkId::new("encrypted", cand),
+            &cand,
+            |b, &cand| {
+                b.iter(|| {
+                    std::hint::black_box(search_encrypted(&cophir, &[cand], 3, 30, 3))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

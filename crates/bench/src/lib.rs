@@ -1,0 +1,25 @@
+//! # simcloud-bench — experiment harness
+//!
+//! Shared machinery for regenerating the paper's evaluation (Tables 1–9)
+//! and the ablations listed in DESIGN.md. The `repro` binary is the
+//! entry point:
+//!
+//! ```text
+//! cargo run --release -p simcloud-bench --bin repro -- --all
+//! cargo run --release -p simcloud-bench --bin repro -- --table 5
+//! cargo run --release -p simcloud-bench --bin repro -- --ablation pivots
+//! cargo run --release -p simcloud-bench --bin repro -- --scale paper --table 6
+//! ```
+//!
+//! Criterion micro/meso benches live in `benches/` (one per cost center:
+//! crypto, construction, search, baselines, components).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod scale;
+pub mod tables;
+
+pub use experiments::*;
+pub use scale::Scale;
+pub use tables::Table;

@@ -1,0 +1,100 @@
+//! Experiment scales.
+//!
+//! The paper's exact sizes (YEAST 2,882 / HUMAN 4,026 / CoPhIR 1,000,000
+//! with 100 queries) are available as [`Scale::Paper`]; the default
+//! [`Scale::Quick`] trims CoPhIR and the query count so `repro --all`
+//! finishes in minutes on a laptop while preserving every trend (candidate
+//! sizes scale proportionally).
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Trimmed sizes for fast regeneration (default).
+    Quick,
+    /// The paper's sizes (CoPhIR capped at 200k so the run stays feasible
+    /// without the authors' cluster; pass `--cophir-n 1000000` to override).
+    Paper,
+}
+
+/// Concrete sizes derived from a scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    /// YEAST record count.
+    pub yeast_n: usize,
+    /// HUMAN record count.
+    pub human_n: usize,
+    /// CoPhIR record count.
+    pub cophir_n: usize,
+    /// Queries per search experiment.
+    pub queries: usize,
+    /// k for the k-NN tables (paper: 30).
+    pub k: usize,
+}
+
+impl Scale {
+    /// Resolves the preset (with an optional CoPhIR override).
+    pub fn sizes(self, cophir_override: Option<usize>) -> Sizes {
+        let mut s = match self {
+            Scale::Quick => Sizes {
+                yeast_n: 2882,
+                human_n: 4026,
+                cophir_n: 20_000,
+                queries: 30,
+                k: 30,
+            },
+            Scale::Paper => Sizes {
+                yeast_n: 2882,
+                human_n: 4026,
+                cophir_n: 200_000,
+                queries: 100,
+                k: 30,
+            },
+        };
+        if let Some(n) = cophir_override {
+            s.cophir_n = n;
+        }
+        s
+    }
+
+    /// Candidate-set sizes for the YEAST search table (paper Table 5).
+    pub fn yeast_cand_sizes(self) -> Vec<usize> {
+        vec![150, 300, 600, 1500]
+    }
+
+    /// Candidate-set sizes for the CoPhIR search table (paper Table 6 uses
+    /// 500…50,000 of 1M = 0.05%…5%; scaled proportionally to `cophir_n`).
+    pub fn cophir_cand_sizes(self, cophir_n: usize) -> Vec<usize> {
+        [0.0005f64, 0.001, 0.005, 0.01, 0.02, 0.05]
+            .iter()
+            .map(|f| ((f * cophir_n as f64).round() as usize).max(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table1_counts() {
+        let s = Scale::Paper.sizes(None);
+        assert_eq!(s.yeast_n, 2882);
+        assert_eq!(s.human_n, 4026);
+        assert_eq!(s.queries, 100);
+        assert_eq!(s.k, 30);
+    }
+
+    #[test]
+    fn cophir_override() {
+        let s = Scale::Quick.sizes(Some(77));
+        assert_eq!(s.cophir_n, 77);
+    }
+
+    #[test]
+    fn cand_sizes_scale_with_n() {
+        let at_1m = Scale::Paper.cophir_cand_sizes(1_000_000);
+        assert_eq!(at_1m, vec![500, 1000, 5000, 10_000, 20_000, 50_000]);
+        let at_20k = Scale::Quick.cophir_cand_sizes(20_000);
+        assert_eq!(at_20k, vec![10, 20, 100, 200, 400, 1000]);
+    }
+}

@@ -1,0 +1,452 @@
+//! The authorized encryption client (paper Alg. 1 and Alg. 2).
+//!
+//! The client owns the secret key (pivots + cipher) and the metric; the
+//! server owns nothing sensitive. Every operation returns its results
+//! together with a [`CostReport`] whose components correspond one-to-one to
+//! the rows of the paper's evaluation tables.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use simcloud_crypto::SealError;
+use simcloud_metric::{CountingMetric, Metric, ObjectId, Vector};
+use simcloud_mindex::{IndexEntry, Routing, RoutingStrategy};
+use simcloud_transport::{Stopwatch, Transport, TransportError};
+
+use crate::costs::CostReport;
+use crate::key::SecretKey;
+use crate::protocol::{Candidate, Request, Response};
+use crate::transform::DistanceTransform;
+
+/// A search answer: object id and true distance to the query.
+pub type Neighbor = (ObjectId, f64);
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Transport(TransportError),
+    /// The server answered with an error message.
+    Server(String),
+    /// The server's response did not match the request type.
+    UnexpectedResponse(String),
+    /// A candidate failed decryption/authentication — tampering or key
+    /// mismatch.
+    Seal(SealError),
+    /// A decrypted payload was not a valid object encoding.
+    BadObject(u64),
+    /// Operation requires the distance routing strategy.
+    NeedsDistances,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+            ClientError::Seal(e) => write!(f, "candidate rejected: {e}"),
+            ClientError::BadObject(id) => write!(f, "object {id} undecodable after unseal"),
+            ClientError::NeedsDistances => {
+                write!(f, "precise range queries require the distance routing strategy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<SealError> for ClientError {
+    fn from(e: SealError) -> Self {
+        ClientError::Seal(e)
+    }
+}
+
+/// Client configuration: routing strategy and optional extensions.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Routing information stored with objects (must match the server's
+    /// index configuration).
+    pub strategy: RoutingStrategy,
+    /// Prefix length for permutation routing (defaults to the full
+    /// permutation, as Alg. 1 line 7 stores `(1)_o … (n)_o`; shorter
+    /// prefixes leak and cost less).
+    pub permutation_prefix: Option<usize>,
+    /// Level-4 privacy extension (paper §6 future work): monotone keyed
+    /// transformation of all distances shipped to the server.
+    pub transform: Option<DistanceTransform>,
+}
+
+impl ClientConfig {
+    /// Distance routing, no transform — the paper's precise-strategy setup.
+    pub fn distances() -> Self {
+        Self {
+            strategy: RoutingStrategy::Distances,
+            permutation_prefix: None,
+            transform: None,
+        }
+    }
+
+    /// Permutation routing — the paper's approximate-strategy setup.
+    pub fn permutations() -> Self {
+        Self {
+            strategy: RoutingStrategy::Permutation,
+            permutation_prefix: None,
+            transform: None,
+        }
+    }
+
+    /// Adds the distance transformation (level-4 privacy).
+    pub fn with_transform(mut self, t: DistanceTransform) -> Self {
+        self.transform = Some(t);
+        self
+    }
+}
+
+/// The authorized client.
+pub struct EncryptedClient<M: Metric<Vector>, T: Transport> {
+    key: SecretKey,
+    metric: Arc<CountingMetric<M>>,
+    transport: T,
+    config: ClientConfig,
+    rng: rand::rngs::StdRng,
+    total: CostReport,
+}
+
+impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
+    /// Creates a client. `config.strategy` must match the server index.
+    pub fn new(key: SecretKey, metric: M, transport: T, config: ClientConfig) -> Self {
+        use rand::SeedableRng;
+        Self {
+            key,
+            metric: Arc::new(CountingMetric::new(metric)),
+            transport,
+            config,
+            rng: rand::rngs::StdRng::from_entropy(),
+            total: CostReport::default(),
+        }
+    }
+
+    /// Deterministic IVs for reproducible byte-level experiments.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        use rand::SeedableRng;
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// The secret key in use.
+    pub fn key(&self) -> &SecretKey {
+        &self.key
+    }
+
+    /// Accumulated costs across all operations.
+    pub fn total_costs(&self) -> CostReport {
+        self.total
+    }
+
+    /// Access to the transport (stats inspection).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    fn routing_for(&self, distances: &[f64]) -> Routing {
+        match self.config.strategy {
+            RoutingStrategy::Distances => {
+                let ds = match &self.config.transform {
+                    Some(t) => t.apply_all(distances),
+                    None => distances.to_vec(),
+                };
+                Routing::from_distances(&ds)
+            }
+            RoutingStrategy::Permutation => {
+                // Monotone transforms do not change permutations, so the
+                // transform is a no-op here — exactly the paper's point that
+                // permutations already hide distance values.
+                let len = self
+                    .config
+                    .permutation_prefix
+                    .unwrap_or(distances.len());
+                Routing::permutation_prefix(distances, len)
+            }
+        }
+    }
+
+    /// One request/response exchange. `rt_elapsed` accumulates the wall
+    /// time spent inside the transport — the client is idle during it, so
+    /// "client time" = operation elapsed − `rt_elapsed` regardless of
+    /// whether the transport is in-process (handler runs inline) or TCP
+    /// (send + server + receive happen remotely).
+    fn exchange(
+        &mut self,
+        request: &Request,
+        costs: &mut CostReport,
+        rt_elapsed: &mut std::time::Duration,
+    ) -> Result<Response, ClientError> {
+        let bytes = request.encode();
+        let before = self.transport.stats();
+        let rt_start = Instant::now();
+        let resp_bytes = self.transport.round_trip(&bytes)?;
+        *rt_elapsed += rt_start.elapsed();
+        let delta = self.transport.stats().since(&before);
+        costs.server += delta.server_time;
+        costs.communication += delta.comm_time;
+        costs.bytes_sent += delta.bytes_sent;
+        costs.bytes_received += delta.bytes_received;
+        let resp = Response::decode(&resp_bytes)
+            .map_err(|e| ClientError::UnexpectedResponse(e.to_string()))?;
+        if let Response::Error(msg) = resp {
+            return Err(ClientError::Server(msg));
+        }
+        Ok(resp)
+    }
+
+    /// Inserts a batch of objects (Alg. 1 applied per object, shipped as one
+    /// bulk — the paper's construction uses bulks of 1000).
+    pub fn insert_bulk(
+        &mut self,
+        objects: &[(ObjectId, Vector)],
+    ) -> Result<CostReport, ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt_elapsed = std::time::Duration::ZERO;
+        let op_start = Instant::now();
+        let mut enc = Stopwatch::new();
+        let mut dist = Stopwatch::new();
+        let before_dc = self.metric.count();
+
+        let mut entries = Vec::with_capacity(objects.len());
+        for (id, o) in objects {
+            // Alg. 1 line 1: distances to all pivots.
+            let ds = dist.time(|| self.key.pivot_distances(self.metric.as_ref(), o));
+            // Alg. 1 lines 3-7: routing info per strategy.
+            let routing = self.routing_for(&ds);
+            // Alg. 1 line 8: encrypt the object.
+            let sealed = enc.time(|| {
+                let mut plain = Vec::with_capacity(o.encoded_len());
+                o.encode(&mut plain);
+                self.key.cipher().seal(&plain, self.key.mode(), &mut self.rng)
+            });
+            entries.push(IndexEntry::new(id.0, routing, sealed));
+        }
+        let request = Request::Insert(entries);
+        let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
+        match resp {
+            Response::Inserted(n) if n as usize == objects.len() => {}
+            Response::Inserted(n) => {
+                return Err(ClientError::UnexpectedResponse(format!(
+                    "{n} of {} entries inserted",
+                    objects.len()
+                )))
+            }
+            other => {
+                return Err(ClientError::UnexpectedResponse(format!("{other:?}")));
+            }
+        }
+        costs.encryption = enc.total();
+        costs.distance = dist.total();
+        costs.distance_computations = self.metric.count() - before_dc;
+        costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
+        self.total.merge(&costs);
+        Ok(costs)
+    }
+
+    /// Convenience single insert.
+    pub fn insert(&mut self, id: ObjectId, object: &Vector) -> Result<CostReport, ClientError> {
+        self.insert_bulk(std::slice::from_ref(&(id, object.clone())))
+    }
+
+    fn refine(
+        &mut self,
+        q: &Vector,
+        candidates: Vec<Candidate>,
+        costs: &mut CostReport,
+        keep: impl Fn(f64) -> bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<Neighbor>, ClientError> {
+        let mut dec = Stopwatch::new();
+        let mut dist = Stopwatch::new();
+        costs.candidates += candidates.len() as u64;
+        let mut result = Vec::new();
+        for c in candidates {
+            // Alg. 2 line 13: decrypt.
+            let plain = dec.time(|| self.key.cipher().unseal(&c.payload))?;
+            let (o, _) = Vector::decode(&plain).map_err(|_| ClientError::BadObject(c.id))?;
+            // Alg. 2 line 14: true distance.
+            let d = dist.time(|| self.metric.distance(q, &o));
+            if keep(d) {
+                result.push((ObjectId(c.id), d));
+            }
+        }
+        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        if let Some(k) = limit {
+            result.truncate(k);
+        }
+        costs.decryption += dec.total();
+        costs.distance += dist.total();
+        Ok(result)
+    }
+
+    /// Precise range query `R(q, r)` (Alg. 2, precise branch + Alg. 3 on the
+    /// server). Requires the distance strategy.
+    pub fn range(
+        &mut self,
+        q: &Vector,
+        radius: f64,
+    ) -> Result<(Vec<Neighbor>, CostReport), ClientError> {
+        if self.config.strategy != RoutingStrategy::Distances {
+            return Err(ClientError::NeedsDistances);
+        }
+        let mut costs = CostReport::default();
+        let mut rt_elapsed = std::time::Duration::ZERO;
+        let op_start = Instant::now();
+        let mut dist = Stopwatch::new();
+        let before_dc = self.metric.count();
+
+        let ds = dist.time(|| self.key.pivot_distances(self.metric.as_ref(), q));
+        let (wire_ds, wire_radius) = match &self.config.transform {
+            Some(t) => (t.apply_all(&ds), t.server_radius(radius)),
+            None => (ds.clone(), radius),
+        };
+        let request = Request::Range {
+            distances: wire_ds.iter().map(|&d| d as f32).collect(),
+            radius: wire_radius,
+        };
+        let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
+        let candidates = match resp {
+            Response::Candidates(c) => c,
+            other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        };
+        costs.distance = dist.total();
+        let result = self.refine(q, candidates, &mut costs, |d| d <= radius, None)?;
+        costs.distance_computations = self.metric.count() - before_dc;
+        costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
+        self.total.merge(&costs);
+        Ok((result, costs))
+    }
+
+    /// Approximate k-NN (Alg. 2 approximate branch + Alg. 4 on the server):
+    /// the server returns a pre-ranked candidate set of `cand_size` sealed
+    /// objects; the client refines and keeps the best `k`.
+    pub fn knn_approx(
+        &mut self,
+        q: &Vector,
+        k: usize,
+        cand_size: usize,
+    ) -> Result<(Vec<Neighbor>, CostReport), ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt_elapsed = std::time::Duration::ZERO;
+        let op_start = Instant::now();
+        let mut dist = Stopwatch::new();
+        let before_dc = self.metric.count();
+
+        let ds = dist.time(|| self.key.pivot_distances(self.metric.as_ref(), q));
+        let routing = self.routing_for(&ds);
+        let request = Request::ApproxKnn {
+            routing,
+            cand_size: cand_size as u32,
+        };
+        let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
+        let candidates = match resp {
+            Response::Candidates(c) => c,
+            other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        };
+        costs.distance = dist.total();
+        let result = self.refine(q, candidates, &mut costs, |_| true, Some(k))?;
+        costs.distance_computations = self.metric.count() - before_dc;
+        costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
+        self.total.merge(&costs);
+        Ok((result, costs))
+    }
+
+    /// Precise k-NN (paper §4.2): approximate pass estimates `ρ_k`, then the
+    /// precise range query `R(q, ρ_k)` completes the answer. Requires the
+    /// distance strategy for the range leg.
+    pub fn knn_precise(
+        &mut self,
+        q: &Vector,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, CostReport), ClientError> {
+        if self.config.strategy != RoutingStrategy::Distances {
+            return Err(ClientError::NeedsDistances);
+        }
+        let seed_cand = (4 * k).max(32);
+        let (approx, mut costs) = self.knn_approx(q, k, seed_cand)?;
+        let rho_k = if approx.len() >= k {
+            approx[k - 1].1
+        } else {
+            match approx.last() {
+                Some(x) => x.1,
+                None => return Ok((Vec::new(), costs)),
+            }
+        };
+        let (mut in_ball, range_costs) = self.range(q, rho_k)?;
+        costs.merge(&range_costs);
+        in_ball.truncate(k);
+        Ok((in_ball, costs))
+    }
+
+    /// Downloads and decrypts the entire outsourced collection — the data
+    /// owner's path for audits and key rotation. Returns `(id, object)`
+    /// pairs sorted by id.
+    pub fn export_all(&mut self) -> Result<(Vec<(ObjectId, Vector)>, CostReport), ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt = std::time::Duration::ZERO;
+        let op_start = Instant::now();
+        let resp = self.exchange(&Request::ExportAll, &mut costs, &mut rt)?;
+        let candidates = match resp {
+            Response::Candidates(c) => c,
+            other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        };
+        let mut dec = Stopwatch::new();
+        costs.candidates = candidates.len() as u64;
+        let mut out = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            let plain = dec.time(|| self.key.cipher().unseal(&c.payload))?;
+            let (o, _) = Vector::decode(&plain).map_err(|_| ClientError::BadObject(c.id))?;
+            out.push((ObjectId(c.id), o));
+        }
+        out.sort_by_key(|(id, _)| *id);
+        costs.decryption = dec.total();
+        costs.client = op_start.elapsed().saturating_sub(rt);
+        self.total.merge(&costs);
+        Ok((out, costs))
+    }
+
+    /// Key rotation (client revocation): the data owner exports the
+    /// collection under the old key and re-outsources it to a *fresh*
+    /// server under `new_key`. The old key — and every client holding it —
+    /// can no longer read the new deployment's payloads.
+    ///
+    /// The pivot set may change too (full revocation of the routing
+    /// knowledge); pass the same pivots to keep cell structure comparable.
+    pub fn rekey_into<M2: Metric<Vector>, T2: Transport>(
+        &mut self,
+        new_cloud: &mut EncryptedClient<M2, T2>,
+        bulk: usize,
+    ) -> Result<CostReport, ClientError> {
+        let (objects, mut costs) = self.export_all()?;
+        for chunk in objects.chunks(bulk.max(1)) {
+            costs.merge(&new_cloud.insert_bulk(chunk)?);
+        }
+        Ok(costs)
+    }
+
+    /// Server tree info (no query content leaves the client).
+    pub fn server_info(&mut self) -> Result<(u64, u32, u32), ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt = std::time::Duration::ZERO;
+        match self.exchange(&Request::Info, &mut costs, &mut rt)? {
+            Response::Info {
+                entries,
+                leaves,
+                depth,
+            } => Ok((entries, leaves, depth)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Deployment helpers: wire a client to a server in one call.
+//!
+//! Reproduces the two deployments of the paper's prototype (§4.4): both
+//! processes on one machine. [`in_process`] keeps the server in the caller's
+//! process with a modelled network (deterministic measurements);
+//! [`over_tcp`] runs the server on a real TCP loopback socket in its own
+//! thread, like the original MESSIF prototype.
+
+use simcloud_metric::{Metric, Vector};
+use simcloud_mindex::{MIndexConfig, MIndexError};
+use simcloud_storage::BucketStore;
+use simcloud_transport::{serve_tcp, InProcessTransport, NetworkModel, TcpTransport};
+
+use crate::client::{ClientConfig, EncryptedClient};
+use crate::key::SecretKey;
+use crate::server::CloudServer;
+
+/// In-process similarity cloud: client + embedded server over a modelled
+/// network.
+pub type InProcessCloud<M, S> = EncryptedClient<M, InProcessTransport<CloudServer<S>>>;
+
+/// Builds an in-process deployment with the default loopback model.
+pub fn in_process<M, S>(
+    key: SecretKey,
+    metric: M,
+    index_config: MIndexConfig,
+    store: S,
+    client_config: ClientConfig,
+) -> Result<InProcessCloud<M, S>, MIndexError>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    in_process_with_model(
+        key,
+        metric,
+        index_config,
+        store,
+        client_config,
+        NetworkModel::loopback(),
+    )
+}
+
+/// Builds an in-process deployment with an explicit network model (the WAN
+/// ablation uses this).
+pub fn in_process_with_model<M, S>(
+    key: SecretKey,
+    metric: M,
+    index_config: MIndexConfig,
+    store: S,
+    client_config: ClientConfig,
+    model: NetworkModel,
+) -> Result<InProcessCloud<M, S>, MIndexError>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    let server = CloudServer::new(index_config, store)?;
+    let transport = InProcessTransport::with_model(server, model);
+    Ok(EncryptedClient::new(key, metric, transport, client_config))
+}
+
+/// TCP deployment: spawns the server thread, connects a client. Returns the
+/// client and the server handle (shut it down when done).
+pub fn over_tcp<M, S>(
+    key: SecretKey,
+    metric: M,
+    index_config: MIndexConfig,
+    store: S,
+    client_config: ClientConfig,
+) -> Result<
+    (
+        EncryptedClient<M, TcpTransport>,
+        simcloud_transport::tcp::TcpServerHandle,
+    ),
+    Box<dyn std::error::Error>,
+>
+where
+    M: Metric<Vector>,
+    S: BucketStore + 'static,
+{
+    let server = CloudServer::new(index_config, store)?;
+    let handle = serve_tcp(server)?;
+    let transport = TcpTransport::connect(handle.addr())?;
+    Ok((
+        EncryptedClient::new(key, metric, transport, client_config),
+        handle,
+    ))
+}

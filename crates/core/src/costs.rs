@@ -1,0 +1,175 @@
+//! Cost accounting matching the paper's measurement methodology (§5.2–5.3).
+//!
+//! Every operation returns a [`CostReport`] with the exact components the
+//! evaluation tables break out: client / encryption / decryption / distance
+//! computation / server / communication time, plus byte-exact communication
+//! cost. Reports add up, so a bulk construction or a 100-query batch is the
+//! sum of its operations — the same aggregation the paper performs.
+
+use std::time::Duration;
+
+/// Cost components of one or more client operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total client-side computation (includes encryption, decryption,
+    /// distance computations and processing overhead — the paper's
+    /// "client time").
+    pub client: Duration,
+    /// Time sealing objects (construction) — subset of `client`.
+    pub encryption: Duration,
+    /// Time unsealing + deserializing candidates (search) — subset of
+    /// `client` ("decryption time").
+    pub decryption: Duration,
+    /// Time computing metric distances on the client — subset of `client`
+    /// ("dist. comp. time").
+    pub distance: Duration,
+    /// Server-side processing time.
+    pub server: Duration,
+    /// Communication time (modelled for in-process, measured for TCP).
+    pub communication: Duration,
+    /// Bytes sent client → server.
+    pub bytes_sent: u64,
+    /// Bytes received server → client.
+    pub bytes_received: u64,
+    /// Client-side metric evaluations.
+    pub distance_computations: u64,
+    /// Candidates received (search ops).
+    pub candidates: u64,
+}
+
+impl CostReport {
+    /// The paper's "overall time": client + server + communication.
+    pub fn overall(&self) -> Duration {
+        self.client + self.server + self.communication
+    }
+
+    /// The paper's "communication cost" in kB (total bytes / 1000).
+    pub fn communication_kb(&self) -> f64 {
+        (self.bytes_sent + self.bytes_received) as f64 / 1000.0
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &CostReport) {
+        self.client += other.client;
+        self.encryption += other.encryption;
+        self.decryption += other.decryption;
+        self.distance += other.distance;
+        self.server += other.server;
+        self.communication += other.communication;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.distance_computations += other.distance_computations;
+        self.candidates += other.candidates;
+    }
+
+    /// Divides all components by `n` (average over a query batch — the
+    /// paper averages over 100 queries).
+    pub fn averaged(&self, n: u32) -> CostReport {
+        assert!(n > 0);
+        CostReport {
+            client: self.client / n,
+            encryption: self.encryption / n,
+            decryption: self.decryption / n,
+            distance: self.distance / n,
+            server: self.server / n,
+            communication: self.communication / n,
+            bytes_sent: self.bytes_sent / n as u64,
+            bytes_received: self.bytes_received / n as u64,
+            distance_computations: self.distance_computations / n as u64,
+            candidates: self.candidates / n as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Client time [s]        {:>10.4}", self.client.as_secs_f64())?;
+        if self.encryption > Duration::ZERO {
+            writeln!(
+                f,
+                "  Encryption time [s]  {:>10.4}",
+                self.encryption.as_secs_f64()
+            )?;
+        }
+        if self.decryption > Duration::ZERO {
+            writeln!(
+                f,
+                "  Decryption time [s]  {:>10.4}",
+                self.decryption.as_secs_f64()
+            )?;
+        }
+        writeln!(
+            f,
+            "  Dist. comp. time [s] {:>10.4}",
+            self.distance.as_secs_f64()
+        )?;
+        writeln!(f, "Server time [s]        {:>10.4}", self.server.as_secs_f64())?;
+        writeln!(
+            f,
+            "Communication time [s] {:>10.4}",
+            self.communication.as_secs_f64()
+        )?;
+        writeln!(f, "Overall time [s]       {:>10.4}", self.overall().as_secs_f64())?;
+        write!(f, "Communication cost [kB] {:>9.3}", self.communication_kb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostReport {
+        CostReport {
+            client: Duration::from_millis(10),
+            encryption: Duration::from_millis(3),
+            decryption: Duration::from_millis(2),
+            distance: Duration::from_millis(4),
+            server: Duration::from_millis(5),
+            communication: Duration::from_millis(1),
+            bytes_sent: 1000,
+            bytes_received: 3000,
+            distance_computations: 42,
+            candidates: 10,
+        }
+    }
+
+    #[test]
+    fn overall_is_three_component_sum() {
+        let c = sample();
+        assert_eq!(c.overall(), Duration::from_millis(16));
+        assert!((c.communication_kb() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_then_average_round_trips() {
+        let mut total = CostReport::default();
+        for _ in 0..4 {
+            total.merge(&sample());
+        }
+        let avg = total.averaged(4);
+        assert_eq!(avg, sample());
+    }
+
+    #[test]
+    fn display_has_paper_row_labels() {
+        let s = sample().to_string();
+        for label in [
+            "Client time [s]",
+            "Encryption time [s]",
+            "Decryption time [s]",
+            "Dist. comp. time [s]",
+            "Server time [s]",
+            "Communication time [s]",
+            "Overall time [s]",
+            "Communication cost [kB]",
+        ] {
+            assert!(s.contains(label), "missing {label} in:\n{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_by_zero_panics() {
+        let _ = sample().averaged(0);
+    }
+}

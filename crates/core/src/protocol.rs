@@ -1,0 +1,461 @@
+//! Wire protocol between the encryption client and the similarity cloud.
+//!
+//! Everything the server ever receives is in this module — auditing it
+//! against the paper's privacy claim (§4.3) is easy: requests carry pivot
+//! *permutations* or *distances* plus sealed payloads; responses carry
+//! sealed payloads. Pivots, plaintext objects and the metric never appear.
+//!
+//! Binary layout (little-endian):
+//!
+//! ```text
+//! request  := 0x01 u32 n { u32 len; entry }*n           bulk insert
+//!           | 0x02 u16 n { f32 }*n f64 radius           precise range
+//!           | 0x03 routing u32 cand_size                approx k-NN
+//!           | 0x04                                      server info
+//! response := 0x01 u32 inserted_count
+//!           | 0x02 u32 n { u64 id; u32 len; bytes }*n   candidate set
+//!           | 0x03 u16 len utf8                         error
+//!           | 0x04 u64 entries; u32 leaves; u32 depth   info
+//! ```
+
+use simcloud_mindex::{IndexEntry, Routing};
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Bulk insert of encrypted entries (Alg. 1; the paper's construction
+    /// phase uses bulks of 1000).
+    Insert(Vec<IndexEntry>),
+    /// Precise range search (Alg. 3): query–pivot distances + radius.
+    Range {
+        /// Query–pivot distances (f32 on the wire).
+        distances: Vec<f32>,
+        /// Query radius.
+        radius: f64,
+    },
+    /// Approximate k-NN (Alg. 4): routing info + requested candidate count.
+    ApproxKnn {
+        /// Query routing: permutation (less leakage) or distances.
+        routing: Routing,
+        /// Candidate set size `CandSize`.
+        cand_size: u32,
+    },
+    /// Server diagnostics (tree shape); carries no query information.
+    Info,
+    /// Export every sealed entry (data-owner operation used for key
+    /// rotation / client revocation). The response is sealed blobs — the
+    /// server still learns nothing, and a non-owner requester only obtains
+    /// what a server compromise would yield anyway (§4.3 threat model).
+    ExportAll,
+}
+
+/// One candidate in a response: the id and the sealed object — no routing
+/// info travels back (the client recomputes true distances after
+/// decryption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// External object id.
+    pub id: u64,
+    /// Sealed (encrypted) object bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Insert acknowledgement with the number of stored entries.
+    Inserted(u32),
+    /// Pre-ranked candidate set `S_C`.
+    Candidates(Vec<Candidate>),
+    /// Server-side failure (storage, malformed request, …).
+    Error(String),
+    /// Server info: entries, leaf cells, max tree depth.
+    Info {
+        /// Indexed entries.
+        entries: u64,
+        /// Leaf cell count.
+        leaves: u32,
+        /// Maximum tree depth.
+        depth: u32,
+    },
+}
+
+/// Protocol decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(msg: &str) -> CodecError {
+    CodecError(msg.into())
+}
+
+impl Request {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Insert(entries) => {
+                out.push(0x01);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    let mut body = Vec::with_capacity(8 + e.encoded_len());
+                    body.extend_from_slice(&e.id.to_le_bytes());
+                    body.extend_from_slice(&e.encode_payload());
+                    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&body);
+                }
+            }
+            Request::Range { distances, radius } => {
+                out.push(0x02);
+                out.extend_from_slice(&(distances.len() as u16).to_le_bytes());
+                for d in distances {
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+                out.extend_from_slice(&radius.to_le_bytes());
+            }
+            Request::ApproxKnn { routing, cand_size } => {
+                out.push(0x03);
+                routing.encode(&mut out);
+                out.extend_from_slice(&cand_size.to_le_bytes());
+            }
+            Request::Info => out.push(0x04),
+            Request::ExportAll => out.push(0x05),
+        }
+        out
+    }
+
+    /// Decodes a request.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        match buf.first().ok_or_else(|| err("empty request"))? {
+            0x01 => {
+                if buf.len() < 5 {
+                    return Err(err("insert header truncated"));
+                }
+                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+                let mut entries = Vec::with_capacity(n);
+                let mut off = 5;
+                for _ in 0..n {
+                    if buf.len() < off + 4 {
+                        return Err(err("insert entry length truncated"));
+                    }
+                    let len =
+                        u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+                    off += 4;
+                    if buf.len() < off + len || len < 8 {
+                        return Err(err("insert entry body truncated"));
+                    }
+                    let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let entry = IndexEntry::decode_payload(id, &buf[off + 8..off + len])
+                        .ok_or_else(|| err("insert entry undecodable"))?;
+                    entries.push(entry);
+                    off += len;
+                }
+                if off != buf.len() {
+                    return Err(err("trailing bytes after insert"));
+                }
+                Ok(Request::Insert(entries))
+            }
+            0x02 => {
+                if buf.len() < 3 {
+                    return Err(err("range header truncated"));
+                }
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                let need = 3 + 4 * n + 8;
+                if buf.len() != need {
+                    return Err(err("range body size mismatch"));
+                }
+                let mut distances = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 3 + 4 * i;
+                    distances.push(f32::from_le_bytes(
+                        buf[off..off + 4].try_into().unwrap(),
+                    ));
+                }
+                let radius =
+                    f64::from_le_bytes(buf[3 + 4 * n..3 + 4 * n + 8].try_into().unwrap());
+                Ok(Request::Range { distances, radius })
+            }
+            0x03 => {
+                let (routing, used) =
+                    Routing::decode(&buf[1..]).ok_or_else(|| err("knn routing undecodable"))?;
+                let off = 1 + used;
+                if buf.len() != off + 4 {
+                    return Err(err("knn cand_size truncated"));
+                }
+                let cand_size = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                Ok(Request::ApproxKnn { routing, cand_size })
+            }
+            0x04 => {
+                if buf.len() != 1 {
+                    return Err(err("info request carries payload"));
+                }
+                Ok(Request::Info)
+            }
+            0x05 => {
+                if buf.len() != 1 {
+                    return Err(err("export request carries payload"));
+                }
+                Ok(Request::ExportAll)
+            }
+            t => Err(err(&format!("unknown request tag {t}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Inserted(n) => {
+                out.push(0x01);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Response::Candidates(cands) => {
+                out.push(0x02);
+                out.extend_from_slice(&(cands.len() as u32).to_le_bytes());
+                for c in cands {
+                    out.extend_from_slice(&c.id.to_le_bytes());
+                    out.extend_from_slice(&(c.payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&c.payload);
+                }
+            }
+            Response::Error(msg) => {
+                out.push(0x03);
+                let bytes = msg.as_bytes();
+                let n = bytes.len().min(u16::MAX as usize);
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                out.extend_from_slice(&bytes[..n]);
+            }
+            Response::Info {
+                entries,
+                leaves,
+                depth,
+            } => {
+                out.push(0x04);
+                out.extend_from_slice(&entries.to_le_bytes());
+                out.extend_from_slice(&leaves.to_le_bytes());
+                out.extend_from_slice(&depth.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a response.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        match buf.first().ok_or_else(|| err("empty response"))? {
+            0x01 => {
+                if buf.len() != 5 {
+                    return Err(err("inserted ack size mismatch"));
+                }
+                Ok(Response::Inserted(u32::from_le_bytes(
+                    buf[1..5].try_into().unwrap(),
+                )))
+            }
+            0x02 => {
+                if buf.len() < 5 {
+                    return Err(err("candidates header truncated"));
+                }
+                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+                let mut cands = Vec::with_capacity(n);
+                let mut off = 5;
+                for _ in 0..n {
+                    if buf.len() < off + 12 {
+                        return Err(err("candidate header truncated"));
+                    }
+                    let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let len =
+                        u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+                    off += 12;
+                    if buf.len() < off + len {
+                        return Err(err("candidate payload truncated"));
+                    }
+                    cands.push(Candidate {
+                        id,
+                        payload: buf[off..off + len].to_vec(),
+                    });
+                    off += len;
+                }
+                if off != buf.len() {
+                    return Err(err("trailing bytes after candidates"));
+                }
+                Ok(Response::Candidates(cands))
+            }
+            0x03 => {
+                if buf.len() < 3 {
+                    return Err(err("error header truncated"));
+                }
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                if buf.len() != 3 + n {
+                    return Err(err("error body size mismatch"));
+                }
+                Ok(Response::Error(
+                    String::from_utf8_lossy(&buf[3..3 + n]).into_owned(),
+                ))
+            }
+            0x04 => {
+                if buf.len() != 1 + 8 + 4 + 4 {
+                    return Err(err("info size mismatch"));
+                }
+                Ok(Response::Info {
+                    entries: u64::from_le_bytes(buf[1..9].try_into().unwrap()),
+                    leaves: u32::from_le_bytes(buf[9..13].try_into().unwrap()),
+                    depth: u32::from_le_bytes(buf[13..17].try_into().unwrap()),
+                })
+            }
+            t => Err(err(&format!("unknown response tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64) -> IndexEntry {
+        IndexEntry::new(
+            id,
+            Routing::from_distances(&[1.0, 2.0, 3.0]),
+            vec![id as u8; 5],
+        )
+    }
+
+    #[test]
+    fn insert_round_trip() {
+        let req = Request::Insert(vec![entry(1), entry(2), entry(99)]);
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn empty_insert_round_trip() {
+        let req = Request::Insert(vec![]);
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn range_round_trip() {
+        let req = Request::Range {
+            distances: vec![0.5, 1.5, 2.5],
+            radius: 3.25,
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn knn_round_trip_both_routings() {
+        for routing in [
+            Routing::from_distances(&[1.0, 2.0]),
+            Routing::permutation_prefix(&[0.3, 0.1, 0.2], 3),
+        ] {
+            let req = Request::ApproxKnn {
+                routing,
+                cand_size: 600,
+            };
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn export_round_trip() {
+        assert_eq!(
+            Request::decode(&Request::ExportAll.encode()).unwrap(),
+            Request::ExportAll
+        );
+        let mut bytes = Request::ExportAll.encode();
+        bytes.push(1);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn info_round_trip() {
+        assert_eq!(Request::decode(&Request::Info.encode()).unwrap(), Request::Info);
+        let resp = Response::Info {
+            entries: 1_000_000,
+            leaves: 1234,
+            depth: 4,
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Inserted(1000),
+            Response::Candidates(vec![
+                Candidate {
+                    id: 7,
+                    payload: vec![1, 2, 3],
+                },
+                Candidate {
+                    id: 8,
+                    payload: vec![],
+                },
+            ]),
+            Response::Error("bucket b9 missing".into()),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let req = Request::Insert(vec![entry(1)]);
+        let bytes = req.encode();
+        for cut in [0, 1, 4, bytes.len() - 1] {
+            assert!(Request::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let resp = Response::Candidates(vec![Candidate {
+            id: 1,
+            payload: vec![9; 4],
+        }]);
+        let bytes = resp.encode();
+        for cut in [0, 3, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(Request::decode(&[0xFF]).is_err());
+        assert!(Response::decode(&[0xFF]).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::Info.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = Request::Range {
+            distances: vec![1.0],
+            radius: 1.0,
+        }
+        .encode();
+        bytes.push(7);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    /// The privacy audit in code form: a Range/ApproxKnn request contains
+    /// only distances/permutation and scalar parameters — its size is
+    /// independent of the query object's content beyond the pivot count.
+    #[test]
+    fn query_requests_leak_only_routing() {
+        let r1 = Request::Range {
+            distances: vec![1.0; 30],
+            radius: 0.5,
+        };
+        let r2 = Request::Range {
+            distances: vec![123456.0; 30],
+            radius: 9.75,
+        };
+        assert_eq!(r1.encode().len(), r2.encode().len());
+    }
+}

@@ -1,0 +1,261 @@
+//! The similarity-cloud server: an M-Index that never sees plaintext.
+//!
+//! [`CloudServer`] implements [`RequestHandler`] over the byte protocol, so
+//! it can be deployed behind any transport (in-process for measurements,
+//! TCP for the real client/server setup, cf. paper §4.4). It holds the
+//! M-Index over a bucket store and the per-query search statistics; it holds
+//! **no key material** — compromising it yields sealed payloads and routing
+//! information only (§4.3).
+
+use simcloud_mindex::{IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing, SearchStats};
+use simcloud_storage::BucketStore;
+use simcloud_transport::RequestHandler;
+
+use crate::protocol::{Candidate, Request, Response};
+
+/// Server half of the Encrypted M-Index.
+pub struct CloudServer<S: BucketStore> {
+    index: MIndex<S>,
+    last_search_stats: SearchStats,
+    total_search_stats: SearchStats,
+}
+
+impl<S: BucketStore> CloudServer<S> {
+    /// Creates a server with the given index configuration and store.
+    pub fn new(config: MIndexConfig, store: S) -> Result<Self, MIndexError> {
+        Ok(Self {
+            index: MIndex::new(config, store)?,
+            last_search_stats: SearchStats::default(),
+            total_search_stats: SearchStats::default(),
+        })
+    }
+
+    /// The underlying index (shape and storage inspection).
+    pub fn index(&self) -> &MIndex<S> {
+        &self.index
+    }
+
+    /// Statistics of the most recent search request.
+    pub fn last_search_stats(&self) -> SearchStats {
+        self.last_search_stats
+    }
+
+    /// Accumulated statistics over all search requests.
+    pub fn total_search_stats(&self) -> SearchStats {
+        self.total_search_stats
+    }
+
+    fn candidates_response(&mut self, result: Result<(Vec<IndexEntry>, SearchStats), MIndexError>) -> Response {
+        match result {
+            Ok((entries, stats)) => {
+                self.last_search_stats = stats;
+                self.total_search_stats.merge(&stats);
+                Response::Candidates(
+                    entries
+                        .into_iter()
+                        .map(|e| Candidate {
+                            id: e.id,
+                            payload: e.payload,
+                        })
+                        .collect(),
+                )
+            }
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    /// Processes one decoded request (the typed core of the handler).
+    pub fn process(&mut self, request: Request) -> Response {
+        match request {
+            Request::Insert(entries) => {
+                let mut n = 0u32;
+                for e in entries {
+                    match self.index.insert(e) {
+                        Ok(()) => n += 1,
+                        Err(e) => return Response::Error(e.to_string()),
+                    }
+                }
+                Response::Inserted(n)
+            }
+            Request::Range { distances, radius } => {
+                let qd: Vec<f64> = distances.iter().map(|&d| d as f64).collect();
+                let result = self.index.range_candidates(&qd, radius);
+                self.candidates_response(result)
+            }
+            Request::ApproxKnn { routing, cand_size } => {
+                let evaluator = match routing {
+                    Routing::Distances(ds) => PromiseEvaluator::from_distances(
+                        ds.iter().map(|&d| d as f64).collect(),
+                    ),
+                    Routing::Permutation(p) => PromiseEvaluator::from_permutation(p),
+                };
+                let result = self.index.knn_candidates(&evaluator, cand_size as usize);
+                self.candidates_response(result)
+            }
+            Request::Info => {
+                let shape = self.index.shape();
+                Response::Info {
+                    entries: self.index.len(),
+                    leaves: shape.leaves as u32,
+                    depth: shape.max_depth as u32,
+                }
+            }
+            Request::ExportAll => match self.index.all_entries() {
+                Ok(entries) => Response::Candidates(
+                    entries
+                        .into_iter()
+                        .map(|e| Candidate {
+                            id: e.id,
+                            payload: e.payload,
+                        })
+                        .collect(),
+                ),
+                Err(e) => Response::Error(e.to_string()),
+            },
+        }
+    }
+}
+
+impl<S: BucketStore> RequestHandler for CloudServer<S> {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        let response = match Request::decode(request) {
+            Ok(req) => self.process(req),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        response.encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud_mindex::RoutingStrategy;
+    use simcloud_storage::MemoryStore;
+
+    fn server() -> CloudServer<MemoryStore> {
+        CloudServer::new(
+            MIndexConfig {
+                num_pivots: 3,
+                max_level: 2,
+                bucket_capacity: 4,
+                strategy: RoutingStrategy::Distances,
+            },
+            MemoryStore::new(),
+        )
+        .unwrap()
+    }
+
+    fn entry(id: u64, ds: &[f64]) -> IndexEntry {
+        IndexEntry::new(id, Routing::from_distances(ds), vec![id as u8; 3])
+    }
+
+    #[test]
+    fn insert_then_info() {
+        let mut s = server();
+        let resp = s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.9, 0.1, 0.5]),
+        ]));
+        assert_eq!(resp, Response::Inserted(2));
+        match s.process(Request::Info) {
+            Response::Info { entries, leaves, .. } => {
+                assert_eq!(entries, 2);
+                assert_eq!(leaves, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_returns_candidates() {
+        let mut s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.12, 0.52, 0.88]),
+            entry(3, &[0.9, 0.1, 0.2]),
+        ]));
+        let resp = s.process(Request::Range {
+            distances: vec![0.11, 0.51, 0.89],
+            radius: 0.05,
+        });
+        match resp {
+            Response::Candidates(c) => {
+                let ids: Vec<u64> = c.iter().map(|x| x.id).collect();
+                assert!(ids.contains(&1) && ids.contains(&2));
+                assert!(!ids.contains(&3), "far object filtered: {ids:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s.last_search_stats().entries_scanned >= 2);
+    }
+
+    #[test]
+    fn knn_via_bytes_round_trip() {
+        let mut s = server();
+        s.handle(
+            &Request::Insert(vec![
+                entry(1, &[0.1, 0.5, 0.9]),
+                entry(2, &[0.2, 0.6, 0.8]),
+                entry(3, &[0.9, 0.1, 0.2]),
+            ])
+            .encode(),
+        );
+        let resp_bytes = s.handle(
+            &Request::ApproxKnn {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 2,
+            }
+            .encode(),
+        );
+        match Response::decode(&resp_bytes).unwrap() {
+            Response::Candidates(c) => {
+                assert_eq!(c.len(), 2);
+                assert_eq!(c[0].id, 1, "query matches object 1's distances exactly");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_yields_error_response() {
+        let mut s = server();
+        let resp = Response::decode(&s.handle(&[0xFF, 0x00])).unwrap();
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn wrong_strategy_yields_error_response() {
+        let mut s = server();
+        let resp = s.process(Request::ApproxKnn {
+            routing: Routing::permutation_prefix(&[0.3, 0.2, 0.1], 2),
+            cand_size: 5,
+        });
+        // Permutation queries are fine against a distances index — the
+        // evaluator just ranks cells by permutation. But inserts must match:
+        let bad_insert = s.process(Request::Insert(vec![IndexEntry::new(
+            9,
+            Routing::permutation_prefix(&[0.1, 0.2, 0.3], 2),
+            vec![],
+        )]));
+        assert!(matches!(bad_insert, Response::Error(_)));
+        // and the knn above returned an empty candidate set, not an error
+        assert!(matches!(resp, Response::Candidates(_)));
+    }
+
+    #[test]
+    fn stats_accumulate_across_queries() {
+        let mut s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        for _ in 0..3 {
+            s.process(Request::ApproxKnn {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 2,
+            });
+        }
+        assert_eq!(s.total_search_stats().candidates, 6);
+        assert_eq!(s.last_search_stats().candidates, 2);
+    }
+}

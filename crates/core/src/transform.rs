@@ -1,0 +1,203 @@
+//! Keyed monotone distance transformation — the paper's future-work
+//! extension for level-4 privacy (§2.3 fourth level, §6):
+//!
+//! > "we would like to study various types of distance transformations
+//! > (i.e. transform the distances to pivots stored on the server for
+//! > precise strategies); such transformation could better hide information
+//! > about the data set distribution"
+//!
+//! ## Construction
+//!
+//! A piecewise-linear, strictly increasing map `T: [0, d_max] → [0, ∞)`
+//! whose breakpoints and slopes are derived from a secret seed. The client
+//! applies `T` to every distance it ships (insert routing and query
+//! distances); the server stores and compares only transformed values.
+//!
+//! ## Why the server stays correct
+//!
+//! * `T` is strictly increasing ⇒ pivot permutations are unchanged ⇒ cell
+//!   routing and promise ordering are identical.
+//! * For pruning, slopes are bounded: `s_min ≤ T'(x) ≤ s_max`, so
+//!   `|T(x) − T(y)| ≤ s_max · |x − y|`. The client ships the scaled radius
+//!   `τ = s_max · r`; every server-side test (`hyperplane`, `range-pivot`,
+//!   object pivot filtering) that was safe with `(d, r)` stays safe with
+//!   `(T(d), τ)` because any true result has `|T(d_q) − T(d_o)| ≤ s_max ·
+//!   |d_q − d_o| ≤ τ`.
+//! * The cost is pruning power: the effective radius inflates by the ratio
+//!   `s_max / s_min`, enlarging candidate sets. The `transform` ablation
+//!   bench quantifies exactly this privacy/efficiency trade.
+//!
+//! ## What it hides
+//!
+//! Distance *values* and the shape of the distance distribution (the
+//! histogram of `T(d)` can be made near-uniform); what it cannot hide is
+//! the *ordering* information the index needs to function.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A keyed, strictly increasing piecewise-linear transformation.
+#[derive(Debug, Clone)]
+pub struct DistanceTransform {
+    /// Segment breakpoints in the input domain, ascending, starting at 0.
+    breaks: Vec<f64>,
+    /// Output value at each breakpoint (prefix sums of segment rises).
+    values: Vec<f64>,
+    /// Per-segment slopes.
+    slopes: Vec<f64>,
+    s_min: f64,
+    s_max: f64,
+}
+
+impl DistanceTransform {
+    /// Derives a transform from a secret seed. `d_max` bounds the distances
+    /// the metric produces on the data (larger inputs extrapolate with the
+    /// last slope); `segments` controls how irregular the map is.
+    pub fn from_seed(seed: u64, d_max: f64, segments: usize) -> Self {
+        assert!(d_max > 0.0, "d_max must be positive");
+        assert!(segments >= 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_6e73_666f_726d);
+        let mut breaks = Vec::with_capacity(segments + 1);
+        breaks.push(0.0);
+        let mut cuts: Vec<f64> = (0..segments - 1)
+            .map(|_| rng.gen_range(0.05..0.95) * d_max)
+            .collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        breaks.extend(cuts);
+        breaks.push(d_max);
+        // Slopes drawn from [0.5, 2.0]: s_max/s_min ≤ 4 bounds candidate
+        // inflation while varying the shape substantially.
+        let slopes: Vec<f64> = (0..breaks.len() - 1)
+            .map(|_| rng.gen_range(0.5..2.0))
+            .collect();
+        let mut values = Vec::with_capacity(breaks.len());
+        values.push(0.0);
+        for i in 0..slopes.len() {
+            let rise = slopes[i] * (breaks[i + 1] - breaks[i]);
+            let prev = *values.last().unwrap();
+            values.push(prev + rise);
+        }
+        let s_min = slopes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let s_max = slopes.iter().cloned().fold(0.0f64, f64::max);
+        Self {
+            breaks,
+            values,
+            slopes,
+            s_min,
+            s_max,
+        }
+    }
+
+    /// Applies the transform to one distance.
+    pub fn apply(&self, d: f64) -> f64 {
+        assert!(d >= 0.0, "distances are non-negative");
+        // binary search for the segment
+        let seg = match self
+            .breaks
+            .binary_search_by(|b| b.partial_cmp(&d).unwrap())
+        {
+            Ok(i) => i.min(self.slopes.len() - 1),
+            Err(0) => 0,
+            Err(i) => (i - 1).min(self.slopes.len() - 1),
+        };
+        self.values[seg] + self.slopes[seg] * (d - self.breaks[seg])
+    }
+
+    /// Applies the transform to a distance vector.
+    pub fn apply_all(&self, ds: &[f64]) -> Vec<f64> {
+        ds.iter().map(|&d| self.apply(d)).collect()
+    }
+
+    /// The radius to ship to the server so that all its pruning rules stay
+    /// safe: `τ = s_max · r`.
+    pub fn server_radius(&self, r: f64) -> f64 {
+        self.s_max * r
+    }
+
+    /// Upper bound of the pruning-power loss: `s_max / s_min`.
+    pub fn inflation_bound(&self) -> f64 {
+        self.s_max / self.s_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud_metric::permutation_from_distances;
+
+    #[test]
+    fn transform_is_strictly_increasing() {
+        let t = DistanceTransform::from_seed(42, 100.0, 8);
+        let mut prev = -1.0;
+        for i in 0..=1000 {
+            let x = i as f64 * 0.1;
+            let y = t.apply(x);
+            assert!(y > prev, "not increasing at {x}: {y} <= {prev}");
+            prev = y;
+        }
+        assert_eq!(t.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn transform_extrapolates_beyond_dmax() {
+        let t = DistanceTransform::from_seed(7, 10.0, 4);
+        assert!(t.apply(20.0) > t.apply(10.0));
+    }
+
+    #[test]
+    fn permutations_are_preserved() {
+        let t = DistanceTransform::from_seed(9, 50.0, 6);
+        let ds = vec![3.0, 17.5, 0.2, 44.0, 9.9, 9.8];
+        let before = permutation_from_distances(&ds);
+        let after = permutation_from_distances(&t.apply_all(&ds));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn lipschitz_bound_holds() {
+        let t = DistanceTransform::from_seed(3, 20.0, 10);
+        for (x, y) in [(0.0, 5.0), (1.0, 19.0), (7.3, 7.4), (15.0, 20.0)] {
+            let lhs = (t.apply(x) - t.apply(y)).abs();
+            let rhs = t.server_radius((x - y as f64).abs());
+            assert!(lhs <= rhs + 1e-9, "|T({x})-T({y})| = {lhs} exceeds {rhs}");
+        }
+    }
+
+    #[test]
+    fn pruning_safety_inequality() {
+        // For any pair within radius r (|dq - do| <= r), transformed values
+        // must be within the server radius tau.
+        let t = DistanceTransform::from_seed(11, 10.0, 5);
+        let r = 0.7;
+        let tau = t.server_radius(r);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let dq: f64 = rng.gen_range(0.0..10.0);
+            let off: f64 = rng.gen_range(-r..r);
+            let do_ = (dq + off).clamp(0.0, 10.0);
+            let diff = (t.apply(dq) - t.apply(do_)).abs();
+            assert!(
+                diff <= tau + 1e-9,
+                "|T({dq})-T({do_})| = {diff} > tau = {tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_transform_different_seed_different() {
+        let a = DistanceTransform::from_seed(1, 10.0, 4);
+        let b = DistanceTransform::from_seed(1, 10.0, 4);
+        let c = DistanceTransform::from_seed(2, 10.0, 4);
+        assert_eq!(a.apply(3.3), b.apply(3.3));
+        assert_ne!(a.apply(3.3), c.apply(3.3));
+    }
+
+    #[test]
+    fn inflation_bound_is_bounded_by_design() {
+        for seed in 0..20 {
+            let t = DistanceTransform::from_seed(seed, 10.0, 6);
+            assert!(t.inflation_bound() <= 4.0 + 1e-9);
+            assert!(t.inflation_bound() >= 1.0);
+        }
+    }
+}

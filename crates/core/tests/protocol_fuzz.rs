@@ -1,0 +1,104 @@
+//! Protocol robustness: the server parses bytes from the network; the
+//! client parses bytes from an untrusted server. Neither side may panic on
+//! arbitrary input, and encode∘decode must be the identity on valid
+//! messages.
+
+use proptest::prelude::*;
+use simcloud_core::protocol::{Candidate, Request, Response};
+use simcloud_mindex::{IndexEntry, Routing};
+
+fn arb_routing() -> impl Strategy<Value = Routing> {
+    prop_oneof![
+        proptest::collection::vec(0.0f64..1000.0, 1..64)
+            .prop_map(|ds| Routing::from_distances(&ds)),
+        (proptest::collection::vec(0.0f64..1000.0, 1..64), 1usize..8).prop_map(|(ds, l)| {
+            let l = l.min(ds.len());
+            Routing::permutation_prefix(&ds, l)
+        }),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = IndexEntry> {
+    (
+        any::<u64>(),
+        arb_routing(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(id, routing, payload)| IndexEntry::new(id, routing, payload))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    #[test]
+    fn response_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn insert_request_round_trips(entries in proptest::collection::vec(arb_entry(), 0..8)) {
+        let req = Request::Insert(entries);
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn range_request_round_trips(ds in proptest::collection::vec(-1e6f32..1e6, 0..64),
+                                 radius in 0.0f64..1e9) {
+        let req = Request::Range { distances: ds, radius };
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn knn_request_round_trips(routing in arb_routing(), cand in any::<u32>()) {
+        let req = Request::ApproxKnn { routing, cand_size: cand };
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn candidates_response_round_trips(
+        cands in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(id, payload)| Candidate { id, payload }),
+            0..16,
+        )
+    ) {
+        let resp = Response::Candidates(cands);
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_response_round_trips(msg in ".{0,200}") {
+        let resp = Response::Error(msg.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Error(m) => prop_assert_eq!(m, msg),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// A server fed arbitrary bytes must answer (with an error), not panic —
+    /// the handler is exposed to the network.
+    #[test]
+    fn server_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        use simcloud_mindex::{MIndexConfig, RoutingStrategy};
+        use simcloud_storage::MemoryStore;
+        use simcloud_transport::RequestHandler;
+        let mut server = simcloud_core::CloudServer::new(
+            MIndexConfig {
+                num_pivots: 4,
+                max_level: 2,
+                bucket_capacity: 8,
+                strategy: RoutingStrategy::Distances,
+            },
+            MemoryStore::new(),
+        )
+        .unwrap();
+        let resp = server.handle(&bytes);
+        // The response must itself be decodable.
+        prop_assert!(Response::decode(&resp).is_ok());
+    }
+}

@@ -1,0 +1,300 @@
+//! Authenticated encryption envelope for MS objects.
+//!
+//! The paper stores "encrypted object data" on the untrusted server
+//! (Alg. 1 line 8: `e.data ← secretKey.encrypt(o)`). This module defines the
+//! concrete byte format the workspace uses:
+//!
+//! ```text
+//! sealed := mode(1) || iv(16) || ct_len(u32 LE) || ciphertext || tag(32)
+//! ```
+//!
+//! * encryption: AES-128 (CTR by default, CBC+PKCS7 optional),
+//! * integrity: HMAC-SHA-256 over `mode || iv || ct_len || ciphertext`
+//!   (encrypt-then-MAC), truncated to the full 32 bytes;
+//! * keys: independent encryption and MAC keys derived from one master key
+//!   via PBKDF2 with domain-separating salts.
+//!
+//! Integrity matters in the threat model: a compromised server could
+//! otherwise swap candidate objects between cells undetected (§4.3 considers
+//! a compromised server reading the structure; tampering detection is the
+//! natural hardening and costs only the MAC).
+
+use rand::RngCore;
+
+use crate::aes::Aes;
+use crate::ct_eq;
+use crate::kdf::pbkdf2_hmac_sha256;
+use crate::hmac::HmacSha256;
+use crate::modes::{cbc_decrypt, cbc_encrypt, ctr_apply};
+
+/// Cipher mode selector for the envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeMode {
+    /// AES-128-CTR (default: no padding, ciphertext length = plaintext).
+    Ctr,
+    /// AES-128-CBC with PKCS#7 (the likely 2012 JCE default).
+    Cbc,
+}
+
+impl EnvelopeMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            EnvelopeMode::Ctr => 1,
+            EnvelopeMode::Cbc => 2,
+        }
+    }
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(EnvelopeMode::Ctr),
+            2 => Some(EnvelopeMode::Cbc),
+            _ => None,
+        }
+    }
+}
+
+/// Errors unsealing an envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// Buffer too short or structurally invalid.
+    Malformed,
+    /// Unknown mode byte.
+    UnknownMode,
+    /// MAC verification failed — data was tampered with or the key is wrong.
+    IntegrityFailure,
+    /// Padding or mode-level decryption failure after a valid MAC
+    /// (indicates an internal bug; should be unreachable).
+    DecryptFailure,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SealError::Malformed => "malformed sealed object",
+            SealError::UnknownMode => "unknown envelope mode",
+            SealError::IntegrityFailure => "integrity check failed (tampering or wrong key)",
+            SealError::DecryptFailure => "decryption failed after valid MAC",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Symmetric key material for sealing MS objects: an AES-128 key and an
+/// independent MAC key, both derived from a master secret.
+#[derive(Clone)]
+pub struct CipherKey {
+    enc: Aes,
+    mac_key: [u8; 32],
+    fingerprint: [u8; 8],
+}
+
+impl std::fmt::Debug for CipherKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CipherKey{{fp: {}}}", crate::hex_encode(&self.fingerprint))
+    }
+}
+
+impl CipherKey {
+    /// Derives the envelope keys from a master secret. The derivation is
+    /// deterministic, so distributing the master secret to authorized
+    /// clients (paper §4.2) reproduces identical keys everywhere.
+    pub fn derive_from_master(master: &[u8]) -> Self {
+        // Iteration count is low because the master secret is high-entropy
+        // key material, not a human password.
+        let enc_bytes = pbkdf2_hmac_sha256(master, b"simcloud/enc/v1", 64, 16);
+        let mac_bytes = pbkdf2_hmac_sha256(master, b"simcloud/mac/v1", 64, 32);
+        let fp_bytes = pbkdf2_hmac_sha256(master, b"simcloud/fp/v1", 64, 8);
+        let mut mac_key = [0u8; 32];
+        mac_key.copy_from_slice(&mac_bytes);
+        let mut fingerprint = [0u8; 8];
+        fingerprint.copy_from_slice(&fp_bytes);
+        Self {
+            enc: Aes::new(&enc_bytes).expect("16-byte key"),
+            mac_key,
+            fingerprint,
+        }
+    }
+
+    /// Generates a fresh random master secret and derives keys from it.
+    /// Returns the key and the master secret (to distribute to clients).
+    pub fn generate(rng: &mut dyn RngCore) -> (Self, [u8; 32]) {
+        let mut master = [0u8; 32];
+        rng.fill_bytes(&mut master);
+        (Self::derive_from_master(&master), master)
+    }
+
+    /// Short public fingerprint for diagnostics (safe to log).
+    pub fn fingerprint(&self) -> [u8; 8] {
+        self.fingerprint
+    }
+
+    /// Seals `plaintext` with a random IV drawn from `rng`.
+    pub fn seal(&self, plaintext: &[u8], mode: EnvelopeMode, rng: &mut dyn RngCore) -> Vec<u8> {
+        let mut iv = [0u8; 16];
+        rng.fill_bytes(&mut iv);
+        self.seal_with_iv(plaintext, mode, &iv)
+    }
+
+    /// Seals with an explicit IV (tests and deterministic replay).
+    pub fn seal_with_iv(&self, plaintext: &[u8], mode: EnvelopeMode, iv: &[u8; 16]) -> Vec<u8> {
+        let ciphertext = match mode {
+            EnvelopeMode::Ctr => {
+                let mut data = plaintext.to_vec();
+                ctr_apply(&self.enc, iv, &mut data);
+                data
+            }
+            EnvelopeMode::Cbc => cbc_encrypt(&self.enc, iv, plaintext),
+        };
+        let mut out = Vec::with_capacity(1 + 16 + 4 + ciphertext.len() + 32);
+        out.push(mode.to_byte());
+        out.extend_from_slice(iv);
+        out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
+        out.extend_from_slice(&ciphertext);
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&out);
+        out.extend_from_slice(&mac.finalize());
+        out
+    }
+
+    /// Size of the sealed form for a given plaintext length — used by the
+    /// communication-cost accounting before actually sealing.
+    pub fn sealed_len(plaintext_len: usize, mode: EnvelopeMode) -> usize {
+        let ct = match mode {
+            EnvelopeMode::Ctr => plaintext_len,
+            EnvelopeMode::Cbc => (plaintext_len / 16 + 1) * 16,
+        };
+        1 + 16 + 4 + ct + 32
+    }
+
+    /// Verifies integrity and decrypts.
+    pub fn unseal(&self, sealed: &[u8]) -> Result<Vec<u8>, SealError> {
+        if sealed.len() < 1 + 16 + 4 + 32 {
+            return Err(SealError::Malformed);
+        }
+        let mode = EnvelopeMode::from_byte(sealed[0]).ok_or(SealError::UnknownMode)?;
+        let ct_len = u32::from_le_bytes([sealed[17], sealed[18], sealed[19], sealed[20]]) as usize;
+        let body_end = 21 + ct_len;
+        if sealed.len() != body_end + 32 {
+            return Err(SealError::Malformed);
+        }
+        let (body, tag) = sealed.split_at(body_end);
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(body);
+        if !ct_eq(&mac.finalize(), tag) {
+            return Err(SealError::IntegrityFailure);
+        }
+        let mut iv = [0u8; 16];
+        iv.copy_from_slice(&sealed[1..17]);
+        let ciphertext = &body[21..];
+        match mode {
+            EnvelopeMode::Ctr => {
+                let mut data = ciphertext.to_vec();
+                ctr_apply(&self.enc, &iv, &mut data);
+                Ok(data)
+            }
+            EnvelopeMode::Cbc => {
+                cbc_decrypt(&self.enc, &iv, ciphertext).ok_or(SealError::DecryptFailure)
+            }
+        }
+    }
+}
+
+/// Convenience alias re-exported at the crate root.
+pub type Envelope = CipherKey;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> CipherKey {
+        CipherKey::derive_from_master(b"test master secret 0123456789")
+    }
+
+    #[test]
+    fn seal_unseal_round_trip_ctr_and_cbc() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(1);
+        for mode in [EnvelopeMode::Ctr, EnvelopeMode::Cbc] {
+            for len in [0usize, 1, 16, 100, 4096] {
+                let pt: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                let sealed = k.seal(&pt, mode, &mut rng);
+                assert_eq!(sealed.len(), CipherKey::sealed_len(len, mode), "len {len}");
+                assert_eq!(k.unseal(&sealed).unwrap(), pt, "mode {mode:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampering_detected_anywhere() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sealed = k.seal(b"candidate object payload", EnvelopeMode::Ctr, &mut rng);
+        for pos in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                k.unseal(&bad).is_err(),
+                "tamper at byte {pos} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_integrity_failure() {
+        let k1 = key();
+        let k2 = CipherKey::derive_from_master(b"different master");
+        let mut rng = StdRng::seed_from_u64(3);
+        let sealed = k1.seal(b"secret", EnvelopeMode::Ctr, &mut rng);
+        assert_eq!(k2.unseal(&sealed), Err(SealError::IntegrityFailure));
+    }
+
+    #[test]
+    fn truncation_is_malformed() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sealed = k.seal(b"0123456789", EnvelopeMode::Ctr, &mut rng);
+        assert_eq!(k.unseal(&sealed[..10]), Err(SealError::Malformed));
+        // Cutting into the tag changes total length vs declared ct_len.
+        assert_eq!(
+            k.unseal(&sealed[..sealed.len() - 1]),
+            Err(SealError::Malformed)
+        );
+    }
+
+    #[test]
+    fn same_plaintext_distinct_ciphertexts() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = k.seal(b"same", EnvelopeMode::Ctr, &mut rng);
+        let b = k.seal(b"same", EnvelopeMode::Ctr, &mut rng);
+        assert_ne!(a, b, "random IVs must differ");
+    }
+
+    #[test]
+    fn master_derivation_is_deterministic() {
+        let a = CipherKey::derive_from_master(b"m");
+        let b = CipherKey::derive_from_master(b"m");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let sealed = a.seal_with_iv(b"x", EnvelopeMode::Ctr, &[9u8; 16]);
+        assert_eq!(b.unseal(&sealed).unwrap(), b"x");
+    }
+
+    #[test]
+    fn generate_produces_usable_key() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (k, master) = CipherKey::generate(&mut rng);
+        let k2 = CipherKey::derive_from_master(&master);
+        let sealed = k.seal_with_iv(b"hello", EnvelopeMode::Cbc, &[1u8; 16]);
+        assert_eq!(k2.unseal(&sealed).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn debug_prints_fingerprint_only() {
+        let k = key();
+        let dbg = format!("{k:?}");
+        assert!(dbg.starts_with("CipherKey{fp: "));
+    }
+}

@@ -1,0 +1,96 @@
+//! PBKDF2-HMAC-SHA-256 (RFC 2898 / RFC 8018).
+//!
+//! The data owner derives the object-encryption key and the MAC key from one
+//! master secret with domain-separating salts ("enc"/"mac"), so a single key
+//! distribution to authorized clients suffices (paper §4.2: "the data owner
+//! provides the clients with the private information").
+
+use crate::hmac::HmacSha256;
+
+/// Derives `dk_len` bytes from `password` and `salt` with `iterations`
+/// rounds of PBKDF2-HMAC-SHA-256.
+pub fn pbkdf2_hmac_sha256(password: &[u8], salt: &[u8], iterations: u32, dk_len: usize) -> Vec<u8> {
+    assert!(iterations >= 1, "PBKDF2 requires at least one iteration");
+    let mut out = Vec::with_capacity(dk_len);
+    let mut block_index = 1u32;
+    while out.len() < dk_len {
+        // U1 = PRF(password, salt || INT(block_index))
+        let mut mac = HmacSha256::new(password);
+        mac.update(salt);
+        mac.update(&block_index.to_be_bytes());
+        let mut u = mac.finalize();
+        let mut t = u;
+        for _ in 1..iterations {
+            let mut mac = HmacSha256::new(password);
+            mac.update(&u);
+            u = mac.finalize();
+            for (ti, ui) in t.iter_mut().zip(&u) {
+                *ti ^= ui;
+            }
+        }
+        let take = (dk_len - out.len()).min(32);
+        out.extend_from_slice(&t[..take]);
+        block_index += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_encode;
+
+    /// RFC 7914 §11 PBKDF2-HMAC-SHA-256 vector 1.
+    #[test]
+    fn rfc7914_vector_1() {
+        let dk = pbkdf2_hmac_sha256(b"passwd", b"salt", 1, 64);
+        assert_eq!(
+            hex_encode(&dk),
+            "55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc\
+             49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783"
+        );
+    }
+
+    /// RFC 7914 §11 PBKDF2-HMAC-SHA-256 vector 2 (80 000 iterations).
+    #[test]
+    fn rfc7914_vector_2() {
+        let dk = pbkdf2_hmac_sha256(b"Password", b"NaCl", 80000, 64);
+        assert_eq!(
+            hex_encode(&dk),
+            "4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56\
+             a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d"
+        );
+    }
+
+    #[test]
+    fn output_lengths() {
+        assert_eq!(pbkdf2_hmac_sha256(b"p", b"s", 2, 16).len(), 16);
+        assert_eq!(pbkdf2_hmac_sha256(b"p", b"s", 2, 32).len(), 32);
+        assert_eq!(pbkdf2_hmac_sha256(b"p", b"s", 2, 33).len(), 33);
+        assert_eq!(pbkdf2_hmac_sha256(b"p", b"s", 2, 100).len(), 100);
+    }
+
+    #[test]
+    fn prefix_consistency_across_lengths() {
+        // PBKDF2 output for a shorter dk_len must be a prefix of the longer
+        // one (same password/salt/iterations).
+        let short = pbkdf2_hmac_sha256(b"p", b"s", 10, 16);
+        let long = pbkdf2_hmac_sha256(b"p", b"s", 10, 48);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn salt_and_iterations_matter() {
+        let a = pbkdf2_hmac_sha256(b"p", b"s1", 5, 32);
+        let b = pbkdf2_hmac_sha256(b"p", b"s2", 5, 32);
+        let c = pbkdf2_hmac_sha256(b"p", b"s1", 6, 32);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = pbkdf2_hmac_sha256(b"p", b"s", 0, 32);
+    }
+}

@@ -1,0 +1,228 @@
+//! Block cipher modes of operation: CBC with PKCS#7 padding and CTR.
+//!
+//! The paper only says "AES with 128 bit key"; CBC+PKCS7 was the default JCE
+//! configuration in 2012, so the envelope supports both CBC (for fidelity)
+//! and CTR (the workspace default — no padding overhead, simpler length
+//! accounting on the wire).
+
+use crate::aes::Aes;
+
+/// Encrypts `plaintext` with AES-CBC and PKCS#7 padding.
+///
+/// Output length is `plaintext.len()` rounded up to the next multiple of 16
+/// (a full padding block is added when already aligned).
+pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
+    let padded = pkcs7_pad(plaintext);
+    let mut out = Vec::with_capacity(padded.len());
+    let mut prev = *iv;
+    for chunk in padded.chunks_exact(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        aes.encrypt_block(&mut block);
+        out.extend_from_slice(&block);
+        prev = block;
+    }
+    out
+}
+
+/// Decrypts AES-CBC ciphertext and removes PKCS#7 padding.
+///
+/// Returns `None` on malformed length or invalid padding. Callers that need
+/// integrity must verify a MAC before decrypting (see [`crate::envelope`]) —
+/// padding errors alone must not be used as an oracle.
+pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
+    if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = *iv;
+    for chunk in ciphertext.chunks_exact(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        let saved = block;
+        aes.decrypt_block(&mut block);
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        out.extend_from_slice(&block);
+        prev = saved;
+    }
+    pkcs7_unpad(&mut out)?;
+    Some(out)
+}
+
+/// AES-CTR keystream application (encryption and decryption are identical).
+///
+/// The 16-byte IV is the initial counter block; the low 32 bits increment
+/// per block (big-endian), which caps a single message at 2^36 bytes — far
+/// beyond any MS object.
+pub fn ctr_apply(aes: &Aes, iv: &[u8; 16], data: &mut [u8]) {
+    let mut counter = *iv;
+    let mut offset = 0;
+    while offset < data.len() {
+        let mut keystream = counter;
+        aes.encrypt_block(&mut keystream);
+        let take = (data.len() - offset).min(16);
+        for i in 0..take {
+            data[offset + i] ^= keystream[i];
+        }
+        offset += take;
+        // increment low 32 bits big-endian
+        for i in (12..16).rev() {
+            counter[i] = counter[i].wrapping_add(1);
+            if counter[i] != 0 {
+                break;
+            }
+        }
+    }
+}
+
+fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
+    let pad = 16 - (data.len() % 16);
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.resize(data.len() + pad, pad as u8);
+    out
+}
+
+fn pkcs7_unpad(data: &mut Vec<u8>) -> Option<()> {
+    let &last = data.last()?;
+    let pad = last as usize;
+    if pad == 0 || pad > 16 || pad > data.len() {
+        return None;
+    }
+    if !data[data.len() - pad..].iter().all(|&b| b == last) {
+        return None;
+    }
+    data.truncate(data.len() - pad);
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_decode;
+
+    fn aes128() -> Aes {
+        // NIST SP 800-38A key
+        Aes::new(&hex_decode("2b7e151628aed2a6abf7158809cf4f3c")).unwrap()
+    }
+
+    /// NIST SP 800-38A F.2.1 CBC-AES128.Encrypt (first two blocks; no
+    /// padding involved because we check the raw block transform).
+    #[test]
+    fn sp800_38a_cbc_first_blocks() {
+        let aes = aes128();
+        let iv: [u8; 16] = hex_decode("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let pt = hex_decode(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
+        );
+        let ct = cbc_encrypt(&aes, &iv, &pt);
+        // First 32 bytes must match the standard; the tail is our padding block.
+        assert_eq!(
+            crate::hex_encode(&ct[..32]),
+            "7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b2"
+        );
+        let back = cbc_decrypt(&aes, &iv, &ct).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    /// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt (full four blocks).
+    #[test]
+    fn sp800_38a_ctr() {
+        let aes = aes128();
+        let iv: [u8; 16] = hex_decode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
+        let mut data = hex_decode(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        ctr_apply(&aes, &iv, &mut data);
+        assert_eq!(
+            crate::hex_encode(&data),
+            "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff\
+             5ae4df3edbd5d35e5b4f09020db03eab1e031dda2fbe03d1792170a0f3009cee"
+        );
+        // CTR is an involution with the same key/iv.
+        ctr_apply(&aes, &iv, &mut data);
+        assert_eq!(
+            crate::hex_encode(&data),
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+        );
+    }
+
+    #[test]
+    fn cbc_round_trip_various_lengths() {
+        let aes = aes128();
+        let iv = [7u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let ct = cbc_encrypt(&aes, &iv, &pt);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len(), "PKCS7 always adds padding");
+            assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ctr_round_trip_various_lengths() {
+        let aes = aes128();
+        let iv = [3u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let mut data = pt.clone();
+            ctr_apply(&aes, &iv, &mut data);
+            if len > 0 {
+                assert_ne!(data, pt);
+            }
+            ctr_apply(&aes, &iv, &mut data);
+            assert_eq!(data, pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn cbc_decrypt_rejects_malformed() {
+        let aes = aes128();
+        let iv = [0u8; 16];
+        assert!(cbc_decrypt(&aes, &iv, &[]).is_none());
+        assert!(cbc_decrypt(&aes, &iv, &[0u8; 15]).is_none());
+        assert!(cbc_decrypt(&aes, &iv, &[0u8; 17]).is_none());
+    }
+
+    #[test]
+    fn cbc_tampered_padding_rejected_or_garbage() {
+        let aes = aes128();
+        let iv = [1u8; 16];
+        let ct = cbc_encrypt(&aes, &iv, b"hello world");
+        // Flipping the last byte invalidates padding with high probability;
+        // either decode fails or yields different plaintext.
+        let mut bad = ct.clone();
+        *bad.last_mut().unwrap() ^= 0xff;
+        match cbc_decrypt(&aes, &iv, &bad) {
+            None => {}
+            Some(pt) => assert_ne!(pt, b"hello world"),
+        }
+    }
+
+    #[test]
+    fn pkcs7_full_block_when_aligned() {
+        let padded = pkcs7_pad(&[0u8; 16]);
+        assert_eq!(padded.len(), 32);
+        assert!(padded[16..].iter().all(|&b| b == 16));
+    }
+
+    #[test]
+    fn different_ivs_different_ciphertexts() {
+        let aes = aes128();
+        let a = cbc_encrypt(&aes, &[0u8; 16], b"same message");
+        let b = cbc_encrypt(&aes, &[1u8; 16], b"same message");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! CSV import/export for datasets.
+//!
+//! Users reproducing against the *real* YEAST/HUMAN matrices (the paper's
+//! download links) can export them to plain CSV (one row per record,
+//! comma-separated floats) and load them here in place of the synthetic
+//! stand-ins.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use simcloud_metric::Vector;
+
+/// CSV errors.
+#[derive(Debug)]
+pub enum CsvError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Unparseable value at (line, column).
+    Parse(usize, usize),
+    /// Rows have inconsistent dimensionality.
+    RaggedRows {
+        /// Line number (1-based) of the offending row.
+        line: usize,
+        /// Expected dimensionality (from the first row).
+        expected: usize,
+        /// Found dimensionality.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv I/O: {e}"),
+            CsvError::Parse(l, c) => write!(f, "csv parse error at line {l}, column {c}"),
+            CsvError::RaggedRows { line, expected, got } => {
+                write!(f, "row {line} has {got} values, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes vectors as CSV.
+pub fn save_csv<P: AsRef<Path>>(path: P, vectors: &[Vector]) -> Result<(), CsvError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in vectors {
+        let mut first = true;
+        for &x in v.as_slice() {
+            if !first {
+                w.write_all(b",")?;
+            }
+            write!(w, "{x}")?;
+            first = false;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads vectors from CSV (blank lines skipped; all rows must share one
+/// dimensionality).
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Vec<Vector>, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for (col, tok) in trimmed.split(',').enumerate() {
+            let x: f32 = tok
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::Parse(lineno + 1, col + 1))?;
+            row.push(x);
+        }
+        if let Some(d) = dim {
+            if row.len() != d {
+                return Err(CsvError::RaggedRows {
+                    line: lineno + 1,
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+        } else {
+            dim = Some(row.len());
+        }
+        out.push(Vector::new(row));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("simcloud-csv-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let vs = vec![
+            Vector::new(vec![1.5, -2.0, 3.25]),
+            Vector::new(vec![0.0, 0.5, -9.75]),
+        ];
+        let p = tmp("roundtrip");
+        save_csv(&p, &vs).unwrap();
+        let back = load_csv(&p).unwrap();
+        assert_eq!(back, vs);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let p = tmp("blank");
+        std::fs::write(&p, "1,2\n\n3,4\n").unwrap();
+        let vs = load_csv(&p).unwrap();
+        assert_eq!(vs.len(), 2);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let p = tmp("parse");
+        std::fs::write(&p, "1,2\n3,oops\n").unwrap();
+        match load_csv(&p) {
+            Err(CsvError::Parse(2, 2)) => {}
+            other => panic!("expected Parse(2,2), got {other:?}"),
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let p = tmp("ragged");
+        std::fs::write(&p, "1,2,3\n4,5\n").unwrap();
+        match load_csv(&p) {
+            Err(CsvError::RaggedRows { line: 2, expected: 3, got: 2 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_loads_empty() {
+        let p = tmp("empty");
+        std::fs::write(&p, "").unwrap();
+        assert!(load_csv(&p).unwrap().is_empty());
+        std::fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Query workloads.
+//!
+//! The paper evaluates on "one hundred query objects randomly chosen from
+//! the data set" (§5.3) and, for the 1-NN comparison, excludes the queries
+//! from the indexed set (§5.4). Both samplings are provided.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use simcloud_metric::Vector;
+
+/// A query workload over a dataset.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The query objects.
+    pub queries: Vec<Vector>,
+    /// Objects to index (equal to the full dataset for member queries;
+    /// dataset minus queries for held-out workloads).
+    pub indexed: Vec<Vector>,
+}
+
+impl QueryWorkload {
+    /// Paper §5.3 style: queries are members of the indexed set.
+    pub fn members(data: &[Vector], count: usize, seed: u64) -> Self {
+        assert!(count <= data.len(), "cannot sample {count} from {}", data.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        idx.shuffle(&mut rng);
+        let queries = idx[..count].iter().map(|&i| data[i].clone()).collect();
+        Self {
+            queries,
+            indexed: data.to_vec(),
+        }
+    }
+
+    /// Paper §5.4 style: queries "were excluded from the indexed set".
+    pub fn held_out(data: &[Vector], count: usize, seed: u64) -> Self {
+        assert!(count < data.len(), "need data left over after holding out");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        idx.shuffle(&mut rng);
+        let (q_idx, rest) = idx.split_at(count);
+        let queries = q_idx.iter().map(|&i| data[i].clone()).collect();
+        let mut rest: Vec<usize> = rest.to_vec();
+        rest.sort_unstable(); // keep original order for the indexed part
+        let indexed = rest.into_iter().map(|i| data[i].clone()).collect();
+        Self { queries, indexed }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<Vector> {
+        (0..n).map(|i| Vector::new(vec![i as f32])).collect()
+    }
+
+    #[test]
+    fn members_keeps_everything_indexed() {
+        let d = data(50);
+        let w = QueryWorkload::members(&d, 10, 1);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.indexed.len(), 50);
+        for q in &w.queries {
+            assert!(w.indexed.contains(q), "member query must be indexed");
+        }
+    }
+
+    #[test]
+    fn held_out_excludes_queries() {
+        let d = data(50);
+        let w = QueryWorkload::held_out(&d, 10, 2);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.indexed.len(), 40);
+        for q in &w.queries {
+            assert!(!w.indexed.contains(q), "held-out query leaked into index");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = data(30);
+        let a = QueryWorkload::members(&d, 5, 9);
+        let b = QueryWorkload::members(&d, 5, 9);
+        assert_eq!(a.queries, b.queries);
+        let c = QueryWorkload::members(&d, 5, 10);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let d = data(3);
+        let _ = QueryWorkload::members(&d, 4, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Distance-distribution analysis.
+//!
+//! Used to calibrate the synthetic stand-ins for the paper's datasets and to
+//! sanity-check that an index's pruning has something to work with: a metric
+//! space with high intrinsic dimensionality (concentrated distances) prunes
+//! poorly regardless of index quality.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+
+/// Summary statistics of a sampled distance distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceStats {
+    /// Number of sampled pairs.
+    pub pairs: usize,
+    /// Minimum sampled distance.
+    pub min: f64,
+    /// Maximum sampled distance.
+    pub max: f64,
+    /// Mean distance.
+    pub mean: f64,
+    /// Distance variance (population).
+    pub variance: f64,
+    /// Chávez et al. intrinsic dimensionality estimate `μ² / (2σ²)`.
+    pub intrinsic_dim: f64,
+}
+
+/// Histogram of sampled pairwise distances with fixed-width bins.
+#[derive(Debug, Clone)]
+pub struct DistanceHistogram {
+    bins: Vec<u64>,
+    lo: f64,
+    hi: f64,
+    stats: DistanceStats,
+}
+
+impl DistanceHistogram {
+    /// Samples `pairs` random object pairs (without replacement inside each
+    /// pair) and builds a histogram with `bins` bins.
+    pub fn sample<T, M: Metric<T>>(
+        data: &[T],
+        metric: &M,
+        pairs: usize,
+        bins: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(data.len() >= 2, "need at least two objects");
+        assert!(bins >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let i = rng.gen_range(0..data.len());
+            let mut j = rng.gen_range(0..data.len());
+            while j == i {
+                j = rng.gen_range(0..data.len());
+            }
+            ds.push(metric.distance(&data[i], &data[j]));
+        }
+        Self::from_distances(&ds, bins)
+    }
+
+    /// Builds a histogram from precomputed distances.
+    pub fn from_distances(ds: &[f64], bins: usize) -> Self {
+        assert!(!ds.is_empty());
+        let lo = ds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = ds.iter().sum::<f64>() / ds.len() as f64;
+        let variance = ds.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / ds.len() as f64;
+        let intrinsic_dim = if variance > 0.0 {
+            mean * mean / (2.0 * variance)
+        } else {
+            f64::INFINITY
+        };
+        let mut hist = vec![0u64; bins];
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        for &d in ds {
+            let mut b = ((d - lo) / width) as usize;
+            if b >= bins {
+                b = bins - 1;
+            }
+            hist[b] += 1;
+        }
+        Self {
+            bins: hist,
+            lo,
+            hi,
+            stats: DistanceStats {
+                pairs: ds.len(),
+                min: lo,
+                max: hi,
+                mean,
+                variance,
+                intrinsic_dim,
+            },
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Histogram range `[lo, hi]`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> &DistanceStats {
+        &self.stats
+    }
+
+    /// Empirical quantile (`q` in `[0,1]`) from the binned data — an
+    /// approximation good enough for choosing query radii in experiments.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let total: u64 = self.bins.iter().sum();
+        let target = (q * total as f64).round() as u64;
+        let mut acc = 0u64;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.lo + width * (i as f64 + 0.5);
+            }
+        }
+        self.hi
+    }
+
+    /// Renders a terminal-friendly sparkline of the distribution, used by the
+    /// `repro` harness when describing datasets.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(1).max(1);
+        self.bins
+            .iter()
+            .map(|&c| GLYPHS[(c as usize * (GLYPHS.len() - 1)) / max as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{L1, L2};
+    use crate::vector::Vector;
+
+    #[test]
+    fn stats_of_known_distances() {
+        let h = DistanceHistogram::from_distances(&[1.0, 2.0, 3.0, 4.0], 4);
+        let s = h.stats();
+        assert_eq!(s.pairs, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert!((s.intrinsic_dim - 2.5f64.powi(2) / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_samples() {
+        let ds: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = DistanceHistogram::from_distances(&ds, 10);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+        assert_eq!(h.bins().len(), 10);
+        assert_eq!(h.range(), (0.0, 99.0));
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let data: Vec<Vector> = (0..50)
+            .map(|i| Vector::new(vec![i as f32, (i % 7) as f32]))
+            .collect();
+        let a = DistanceHistogram::sample(&data, &L2, 200, 8, 9);
+        let b = DistanceHistogram::sample(&data, &L2, 200, 8, 9);
+        assert_eq!(a.bins(), b.bins());
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let ds: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        let h = DistanceHistogram::from_distances(&ds, 32);
+        let q1 = h.quantile(0.1);
+        let q5 = h.quantile(0.5);
+        let q9 = h.quantile(0.9);
+        assert!(q1 <= q5 && q5 <= q9);
+    }
+
+    #[test]
+    fn uniform_grid_has_higher_idim_in_higher_dims() {
+        // Intrinsic dimensionality should grow with the true dimension of a
+        // uniform sample — a basic sanity property of the estimator.
+        let mut rng_vals = (0u32..).map(|i| (i.wrapping_mul(2654435761) % 1000) as f32 / 1000.0);
+        let d1: Vec<Vector> = (0..200)
+            .map(|_| Vector::new(vec![rng_vals.next().unwrap()]))
+            .collect();
+        let d8: Vec<Vector> = (0..200)
+            .map(|_| Vector::new((0..8).map(|_| rng_vals.next().unwrap()).collect()))
+            .collect();
+        let h1 = DistanceHistogram::sample(&d1, &L1, 500, 16, 3);
+        let h8 = DistanceHistogram::sample(&d8, &L1, 500, 16, 3);
+        assert!(
+            h8.stats().intrinsic_dim > h1.stats().intrinsic_dim,
+            "idim 8d {} should exceed 1d {}",
+            h8.stats().intrinsic_dim,
+            h1.stats().intrinsic_dim
+        );
+    }
+
+    #[test]
+    fn sparkline_has_one_glyph_per_bin() {
+        let h = DistanceHistogram::from_distances(&[1.0, 1.0, 2.0, 5.0], 5);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Additional metrics beyond the paper's evaluation set.
+//!
+//! The Encrypted M-Index works for *any* metric (its server never evaluates
+//! `d`), so the library ships the other distance functions common in
+//! similarity-search practice: angular distance (the metric form of cosine
+//! similarity), Hamming distance over quantized/binary descriptors, and a
+//! scaling wrapper for unit normalization.
+
+use crate::metrics::Metric;
+use crate::vector::Vector;
+
+/// Angular distance: `arccos(cos_sim(a, b))` in radians.
+///
+/// Unlike raw cosine "distance" (`1 − cos`), the angle satisfies the
+/// triangle inequality (it is the geodesic distance on the unit sphere), so
+/// all pruning rules remain valid. Zero vectors are at distance `π/2` from
+/// everything by convention (orthogonal-like), and `0` from another zero
+/// vector, preserving identity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Angular;
+
+impl Metric<Vector> for Angular {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "angular distance needs equal dims");
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            dot += *x as f64 * *y as f64;
+            na += (*x as f64) * (*x as f64);
+            nb += (*y as f64) * (*y as f64);
+        }
+        if na == 0.0 && nb == 0.0 {
+            return 0.0;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return std::f64::consts::FRAC_PI_2;
+        }
+        let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+
+    fn max_distance(&self) -> Option<f64> {
+        Some(std::f64::consts::PI)
+    }
+
+    fn name(&self) -> String {
+        "Angular".into()
+    }
+}
+
+/// Hamming distance over component-wise equality — the metric for binary
+/// or coarsely quantized descriptor vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming;
+
+impl Metric<Vector> for Hamming {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "hamming distance needs equal dims");
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .filter(|(x, y)| x != y)
+            .count() as f64
+    }
+
+    fn name(&self) -> String {
+        "Hamming".into()
+    }
+}
+
+/// Scales another metric by a positive constant (e.g. to normalize into
+/// `[0, 1]` for scalar-key construction). A positive scaling of a metric is
+/// a metric.
+#[derive(Debug, Clone, Copy)]
+pub struct Scaled<M> {
+    inner: M,
+    factor: f64,
+}
+
+impl<M> Scaled<M> {
+    /// Wraps `inner`, multiplying every distance by `factor > 0`.
+    pub fn new(inner: M, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self { inner, factor }
+    }
+}
+
+impl<M: Metric<Vector>> Metric<Vector> for Scaled<M> {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        self.factor * self.inner.distance(a, b)
+    }
+    fn max_distance(&self) -> Option<f64> {
+        self.inner.max_distance().map(|m| m * self.factor)
+    }
+    fn name(&self) -> String {
+        format!("{}×{}", self.factor, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::L2;
+
+    fn v(c: &[f32]) -> Vector {
+        Vector::from(c)
+    }
+
+    #[test]
+    fn angular_known_values() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        let c = v(&[-1.0, 0.0]);
+        assert!((Angular.distance(&a, &b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((Angular.distance(&a, &c) - std::f64::consts::PI).abs() < 1e-12);
+        assert!(Angular.distance(&a, &a) < 1e-12);
+        // scale invariance
+        let a2 = v(&[5.0, 0.0]);
+        assert!(Angular.distance(&a2, &b) - Angular.distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn angular_zero_vector_conventions() {
+        let z = v(&[0.0, 0.0]);
+        let a = v(&[1.0, 1.0]);
+        assert_eq!(Angular.distance(&z, &z), 0.0);
+        assert!((Angular.distance(&z, &a) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(Angular.max_distance(), Some(std::f64::consts::PI));
+    }
+
+    #[test]
+    fn hamming_counts_mismatches() {
+        let a = v(&[1.0, 2.0, 3.0, 4.0]);
+        let b = v(&[1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(Hamming.distance(&a, &b), 2.0);
+        assert_eq!(Hamming.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn scaled_metric_scales() {
+        let m = Scaled::new(L2, 0.5);
+        let a = v(&[0.0]);
+        let b = v(&[4.0]);
+        assert_eq!(m.distance(&a, &b), 2.0);
+        assert!(m.name().contains("L2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_nonpositive() {
+        let _ = Scaled::new(L2, 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # simcloud-metric — metric-space toolkit
+//!
+//! Foundations for metric similarity search, reproducing the metric layer of
+//! the MESSIF framework that the Encrypted M-Index paper (Kozák, Novak,
+//! Zezula, SDM@VLDB 2012) builds on.
+//!
+//! The crate provides:
+//!
+//! * [`Vector`] — the metric-space object used throughout the workspace
+//!   (dense `f32` vectors; gene-expression rows and MPEG-7 descriptors in the
+//!   paper's evaluation are both of this shape);
+//! * the [`Metric`] trait with the distance functions used by the paper's
+//!   datasets: [`L1`], [`L2`], [`Lp`], [`Linf`] and the CoPhIR-style
+//!   [`CombinedMetric`] that aggregates per-descriptor-block `Lp` distances
+//!   with weights;
+//! * [`CountingMetric`], a wrapper that counts distance computations — the
+//!   paper reports "distance computation time" as a first-class cost;
+//! * pivot machinery: [`select_pivots`] (random / farthest-first /
+//!   variance-greedy) and [`PivotPermutation`] (the ordering of pivots by
+//!   distance that the M-Index uses as its only indexing information);
+//! * distance-distribution [`analysis`] utilities (histograms, intrinsic
+//!   dimensionality) used when calibrating synthetic datasets.
+//!
+//! Everything is deterministic given explicit seeds; no global RNG state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod counting;
+pub mod extra;
+pub mod metrics;
+pub mod permutation;
+pub mod pivots;
+pub mod vector;
+
+pub use counting::CountingMetric;
+pub use extra::{Angular, Hamming, Scaled};
+pub use metrics::{CombinedMetric, DescriptorBlock, EditDistance, Metric, L1, L2, Linf, Lp};
+pub use permutation::{permutation_from_distances, PivotPermutation};
+pub use pivots::{select_pivots, PivotSelection};
+pub use vector::Vector;
+
+/// Identifier of an indexed object. The similarity cloud returns IDs of
+/// relevant objects; the raw-data storage resolves them to original content
+/// (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_display_and_order() {
+        let a = ObjectId(3);
+        let b = ObjectId(10);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "#3");
+        assert_eq!(ObjectId::from(7u64), ObjectId(7));
+    }
+}

@@ -1,0 +1,201 @@
+//! Pivot (reference object) selection.
+//!
+//! The paper selects pivots "at random from within the data set" (§5.1);
+//! [`PivotSelection::Random`] reproduces that. Two standard alternatives are
+//! provided for the ablation benches: farthest-first traversal (max-min
+//! separation, a common MESSIF choice) and a greedy variance maximizer.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+
+/// Strategy for choosing pivots from a sample of the data set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotSelection {
+    /// Uniformly random distinct objects — the paper's setting.
+    Random,
+    /// Farthest-first traversal: first pivot random, each next pivot
+    /// maximizes its minimum distance to already chosen pivots.
+    FarthestFirst,
+    /// Greedy pick maximizing the variance of distances to a random probe
+    /// sample; favours pivots that discriminate well.
+    MaxVariance,
+}
+
+impl std::fmt::Display for PivotSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PivotSelection::Random => "random",
+            PivotSelection::FarthestFirst => "farthest-first",
+            PivotSelection::MaxVariance => "max-variance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Selects `n` pivots from `data` with the given strategy and seed.
+///
+/// Panics if `data.len() < n` — an index cannot have more pivots than
+/// objects. Returned pivots are clones of data objects (pivots become part of
+/// the *secret key* in the encrypted setting, so they must be owned).
+pub fn select_pivots<T, M>(
+    data: &[T],
+    n: usize,
+    metric: &M,
+    strategy: PivotSelection,
+    seed: u64,
+) -> Vec<T>
+where
+    T: Clone,
+    M: Metric<T>,
+{
+    assert!(
+        data.len() >= n,
+        "cannot select {n} pivots from {} objects",
+        data.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    match strategy {
+        PivotSelection::Random => {
+            let mut idx: Vec<usize> = (0..data.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(n);
+            idx.into_iter().map(|i| data[i].clone()).collect()
+        }
+        PivotSelection::FarthestFirst => farthest_first(data, n, metric, &mut rng),
+        PivotSelection::MaxVariance => max_variance(data, n, metric, &mut rng),
+    }
+}
+
+fn farthest_first<T: Clone, M: Metric<T>>(
+    data: &[T],
+    n: usize,
+    metric: &M,
+    rng: &mut StdRng,
+) -> Vec<T> {
+    let first = rng.gen_range(0..data.len());
+    let mut chosen = vec![first];
+    // min distance from each object to the chosen set
+    let mut min_d: Vec<f64> = data
+        .iter()
+        .map(|o| metric.distance(o, &data[first]))
+        .collect();
+    while chosen.len() < n {
+        let (best, _) = min_d
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !chosen.contains(i))
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("data exhausted");
+        chosen.push(best);
+        for (i, slot) in min_d.iter_mut().enumerate() {
+            let d = metric.distance(&data[i], &data[best]);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    chosen.into_iter().map(|i| data[i].clone()).collect()
+}
+
+fn max_variance<T: Clone, M: Metric<T>>(
+    data: &[T],
+    n: usize,
+    metric: &M,
+    rng: &mut StdRng,
+) -> Vec<T> {
+    // Probe sample bounds the cost on large datasets.
+    let probes: Vec<usize> = (0..data.len().min(64))
+        .map(|_| rng.gen_range(0..data.len()))
+        .collect();
+    // Candidate pool: random subset, 4x oversampled.
+    let mut pool: Vec<usize> = (0..data.len()).collect();
+    pool.shuffle(rng);
+    pool.truncate((4 * n).min(data.len()));
+    let mut scored: Vec<(f64, usize)> = pool
+        .into_iter()
+        .map(|c| {
+            let ds: Vec<f64> = probes
+                .iter()
+                .map(|&p| metric.distance(&data[c], &data[p]))
+                .collect();
+            let mean = ds.iter().sum::<f64>() / ds.len() as f64;
+            let var = ds.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / ds.len() as f64;
+            (var, c)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.truncate(n);
+    scored.into_iter().map(|(_, i)| data[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::L2;
+    use crate::vector::Vector;
+
+    fn grid(n: usize) -> Vec<Vector> {
+        (0..n)
+            .map(|i| Vector::new(vec![i as f32, (i * i % 17) as f32]))
+            .collect()
+    }
+
+    #[test]
+    fn random_selection_is_deterministic_per_seed() {
+        let data = grid(50);
+        let a = select_pivots(&data, 5, &L2, PivotSelection::Random, 42);
+        let b = select_pivots(&data, 5, &L2, PivotSelection::Random, 42);
+        let c = select_pivots(&data, 5, &L2, PivotSelection::Random, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn random_selection_has_no_duplicates() {
+        let data = grid(30);
+        let p = select_pivots(&data, 30, &L2, PivotSelection::Random, 7);
+        for i in 0..p.len() {
+            for j in i + 1..p.len() {
+                assert_ne!(p[i], p[j], "duplicate pivot selected");
+            }
+        }
+    }
+
+    #[test]
+    fn farthest_first_spreads_pivots() {
+        // A line of points: farthest-first from any start must include both
+        // extremes among the first three pivots.
+        let data: Vec<Vector> = (0..100).map(|i| Vector::new(vec![i as f32])).collect();
+        let p = select_pivots(&data, 3, &L2, PivotSelection::FarthestFirst, 1);
+        let xs: Vec<f32> = p.iter().map(|v| v[0]).collect();
+        assert!(xs.contains(&0.0) || xs.contains(&99.0));
+        let spread = xs.iter().cloned().fold(f32::MIN, f32::max)
+            - xs.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread >= 90.0, "spread {spread} too small");
+    }
+
+    #[test]
+    fn max_variance_returns_requested_count() {
+        let data = grid(40);
+        let p = select_pivots(&data, 6, &L2, PivotSelection::MaxVariance, 5);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn selecting_too_many_panics() {
+        let data = grid(3);
+        let _ = select_pivots(&data, 4, &L2, PivotSelection::Random, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PivotSelection::Random.to_string(), "random");
+        assert_eq!(PivotSelection::FarthestFirst.to_string(), "farthest-first");
+        assert_eq!(PivotSelection::MaxVariance.to_string(), "max-variance");
+    }
+}

@@ -1,0 +1,194 @@
+//! Dense vector objects — the metric-space descriptors of the paper.
+//!
+//! All three evaluation datasets (YEAST 17-dim, HUMAN 96-dim, CoPhIR 280-dim)
+//! are dense numeric vectors; we store components as `f32` (MPEG-7 visual
+//! descriptors are small integers, gene-expression levels fit easily) and
+//! compute distances in `f64` to avoid accumulation error.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense metric-space object.
+///
+/// `Vector` is cheap to clone relative to distance computation and is the
+/// payload type for the whole workspace: it is what clients encrypt, what the
+/// datasets crate generates, and what metrics compare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vector {
+    components: Box<[f32]>,
+}
+
+impl Vector {
+    /// Creates a vector from raw components.
+    pub fn new(components: Vec<f32>) -> Self {
+        Self {
+            components: components.into_boxed_slice(),
+        }
+    }
+
+    /// Creates the zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self::new(vec![0.0; dim])
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Read access to components.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.components
+    }
+
+    /// Mutable access to components (used by generators when post-processing
+    /// e.g. quantizing descriptor blocks).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.components
+    }
+
+    /// Serialized size in bytes when encoded with [`Vector::encode`]:
+    /// a `u32` length prefix plus 4 bytes per component.
+    ///
+    /// The paper's communication-cost tables count exact bytes on the wire;
+    /// this is the plaintext size an MS object contributes before encryption
+    /// padding.
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        4 + 4 * self.components.len()
+    }
+
+    /// Encodes into a compact little-endian byte representation, appending to
+    /// `out`. Format: `u32` component count, then each component as `f32` LE.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.extend_from_slice(&(self.components.len() as u32).to_le_bytes());
+        for c in self.components.iter() {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    /// Decodes a vector previously written by [`Vector::encode`]; returns the
+    /// vector and the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), VectorDecodeError> {
+        if buf.len() < 4 {
+            return Err(VectorDecodeError::Truncated);
+        }
+        let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        let need = 4 + 4 * n;
+        if buf.len() < need {
+            return Err(VectorDecodeError::Truncated);
+        }
+        let mut comps = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 4 + 4 * i;
+            comps.push(f32::from_le_bytes([
+                buf[off],
+                buf[off + 1],
+                buf[off + 2],
+                buf[off + 3],
+            ]));
+        }
+        Ok((Self::new(comps), need))
+    }
+}
+
+impl std::ops::Index<usize> for Vector {
+    type Output = f32;
+    #[inline]
+    fn index(&self, i: usize) -> &f32 {
+        &self.components[i]
+    }
+}
+
+impl From<Vec<f32>> for Vector {
+    fn from(v: Vec<f32>) -> Self {
+        Vector::new(v)
+    }
+}
+
+impl From<&[f32]> for Vector {
+    fn from(v: &[f32]) -> Self {
+        Vector::new(v.to_vec())
+    }
+}
+
+/// Errors decoding a [`Vector`] from bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorDecodeError {
+    /// The buffer ended before the declared number of components.
+    Truncated,
+}
+
+impl std::fmt::Display for VectorDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VectorDecodeError::Truncated => write!(f, "vector byte representation truncated"),
+        }
+    }
+}
+
+impl std::error::Error for VectorDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Vector::new(vec![1.0, -2.5, 3.0]);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v[1], -2.5);
+        assert_eq!(v.as_slice(), &[1.0, -2.5, 3.0]);
+    }
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let v = Vector::zeros(5);
+        assert_eq!(v.dim(), 5);
+        assert!(v.as_slice().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v = Vector::new(vec![0.25, -1.0, 42.0, f32::MIN_POSITIVE]);
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let (back, used) = Vector::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let v = Vector::new(vec![1.0, 2.0]);
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(
+            Vector::decode(&buf[..buf.len() - 1]),
+            Err(VectorDecodeError::Truncated)
+        );
+        assert_eq!(Vector::decode(&[1, 0]), Err(VectorDecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_consumes_prefix_only() {
+        let v = Vector::new(vec![7.0]);
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        buf.extend_from_slice(&[0xAB, 0xCD]);
+        let (back, used) = Vector::decode(&buf).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len() - 2);
+    }
+
+    #[test]
+    fn mutation_via_slice() {
+        let mut v = Vector::zeros(2);
+        v.as_mut_slice()[0] = 9.0;
+        assert_eq!(v[0], 9.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Index entries: routing information + opaque payload.
+//!
+//! This is the record format of Alg. 1:
+//! `e := struct {distances, permutation, data}` — either the distance vector
+//! or the permutation is present, never both, and `data` is opaque to the
+//! server (sealed bytes in the encrypted deployment, an encoded vector in
+//! the plain one).
+
+use simcloud_metric::{permutation_from_distances, PivotPermutation};
+
+/// Routing information the server indexes on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Routing {
+    /// Object–pivot distances (precise strategy). Stored as `f32` — the
+    /// paper's communication-cost accounting assumes compact records.
+    Distances(Vec<f32>),
+    /// Pivot-permutation prefix (approximate strategy).
+    Permutation(PivotPermutation),
+}
+
+impl Routing {
+    /// Builds distance routing from `f64` computations.
+    pub fn from_distances(d: &[f64]) -> Self {
+        Routing::Distances(d.iter().map(|&x| x as f32).collect())
+    }
+
+    /// Builds permutation routing of length `prefix_len` from distances.
+    pub fn permutation_prefix(d: &[f64], prefix_len: usize) -> Self {
+        let mut p = permutation_from_distances(d);
+        p.truncate(prefix_len);
+        Routing::Permutation(p)
+    }
+
+    /// The permutation this routing induces (full order for distances,
+    /// stored prefix otherwise).
+    pub fn permutation(&self) -> PivotPermutation {
+        match self {
+            Routing::Distances(d) => {
+                let dd: Vec<f64> = d.iter().map(|&x| x as f64).collect();
+                permutation_from_distances(&dd)
+            }
+            Routing::Permutation(p) => p.clone(),
+        }
+    }
+
+    /// Distances if present.
+    pub fn distances(&self) -> Option<&[f32]> {
+        match self {
+            Routing::Distances(d) => Some(d),
+            Routing::Permutation(_) => None,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Routing::Distances(d) => 1 + 2 + 4 * d.len(),
+            Routing::Permutation(p) => 1 + p.encoded_len(),
+        }
+    }
+
+    /// Appends the binary encoding (tag byte + body).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Routing::Distances(d) => {
+                out.push(1);
+                out.extend_from_slice(&(d.len() as u16).to_le_bytes());
+                for &x in d {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Routing::Permutation(p) => {
+                out.push(2);
+                p.encode(out);
+            }
+        }
+    }
+
+    /// Decodes a routing; returns it and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        match buf.first()? {
+            1 => {
+                if buf.len() < 3 {
+                    return None;
+                }
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                let need = 3 + 4 * n;
+                if buf.len() < need {
+                    return None;
+                }
+                let mut d = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 3 + 4 * i;
+                    d.push(f32::from_le_bytes([
+                        buf[off],
+                        buf[off + 1],
+                        buf[off + 2],
+                        buf[off + 3],
+                    ]));
+                }
+                Some((Routing::Distances(d), need))
+            }
+            2 => {
+                let (p, used) = PivotPermutation::decode(&buf[1..])?;
+                Some((Routing::Permutation(p), 1 + used))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One indexed entry: external id, routing info, opaque payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexEntry {
+    /// External object id.
+    pub id: u64,
+    /// Routing info (distances or permutation prefix).
+    pub routing: Routing,
+    /// Opaque payload (sealed object / encoded vector).
+    pub payload: Vec<u8>,
+}
+
+impl IndexEntry {
+    /// Creates an entry.
+    pub fn new(id: u64, routing: Routing, payload: Vec<u8>) -> Self {
+        Self {
+            id,
+            routing,
+            payload,
+        }
+    }
+
+    /// Size of the record payload this entry produces.
+    pub fn encoded_len(&self) -> usize {
+        self.routing.encoded_len() + 4 + self.payload.len()
+    }
+
+    /// Serializes routing+payload into a storage record body.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.routing.encode(&mut out);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Reconstructs an entry from a storage record.
+    pub fn decode_payload(id: u64, buf: &[u8]) -> Option<Self> {
+        let (routing, used) = Routing::decode(buf)?;
+        if buf.len() < used + 4 {
+            return None;
+        }
+        let len =
+            u32::from_le_bytes(buf[used..used + 4].try_into().unwrap()) as usize;
+        if buf.len() < used + 4 + len {
+            return None;
+        }
+        let payload = buf[used + 4..used + 4 + len].to_vec();
+        Some(Self {
+            id,
+            routing,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_routing_round_trip() {
+        let r = Routing::from_distances(&[1.5, 2.25, 0.0]);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), r.encoded_len());
+        let (back, used) = Routing::decode(&buf).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, buf.len());
+        assert_eq!(back.distances().unwrap(), &[1.5, 2.25, 0.0]);
+    }
+
+    #[test]
+    fn permutation_routing_round_trip() {
+        let r = Routing::permutation_prefix(&[0.9, 0.1, 0.5, 0.3], 3);
+        match &r {
+            Routing::Permutation(p) => assert_eq!(p.order(), &[1, 3, 2]),
+            _ => panic!(),
+        }
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (back, used) = Routing::decode(&buf).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, buf.len());
+        assert!(back.distances().is_none());
+    }
+
+    #[test]
+    fn permutation_from_distance_routing() {
+        let r = Routing::from_distances(&[0.9, 0.1, 0.5]);
+        assert_eq!(r.permutation().order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn entry_payload_round_trip() {
+        let e = IndexEntry::new(
+            77,
+            Routing::from_distances(&[3.0, 1.0]),
+            vec![0xde, 0xad, 0xbe, 0xef],
+        );
+        let bytes = e.encode_payload();
+        assert_eq!(bytes.len(), e.encoded_len());
+        let back = IndexEntry::decode_payload(77, &bytes).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn entry_decode_rejects_truncation() {
+        let e = IndexEntry::new(1, Routing::from_distances(&[1.0]), vec![7; 10]);
+        let bytes = e.encode_payload();
+        for cut in [0, 1, 3, bytes.len() - 1] {
+            assert!(IndexEntry::decode_payload(1, &bytes[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn routing_decode_rejects_unknown_tag() {
+        assert!(Routing::decode(&[9, 0, 0]).is_none());
+        assert!(Routing::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_payload_entry() {
+        let e = IndexEntry::new(5, Routing::permutation_prefix(&[0.2, 0.1], 2), vec![]);
+        let bytes = e.encode_payload();
+        let back = IndexEntry::decode_payload(5, &bytes).unwrap();
+        assert_eq!(back.payload, Vec::<u8>::new());
+    }
+}

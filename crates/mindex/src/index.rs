@@ -1,0 +1,693 @@
+//! The M-Index proper: routing-only server-side structure.
+//!
+//! This is exactly the component that runs inside the *untrusted* similarity
+//! cloud in the paper's architecture: it sees routing information (pivot
+//! permutations or object–pivot distances) and opaque payloads, never the
+//! pivots, the metric, or plaintext objects. Both the encrypted deployment
+//! (`simcloud-core`) and the plain one ([`crate::plain::PlainMIndex`], where
+//! the "payload" is just the un-encrypted vector) are built on it.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simcloud_storage::{BucketStore, Record, StorageError};
+
+use crate::config::{MIndexConfig, RoutingStrategy};
+use crate::entry::{IndexEntry, Routing};
+use crate::promise::PromiseEvaluator;
+use crate::pruning::{hyperplane_may_intersect, pivot_filter_keep, range_pivot_may_intersect};
+use crate::stats::SearchStats;
+use crate::tree::{CellTree, Node, TreeShape};
+
+/// M-Index errors.
+#[derive(Debug)]
+pub enum MIndexError {
+    /// Underlying storage failed.
+    Storage(StorageError),
+    /// A stored record could not be decoded.
+    Corrupt(String),
+    /// Operation requires the other routing strategy (e.g. precise range
+    /// search on a permutation-only index).
+    WrongStrategy {
+        /// Strategy the operation needs.
+        required: RoutingStrategy,
+        /// Strategy the index is configured with.
+        configured: RoutingStrategy,
+    },
+    /// Routing information shorter than the tree's maximum level.
+    PrefixTooShort {
+        /// Entries must carry at least this many permutation positions.
+        required: usize,
+        /// What the entry carried.
+        got: usize,
+    },
+    /// Distance vector length does not match the pivot count.
+    DimensionMismatch {
+        /// Expected number of pivots.
+        expected: usize,
+        /// Provided vector length.
+        got: usize,
+    },
+    /// Invalid configuration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for MIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MIndexError::Storage(e) => write!(f, "storage error: {e}"),
+            MIndexError::Corrupt(s) => write!(f, "corrupt index data: {s}"),
+            MIndexError::WrongStrategy { required, configured } => write!(
+                f,
+                "operation requires {required} routing but index stores {configured}"
+            ),
+            MIndexError::PrefixTooShort { required, got } => write!(
+                f,
+                "permutation prefix of {got} entries, index needs at least {required}"
+            ),
+            MIndexError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} pivot distances, got {got}")
+            }
+            MIndexError::BadConfig(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MIndexError {}
+
+impl From<StorageError> for MIndexError {
+    fn from(e: StorageError) -> Self {
+        MIndexError::Storage(e)
+    }
+}
+
+/// Sentinel `cand_size` for [`MIndex::knn_candidates`]: return the whole
+/// most-promising Voronoi cell untrimmed (paper §5.4's 1-NN setting).
+pub const FIRST_CELL_ONLY: usize = 0;
+
+/// The dynamic M-Index over a bucket store.
+pub struct MIndex<S: BucketStore> {
+    config: MIndexConfig,
+    tree: CellTree,
+    store: S,
+    entries: u64,
+}
+
+impl<S: BucketStore> std::fmt::Debug for MIndex<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MIndex")
+            .field("config", &self.config)
+            .field("entries", &self.entries)
+            .field("shape", &self.tree.shape())
+            .finish()
+    }
+}
+
+impl<S: BucketStore> MIndex<S> {
+    /// Creates an index over `store` with the given configuration.
+    pub fn new(config: MIndexConfig, store: S) -> Result<Self, MIndexError> {
+        config.validate().map_err(MIndexError::BadConfig)?;
+        Ok(Self {
+            config,
+            tree: CellTree::new(),
+            store,
+            entries: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MIndexConfig {
+        &self.config
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Shape of the dynamic cell tree.
+    pub fn shape(&self) -> TreeShape {
+        self.tree.shape()
+    }
+
+    /// Underlying store (I/O statistics, backend name).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// ASCII rendering of the cell tree (Fig. 3 reproduction).
+    pub fn render_tree(&self) -> String {
+        self.tree.render(true)
+    }
+
+    fn check_entry(&self, entry: &IndexEntry) -> Result<(), MIndexError> {
+        match (&entry.routing, self.config.strategy) {
+            (Routing::Distances(d), RoutingStrategy::Distances) => {
+                if d.len() != self.config.num_pivots {
+                    return Err(MIndexError::DimensionMismatch {
+                        expected: self.config.num_pivots,
+                        got: d.len(),
+                    });
+                }
+            }
+            (Routing::Permutation(p), RoutingStrategy::Permutation) => {
+                if p.len() < self.config.max_level {
+                    return Err(MIndexError::PrefixTooShort {
+                        required: self.config.max_level,
+                        got: p.len(),
+                    });
+                }
+            }
+            (_, configured) => {
+                let required = match configured {
+                    RoutingStrategy::Distances => RoutingStrategy::Distances,
+                    RoutingStrategy::Permutation => RoutingStrategy::Permutation,
+                };
+                return Err(MIndexError::WrongStrategy {
+                    required,
+                    configured,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts one entry (paper Alg. 1, server part: "locate node, store
+    /// encrypted object, split if necessary").
+    pub fn insert(&mut self, entry: IndexEntry) -> Result<(), MIndexError> {
+        self.check_entry(&entry)?;
+        self.insert_unchecked(entry)
+    }
+
+    fn insert_unchecked(&mut self, entry: IndexEntry) -> Result<(), MIndexError> {
+        let perm = entry.routing.permutation();
+        let prefix: Vec<u16> = perm.prefix(self.config.max_level).to_vec();
+        let record = Record::new(entry.id, entry.encode_payload());
+        let (level, count, needs_split) = {
+            let leaf = self.tree.locate_mut(&prefix);
+            if let Routing::Distances(ds) = &entry.routing {
+                let pd: Vec<f64> = prefix[..leaf.level]
+                    .iter()
+                    .map(|&i| ds[i as usize] as f64)
+                    .collect();
+                leaf.update_bounds(&pd);
+            }
+            self.store.append(leaf.bucket, record)?;
+            leaf.count += 1;
+            let needs_split =
+                leaf.count > self.config.bucket_capacity && leaf.level < self.config.max_level;
+            (leaf.level, leaf.count, needs_split)
+        };
+        self.entries += 1;
+        let _ = count;
+        if needs_split {
+            self.split(&prefix[..level])?;
+        }
+        Ok(())
+    }
+
+    /// Splits the leaf at `prefix` one level deeper, re-distributing its
+    /// records by the next pivot of their permutation (recursive Voronoi
+    /// partitioning, Fig. 2b).
+    fn split(&mut self, prefix: &[u16]) -> Result<(), MIndexError> {
+        let leaf = self.tree.split_leaf(prefix);
+        let records = self.store.read_bucket(leaf.bucket)?;
+        self.store.delete_bucket(leaf.bucket)?;
+        self.entries -= records.len() as u64;
+        for rec in records {
+            let entry = IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
+                MIndexError::Corrupt(format!("record {} undecodable during split", rec.id))
+            })?;
+            // Depth of recursion is bounded by max_level.
+            self.insert_unchecked(entry)?;
+        }
+        Ok(())
+    }
+
+    /// Precise range-query candidates (paper Alg. 3, the full server side).
+    ///
+    /// Prunes the cell tree with the double-pivot and range-pivot
+    /// constraints, then applies per-object pivot filtering. The returned
+    /// candidates still require client-side refinement — the server cannot
+    /// compute `d(q, o)` — but are guaranteed to contain every true result
+    /// (safety comes from the triangle inequality; see `tests/`).
+    pub fn range_candidates(
+        &mut self,
+        query_distances: &[f64],
+        radius: f64,
+    ) -> Result<(Vec<IndexEntry>, SearchStats), MIndexError> {
+        if self.config.strategy != RoutingStrategy::Distances {
+            return Err(MIndexError::WrongStrategy {
+                required: RoutingStrategy::Distances,
+                configured: self.config.strategy,
+            });
+        }
+        if query_distances.len() != self.config.num_pivots {
+            return Err(MIndexError::DimensionMismatch {
+                expected: self.config.num_pivots,
+                got: query_distances.len(),
+            });
+        }
+        let mut stats = SearchStats::default();
+        let mut candidates = Vec::new();
+        // Iterative DFS carrying (node, prefix, used-pivot mask).
+        let tree = &self.tree;
+        let store = &mut self.store;
+        let mut stack: Vec<(&Node, Vec<u16>)> = Vec::new();
+        {
+            let available_min = query_distances
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            for (&k, node) in tree.roots() {
+                if hyperplane_may_intersect(query_distances[k as usize], available_min, radius) {
+                    stack.push((node, vec![k]));
+                } else {
+                    stats.pruned_hyperplane += 1;
+                }
+            }
+        }
+        while let Some((node, prefix)) = stack.pop() {
+            match node {
+                Node::Internal { children } => {
+                    // Available pivots exclude the prefix.
+                    let mut available_min = f64::INFINITY;
+                    for (i, &d) in query_distances.iter().enumerate() {
+                        if !prefix.contains(&(i as u16)) && d < available_min {
+                            available_min = d;
+                        }
+                    }
+                    for (&k, child) in children {
+                        if hyperplane_may_intersect(
+                            query_distances[k as usize],
+                            available_min,
+                            radius,
+                        ) {
+                            let mut p = prefix.clone();
+                            p.push(k);
+                            stack.push((child, p));
+                        } else {
+                            stats.pruned_hyperplane += 1;
+                        }
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    if leaf.count == 0 {
+                        continue;
+                    }
+                    let prefix_ds: Vec<f64> = prefix
+                        .iter()
+                        .map(|&i| query_distances[i as usize])
+                        .collect();
+                    if !leaf.dist_bounds.is_empty()
+                        && !range_pivot_may_intersect(&prefix_ds, &leaf.dist_bounds, radius)
+                    {
+                        stats.pruned_range_pivot += 1;
+                        continue;
+                    }
+                    stats.cells_visited += 1;
+                    let records = store.read_bucket(leaf.bucket)?;
+                    for rec in records {
+                        stats.entries_scanned += 1;
+                        let entry = IndexEntry::decode_payload(rec.id, &rec.payload)
+                            .ok_or_else(|| {
+                                MIndexError::Corrupt(format!("record {} undecodable", rec.id))
+                            })?;
+                        let keep = match entry.routing.distances() {
+                            Some(ds) => pivot_filter_keep(query_distances, ds, radius),
+                            None => true,
+                        };
+                        if keep {
+                            candidates.push(entry);
+                        } else {
+                            stats.entries_filtered += 1;
+                        }
+                    }
+                }
+            }
+        }
+        stats.candidates = candidates.len() as u64;
+        Ok((candidates, stats))
+    }
+
+    /// Approximate k-NN candidates (paper Alg. 4): enumerates Voronoi cells
+    /// in promise order until `cand_size` entries are gathered, then trims.
+    ///
+    /// The candidate set is *pre-ranked*: cells arrive in promise order and,
+    /// when both query and entries carry distances, entries within the
+    /// result are ordered by their pivot-filtering lower bound, so a client
+    /// that stops refining early (paper §4.2) keeps the most promising part.
+    ///
+    /// `cand_size == FIRST_CELL_ONLY (0)` reproduces the paper's §5.4
+    /// setting: "the server-side M-Index was limited to access only one
+    /// M-Index Voronoi cell which then forms the candidate set" — the whole
+    /// most-promising leaf is returned untrimmed.
+    pub fn knn_candidates(
+        &mut self,
+        evaluator: &PromiseEvaluator,
+        cand_size: usize,
+    ) -> Result<(Vec<IndexEntry>, SearchStats), MIndexError> {
+        let mut stats = SearchStats::default();
+        let mut candidates: Vec<(f64, IndexEntry)> = Vec::with_capacity(cand_size);
+        let tree = &self.tree;
+        let store = &mut self.store;
+
+        struct Item<'a> {
+            penalty: f64,
+            prefix: Vec<u16>,
+            node: &'a Node,
+        }
+        impl PartialEq for Item<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.penalty == other.penalty && self.prefix == other.prefix
+            }
+        }
+        impl Eq for Item<'_> {}
+        impl PartialOrd for Item<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // BinaryHeap is a max-heap; invert for min-penalty-first.
+                other
+                    .penalty
+                    .partial_cmp(&self.penalty)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.prefix.cmp(&self.prefix))
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        for (&k, node) in tree.roots() {
+            heap.push(Item {
+                penalty: evaluator.step(k, 0),
+                prefix: vec![k],
+                node,
+            });
+        }
+        let first_cell_only = cand_size == FIRST_CELL_ONLY;
+        let mut gathered = 0usize;
+        while let Some(item) = heap.pop() {
+            match item.node {
+                Node::Internal { children } => {
+                    for (&k, child) in children {
+                        heap.push(Item {
+                            penalty: item.penalty + evaluator.step(k, item.prefix.len()),
+                            prefix: {
+                                let mut p = item.prefix.clone();
+                                p.push(k);
+                                p
+                            },
+                            node: child,
+                        });
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    if leaf.count == 0 {
+                        continue;
+                    }
+                    stats.cells_visited += 1;
+                    let records = store.read_bucket(leaf.bucket)?;
+                    for rec in records {
+                        stats.entries_scanned += 1;
+                        let entry = IndexEntry::decode_payload(rec.id, &rec.payload)
+                            .ok_or_else(|| {
+                                MIndexError::Corrupt(format!("record {} undecodable", rec.id))
+                            })?;
+                        // Within-cell rank: pivot-filter lower bound when
+                        // distances are available on both sides.
+                        let rank = match (&entry.routing, evaluator) {
+                            (
+                                Routing::Distances(ds),
+                                PromiseEvaluator::Distances { distances, .. },
+                            ) => crate::pruning::pivot_filter_lower_bound(distances, ds),
+                            _ => item.penalty,
+                        };
+                        candidates.push((rank, entry));
+                    }
+                    gathered += leaf.count;
+                    if first_cell_only || gathered >= cand_size {
+                        break;
+                    }
+                }
+            }
+        }
+        // Pre-rank and trim to the requested size (Alg. 4 line 5).
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        if !first_cell_only {
+            candidates.truncate(cand_size);
+        }
+        stats.candidates = candidates.len() as u64;
+        Ok((candidates.into_iter().map(|(_, e)| e).collect(), stats))
+    }
+
+    /// Reads all entries (diagnostics / the trivial baseline's "download
+    /// everything" path).
+    pub fn all_entries(&mut self) -> Result<Vec<IndexEntry>, MIndexError> {
+        let mut ids: Vec<_> = self.store.bucket_ids();
+        ids.sort();
+        let mut out = Vec::with_capacity(self.entries as usize);
+        for b in ids {
+            for rec in self.store.read_bucket(b)? {
+                out.push(IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(
+                    || MIndexError::Corrupt(format!("record {} undecodable", rec.id)),
+                )?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud_storage::MemoryStore;
+
+    fn cfg(pivots: usize, level: usize, cap: usize) -> MIndexConfig {
+        MIndexConfig {
+            num_pivots: pivots,
+            max_level: level,
+            bucket_capacity: cap,
+            strategy: RoutingStrategy::Distances,
+        }
+    }
+
+    fn entry_d(id: u64, ds: &[f64]) -> IndexEntry {
+        IndexEntry::new(id, Routing::from_distances(ds), vec![id as u8])
+    }
+
+    #[test]
+    fn insert_and_shape() {
+        let mut idx = MIndex::new(cfg(3, 2, 2), MemoryStore::new()).unwrap();
+        idx.insert(entry_d(1, &[0.1, 0.5, 0.9])).unwrap();
+        idx.insert(entry_d(2, &[0.2, 0.6, 0.8])).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.shape().leaves, 1, "same closest pivot so far");
+        idx.insert(entry_d(3, &[0.9, 0.1, 0.5])).unwrap();
+        assert_eq!(idx.shape().leaves, 2);
+    }
+
+    #[test]
+    fn bucket_overflow_splits() {
+        let mut idx = MIndex::new(cfg(3, 2, 2), MemoryStore::new()).unwrap();
+        // all share closest pivot 0, but differ in second pivot
+        idx.insert(entry_d(1, &[0.1, 0.2, 0.9])).unwrap();
+        idx.insert(entry_d(2, &[0.1, 0.3, 0.8])).unwrap();
+        assert_eq!(idx.shape().max_depth, 1);
+        idx.insert(entry_d(3, &[0.1, 0.9, 0.2])).unwrap();
+        let shape = idx.shape();
+        assert_eq!(shape.max_depth, 2, "third insert splits the level-1 cell");
+        assert_eq!(shape.internal, 1);
+        assert_eq!(idx.len(), 3, "entries preserved across split");
+        assert_eq!(idx.store().total_records(), 3);
+    }
+
+    #[test]
+    fn split_stops_at_max_level() {
+        let mut idx = MIndex::new(cfg(3, 1, 2), MemoryStore::new()).unwrap();
+        for i in 0..10 {
+            idx.insert(entry_d(i, &[0.1, 0.5, 0.9])).unwrap();
+        }
+        let shape = idx.shape();
+        assert_eq!(shape.max_depth, 1, "max_level 1 forbids splits");
+        assert_eq!(shape.leaves, 1);
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn strategy_mismatch_rejected() {
+        let mut idx = MIndex::new(cfg(3, 2, 2), MemoryStore::new()).unwrap();
+        let perm_entry = IndexEntry::new(
+            1,
+            Routing::permutation_prefix(&[0.1, 0.2, 0.3], 2),
+            vec![],
+        );
+        assert!(matches!(
+            idx.insert(perm_entry),
+            Err(MIndexError::WrongStrategy { .. })
+        ));
+        let mut pidx = MIndex::new(
+            MIndexConfig {
+                strategy: RoutingStrategy::Permutation,
+                ..cfg(3, 2, 2)
+            },
+            MemoryStore::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            pidx.insert(entry_d(1, &[0.1, 0.2, 0.3])),
+            Err(MIndexError::WrongStrategy { .. })
+        ));
+        assert!(matches!(
+            pidx.range_candidates(&[0.0, 0.0, 0.0], 1.0),
+            Err(MIndexError::WrongStrategy { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut idx = MIndex::new(cfg(3, 2, 2), MemoryStore::new()).unwrap();
+        assert!(matches!(
+            idx.insert(entry_d(1, &[0.1, 0.2])),
+            Err(MIndexError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.range_candidates(&[0.1], 1.0),
+            Err(MIndexError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn short_permutation_prefix_rejected() {
+        let mut pidx = MIndex::new(
+            MIndexConfig {
+                strategy: RoutingStrategy::Permutation,
+                ..cfg(4, 3, 2)
+            },
+            MemoryStore::new(),
+        )
+        .unwrap();
+        let short = IndexEntry::new(
+            1,
+            Routing::permutation_prefix(&[0.1, 0.2, 0.3, 0.4], 2),
+            vec![],
+        );
+        assert!(matches!(
+            pidx.insert(short),
+            Err(MIndexError::PrefixTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn range_candidates_contain_matching_ids() {
+        let mut idx = MIndex::new(cfg(2, 1, 100), MemoryStore::new()).unwrap();
+        // 1-D line world: pivot 0 at x=0, pivot 1 at x=10.
+        // object at x: distances (x, 10-x) for x in 0..=10
+        for x in 0..=10u64 {
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64])).unwrap();
+        }
+        // query at x=2 (distances 2, 8), radius 1.5 → true matches x ∈ {1,2,3}
+        let (cands, stats) = idx.range_candidates(&[2.0, 8.0], 1.5).unwrap();
+        let ids: Vec<u64> = cands.iter().map(|e| e.id).collect();
+        for want in [1, 2, 3] {
+            assert!(ids.contains(&want), "missing {want} in {ids:?}");
+        }
+        // pivot filtering in 1-D is exact: lower bound equals the true
+        // distance, so nothing else survives
+        assert_eq!(ids.len(), 3, "{ids:?}");
+        assert!(stats.entries_scanned >= 3);
+    }
+
+    #[test]
+    fn knn_candidates_respects_cand_size_and_ranking() {
+        let mut idx = MIndex::new(cfg(2, 1, 4), MemoryStore::new()).unwrap();
+        for x in 0..=10u64 {
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64])).unwrap();
+        }
+        let ev = PromiseEvaluator::from_distances(vec![2.0, 8.0]);
+        let (cands, stats) = idx.knn_candidates(&ev, 5).unwrap();
+        assert_eq!(cands.len(), 5);
+        assert_eq!(stats.candidates, 5);
+        // The best candidate should be the exact point x=2.
+        assert_eq!(cands[0].id, 2);
+    }
+
+    #[test]
+    fn knn_candidates_with_permutation_queries() {
+        let mut idx = MIndex::new(
+            MIndexConfig {
+                strategy: RoutingStrategy::Permutation,
+                ..cfg(3, 2, 2)
+            },
+            MemoryStore::new(),
+        )
+        .unwrap();
+        for (id, ds) in [
+            (0u64, [0.1, 0.5, 0.9]),
+            (1, [0.2, 0.4, 0.9]),
+            (2, [0.9, 0.1, 0.4]),
+            (3, [0.8, 0.2, 0.3]),
+            (4, [0.4, 0.9, 0.1]),
+        ] {
+            idx.insert(IndexEntry::new(
+                id,
+                Routing::permutation_prefix(&ds, 3),
+                vec![],
+            ))
+            .unwrap();
+        }
+        let q = simcloud_metric::permutation_from_distances(&[0.15, 0.45, 0.95]);
+        let ev = PromiseEvaluator::from_permutation(q);
+        let (cands, _) = idx.knn_candidates(&ev, 2).unwrap();
+        assert_eq!(cands.len(), 2);
+        let ids: Vec<u64> = cands.iter().map(|e| e.id).collect();
+        assert!(ids.contains(&0) && ids.contains(&1), "{ids:?}");
+    }
+
+    #[test]
+    fn first_cell_only_returns_whole_untrimmed_cell() {
+        let mut idx = MIndex::new(cfg(3, 1, 100), MemoryStore::new()).unwrap();
+        // cell of pivot 0 holds 5 entries, cell of pivot 1 holds 3
+        for i in 0..5u64 {
+            idx.insert(entry_d(i, &[0.1, 0.5, 0.9])).unwrap();
+        }
+        for i in 5..8u64 {
+            idx.insert(entry_d(i, &[0.9, 0.1, 0.5])).unwrap();
+        }
+        let ev = PromiseEvaluator::from_distances(vec![0.1, 0.5, 0.9]);
+        let (cands, stats) = idx.knn_candidates(&ev, FIRST_CELL_ONLY).unwrap();
+        assert_eq!(cands.len(), 5, "whole first cell, no trim");
+        assert_eq!(stats.cells_visited, 1);
+        assert!(cands.iter().all(|e| e.id < 5));
+    }
+
+    #[test]
+    fn all_entries_roundtrip() {
+        let mut idx = MIndex::new(cfg(2, 1, 2), MemoryStore::new()).unwrap();
+        for x in 0..6u64 {
+            idx.insert(entry_d(x, &[x as f64, 6.0 - x as f64])).unwrap();
+        }
+        let mut all = idx.all_entries().unwrap();
+        all.sort_by_key(|e| e.id);
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[3].payload, vec![3u8]);
+    }
+
+    #[test]
+    fn zero_radius_query_finds_exact_point() {
+        let mut idx = MIndex::new(cfg(2, 2, 3), MemoryStore::new()).unwrap();
+        for x in 0..=10u64 {
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64])).unwrap();
+        }
+        let (cands, _) = idx.range_candidates(&[7.0, 3.0], 0.0).unwrap();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].id, 7);
+    }
+}

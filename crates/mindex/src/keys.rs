@@ -1,0 +1,137 @@
+//! M-Index scalar keys (Novak & Batko \[5\]).
+//!
+//! The original M-Index maps every object to a single number so that a
+//! standard ordered structure (B+-tree) can store the whole index:
+//!
+//! ```text
+//! key(o) = cell_ordinal(prefix(o)) + d(o, p_(1)_o) / d_max     ∈ [ord, ord+1)
+//! ```
+//!
+//! where `cell_ordinal` enumerates permutation prefixes in base `n` and the
+//! fractional part orders objects inside a cell by their distance to the
+//! closest pivot. Keys of one cell occupy a half-open unit interval, so
+//! cells map to disjoint key ranges and a range scan enumerates a cell.
+//!
+//! The tree in [`crate::tree`] stores buckets directly (simpler and fully
+//! equivalent for the paper's experiments); this module provides the
+//! faithful key mapping for users who want to host the M-Index inside an
+//! ordered key-value store, plus the cell-interval arithmetic that makes
+//! that deployment work.
+
+/// Computes the cell ordinal of a permutation prefix at fixed level `l`
+/// with `n` pivots: the prefix read as an `l`-digit base-`n` number.
+///
+/// Prefixes are valid permutation prefixes (distinct entries `< n`);
+/// distinct prefixes of equal length get distinct ordinals.
+pub fn cell_ordinal(prefix: &[u16], num_pivots: usize) -> u64 {
+    assert!(!prefix.is_empty(), "empty prefix has no ordinal");
+    let n = num_pivots as u64;
+    let mut ord = 0u64;
+    for &p in prefix {
+        assert!((p as usize) < num_pivots, "pivot index out of range");
+        ord = ord * n + p as u64;
+    }
+    ord
+}
+
+/// The scalar M-Index key of an object: cell ordinal plus the normalized
+/// distance to its closest pivot. `d_first` must satisfy
+/// `0 ≤ d_first ≤ d_max`; the fraction is clamped strictly below 1 so the
+/// key stays inside its cell interval.
+pub fn scalar_key(prefix: &[u16], d_first: f64, d_max: f64, num_pivots: usize) -> f64 {
+    assert!(d_max > 0.0, "d_max must be positive");
+    assert!(d_first >= 0.0, "distances are non-negative");
+    let frac = (d_first / d_max).min(1.0 - f64::EPSILON);
+    cell_ordinal(prefix, num_pivots) as f64 + frac
+}
+
+/// The half-open key interval `[lo, hi)` covering a cell at level
+/// `prefix.len()` — a range scan over it visits exactly the cell's objects.
+pub fn cell_interval(prefix: &[u16], num_pivots: usize) -> (f64, f64) {
+    let ord = cell_ordinal(prefix, num_pivots) as f64;
+    (ord, ord + 1.0)
+}
+
+/// Recovers the permutation prefix from a cell ordinal at level `l`.
+pub fn ordinal_to_prefix(ordinal: u64, level: usize, num_pivots: usize) -> Vec<u16> {
+    assert!(level > 0);
+    let n = num_pivots as u64;
+    let mut digits = vec![0u16; level];
+    let mut x = ordinal;
+    for i in (0..level).rev() {
+        digits[i] = (x % n) as u16;
+        x /= n;
+    }
+    assert_eq!(x, 0, "ordinal too large for level {level}");
+    digits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals_are_distinct_per_prefix() {
+        let n = 4;
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4u16 {
+            for b in 0..4u16 {
+                if a == b {
+                    continue;
+                }
+                assert!(seen.insert(cell_ordinal(&[a, b], n)), "collision at [{a},{b}]");
+            }
+        }
+    }
+
+    #[test]
+    fn ordinal_round_trips_through_prefix() {
+        let n = 7;
+        for prefix in [vec![0u16, 3], vec![6, 1], vec![2, 5], vec![4, 0]] {
+            let ord = cell_ordinal(&prefix, n);
+            assert_eq!(ordinal_to_prefix(ord, prefix.len(), n), prefix);
+        }
+    }
+
+    #[test]
+    fn keys_order_objects_within_a_cell() {
+        let n = 5;
+        let prefix = [2u16, 0];
+        let k1 = scalar_key(&prefix, 1.0, 10.0, n);
+        let k2 = scalar_key(&prefix, 5.0, 10.0, n);
+        let k3 = scalar_key(&prefix, 9.9, 10.0, n);
+        assert!(k1 < k2 && k2 < k3);
+        let (lo, hi) = cell_interval(&prefix, n);
+        for k in [k1, k2, k3] {
+            assert!(lo <= k && k < hi, "key {k} escapes cell [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn max_distance_stays_inside_cell() {
+        let n = 3;
+        let k = scalar_key(&[1], 10.0, 10.0, n);
+        let (lo, hi) = cell_interval(&[1], n);
+        assert!(k >= lo && k < hi, "boundary distance must not leak into the next cell");
+    }
+
+    #[test]
+    fn cells_map_to_disjoint_intervals() {
+        let n = 4;
+        let (lo_a, hi_a) = cell_interval(&[0, 1], n);
+        let (lo_b, hi_b) = cell_interval(&[0, 2], n);
+        assert!(hi_a <= lo_b || hi_b <= lo_a, "intervals overlap");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pivot_rejected() {
+        let _ = cell_ordinal(&[5], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_ordinal_rejected() {
+        let _ = ordinal_to_prefix(100, 1, 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Cell "promise" ranking for approximate k-NN (paper Alg. 4 line 3:
+//! "next promising Voronoi cell from the index").
+//!
+//! A cell's promise is a penalty — lower is more promising. Two variants
+//! match the two query encodings of Alg. 2:
+//!
+//! * **from distances** (precise strategy): the penalty of prefix
+//!   `(i_1 … i_l)` is `Σ_k w_k · (d(q, p_{i_k}) − d_min(q))` with
+//!   `w_k = 2^{-(k-1)}` — cells led by pivots close to the query rank first,
+//!   deeper prefix entries matter geometrically less. This is the M-Index
+//!   heuristic's behaviour: the first permutation position dominates.
+//! * **from the query permutation** (approximate strategy): the penalty is
+//!   `Σ_k w_k · |rank_q(i_k) − (k−1)|` — a weighted Spearman-footrule
+//!   between the cell prefix and the query's pivot ranking, as used by
+//!   permutation-prefix indexes (Esuli's PP-Index, Chávez et al.).
+//!
+//! Both penalties are *monotone in prefix extension* (appending a level adds
+//! a non-negative term), so a best-first traversal that expands the cheapest
+//! node first enumerates leaves in exact penalty order.
+
+use simcloud_metric::PivotPermutation;
+
+/// Weight of prefix level `k` (0-based): `2^-k`.
+#[inline]
+fn level_weight(k: usize) -> f64 {
+    // beyond 52 levels the weight underflows; prefixes are ≤ num_pivots and
+    // practically ≤ 4, so this is plenty
+    (0.5f64).powi(k as i32)
+}
+
+/// Penalty contribution of choosing pivot `pivot` at 0-based level `k`,
+/// given the query–pivot distances and their minimum.
+#[inline]
+pub fn distance_penalty_step(query_distances: &[f64], d_min: f64, pivot: u16, k: usize) -> f64 {
+    level_weight(k) * (query_distances[pivot as usize] - d_min).max(0.0)
+}
+
+/// Penalty contribution from the query permutation: the displacement of
+/// `pivot` between the cell prefix position `k` and its rank in the query
+/// permutation. Pivots missing from a truncated query permutation get the
+/// maximal displacement `perm.len()`.
+#[inline]
+pub fn permutation_penalty_step(query_perm: &PivotPermutation, pivot: u16, k: usize) -> f64 {
+    let rank = query_perm
+        .rank_of(pivot)
+        .unwrap_or(query_perm.len());
+    level_weight(k) * (rank as f64 - k as f64).abs()
+}
+
+/// Query-side promise evaluator: precomputed state for ranking cells.
+#[derive(Debug, Clone)]
+pub enum PromiseEvaluator {
+    /// Built from query–pivot distances.
+    Distances {
+        /// Query–pivot distances.
+        distances: Vec<f64>,
+        /// Minimum of `distances`.
+        d_min: f64,
+    },
+    /// Built from the query pivot permutation.
+    Permutation(PivotPermutation),
+}
+
+impl PromiseEvaluator {
+    /// From query–pivot distances.
+    pub fn from_distances(distances: Vec<f64>) -> Self {
+        let d_min = distances.iter().cloned().fold(f64::INFINITY, f64::min);
+        PromiseEvaluator::Distances { distances, d_min }
+    }
+
+    /// From the query pivot permutation.
+    pub fn from_permutation(perm: PivotPermutation) -> Self {
+        PromiseEvaluator::Permutation(perm)
+    }
+
+    /// Penalty added when a prefix is extended with `pivot` at level `k`
+    /// (0-based).
+    pub fn step(&self, pivot: u16, k: usize) -> f64 {
+        match self {
+            PromiseEvaluator::Distances { distances, d_min } => {
+                distance_penalty_step(distances, *d_min, pivot, k)
+            }
+            PromiseEvaluator::Permutation(p) => permutation_penalty_step(p, pivot, k),
+        }
+    }
+
+    /// Penalty of a whole prefix.
+    pub fn prefix_penalty(&self, prefix: &[u16]) -> f64 {
+        prefix
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| self.step(p, k))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud_metric::permutation_from_distances;
+
+    #[test]
+    fn closest_pivot_cell_has_zero_first_step() {
+        let d = vec![0.9, 0.2, 0.5];
+        let ev = PromiseEvaluator::from_distances(d);
+        assert_eq!(ev.step(1, 0), 0.0, "closest pivot costs nothing");
+        assert!(ev.step(0, 0) > ev.step(2, 0));
+    }
+
+    #[test]
+    fn distance_penalty_orders_cells_by_query_proximity() {
+        let d = vec![3.0, 1.0, 2.0];
+        let ev = PromiseEvaluator::from_distances(d);
+        let p1 = ev.prefix_penalty(&[1, 2]);
+        let p2 = ev.prefix_penalty(&[2, 1]);
+        let p3 = ev.prefix_penalty(&[0, 1]);
+        assert!(p1 < p2, "cell led by closest pivot ranks first");
+        assert!(p2 < p3);
+    }
+
+    #[test]
+    fn deeper_levels_weigh_less() {
+        let d = vec![0.0, 10.0];
+        let ev = PromiseEvaluator::from_distances(d);
+        let shallow = ev.step(1, 0);
+        let deep = ev.step(1, 3);
+        assert!(deep < shallow);
+        assert!((shallow / deep - 8.0).abs() < 1e-9, "w_0/w_3 = 8");
+    }
+
+    #[test]
+    fn penalty_is_monotone_in_prefix_extension() {
+        let ev = PromiseEvaluator::from_distances(vec![0.3, 0.8, 0.1, 0.5]);
+        let base = ev.prefix_penalty(&[2]);
+        for next in [0u16, 1, 3] {
+            assert!(ev.prefix_penalty(&[2, next]) >= base);
+        }
+    }
+
+    #[test]
+    fn permutation_penalty_zero_for_matching_prefix() {
+        let q = permutation_from_distances(&[0.4, 0.1, 0.9, 0.2]);
+        // q order: [1, 3, 0, 2]
+        let ev = PromiseEvaluator::from_permutation(q);
+        assert_eq!(ev.prefix_penalty(&[1, 3]), 0.0);
+        assert!(ev.prefix_penalty(&[3, 1]) > 0.0);
+        assert!(ev.prefix_penalty(&[2]) > ev.prefix_penalty(&[0]) - 1e-12);
+    }
+
+    #[test]
+    fn truncated_query_permutation_penalizes_missing_pivots() {
+        let mut q = permutation_from_distances(&[0.4, 0.1, 0.9, 0.2]);
+        q.truncate(2); // keeps [1, 3]
+        let ev = PromiseEvaluator::from_permutation(q);
+        let missing = ev.step(2, 0);
+        let present = ev.step(3, 0);
+        assert!(missing > present);
+        assert_eq!(missing, 2.0, "missing rank = perm length");
+    }
+}

@@ -1,0 +1,134 @@
+//! Metric pruning rules for precise range search (paper Alg. 3 and §4.1).
+//!
+//! All three rules are consequences of the triangle inequality and are
+//! therefore *safe*: they never discard a true result. The property tests in
+//! `tests/` verify this against brute force on random data.
+//!
+//! 1. **Double-pivot (hyperplane) constraint** — an object assigned to pivot
+//!    `p_i` at some level satisfies `d(o, p_i) ≤ d(o, p_j)` for every pivot
+//!    `p_j` still available at that level. If
+//!    `d(q, p_i) > min_j d(q, p_j) + 2r`, the query ball cannot reach the
+//!    cell.
+//! 2. **Range-pivot constraint** — a leaf stores `[r_min, r_max]` of
+//!    `d(o, p_{i_k})` per prefix level; the ball misses the leaf if
+//!    `d(q, p_{i_k}) − r > r_max` or `d(q, p_{i_k}) + r < r_min`.
+//! 3. **Object pivot filtering** (Alg. 3 lines 5–7) — with stored distance
+//!    vectors, `max_i |d(q,p_i) − d(o,p_i)|` lower-bounds `d(q,o)`; objects
+//!    whose bound exceeds `r` are dropped without a distance computation.
+
+/// Slack absorbing the `f32` quantization of *stored* distances so rules
+/// comparing against them stay conservative. Stored values carry relative
+/// error ≤ 2⁻²⁴ ≈ 6e-8; the term `1e-6·|x|` over-covers it 16×, and the
+/// absolute `1e-4` floor handles tiny magnitudes. Query-side distances are
+/// full `f64` and need no slack.
+#[inline]
+fn f32_slack(x: f64) -> f64 {
+    1e-4 + 1e-6 * x.abs()
+}
+
+/// Double-pivot constraint: can a cell keyed by `pivot` (at a level where
+/// `available_min` = min distance from the query to any pivot still
+/// available at that level, including `pivot` itself) intersect the ball
+/// `B(q, r)`? Returns `false` when the cell is safely prunable.
+///
+/// Both inputs are query-side `f64` values, so no storage slack applies.
+#[inline]
+pub fn hyperplane_may_intersect(d_q_pivot: f64, available_min: f64, radius: f64) -> bool {
+    d_q_pivot <= available_min + 2.0 * radius
+}
+
+/// Range-pivot constraint over a leaf's stored per-level bounds. `ds` are
+/// the query–pivot distances for the leaf's prefix pivots, `bounds` the
+/// corresponding `(r_min, r_max)` pairs. Returns `false` when prunable.
+///
+/// Bounds were folded from `f32`-quantized stored distances, so the
+/// comparison is padded by a small `f32`-aware slack — without it, a query at an exact
+/// boundary radius (e.g. the precise-k-NN completion radius `ρ_k`) can
+/// prune the leaf holding the true neighbor.
+#[inline]
+pub fn range_pivot_may_intersect(ds: &[f64], bounds: &[(f64, f64)], radius: f64) -> bool {
+    for (d, (lo, hi)) in ds.iter().zip(bounds) {
+        if d - radius > *hi + f32_slack(*hi) || d + radius < *lo - f32_slack(*lo) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Object pivot filtering: lower bound on `d(q, o)` from the shared pivot
+/// distances. Only the first `min(len)` coordinates participate.
+#[inline]
+pub fn pivot_filter_lower_bound(query_ds: &[f64], object_ds: &[f32]) -> f64 {
+    let mut lb = 0.0f64;
+    for (q, o) in query_ds.iter().zip(object_ds) {
+        let diff = (q - *o as f64).abs();
+        if diff > lb {
+            lb = diff;
+        }
+    }
+    lb
+}
+
+/// Convenience: should the object be kept (lower bound within radius)?
+#[inline]
+pub fn pivot_filter_keep(query_ds: &[f64], object_ds: &[f32], radius: f64) -> bool {
+    // The slack absorbs the f32 quantization of stored distances so the
+    // filter stays conservative (never drops a true neighbour).
+    let lb = pivot_filter_lower_bound(query_ds, object_ds);
+    lb <= radius + f32_slack(lb.max(radius))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperplane_prunes_far_cells() {
+        // q is 1.0 from the best pivot; a cell keyed by a pivot 5.0 away
+        // cannot contain anything within r = 1.0.
+        assert!(!hyperplane_may_intersect(5.0, 1.0, 1.0));
+        assert!(hyperplane_may_intersect(2.9, 1.0, 1.0));
+        // boundary: d = min + 2r exactly → may intersect
+        assert!(hyperplane_may_intersect(3.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn range_pivot_prunes_annulus_misses() {
+        let bounds = [(2.0, 4.0)];
+        assert!(!range_pivot_may_intersect(&[6.0], &bounds, 1.0)); // 5 > 4
+        assert!(!range_pivot_may_intersect(&[0.5], &bounds, 1.0)); // 1.5 < 2
+        assert!(range_pivot_may_intersect(&[4.5], &bounds, 1.0));
+        assert!(range_pivot_may_intersect(&[3.0], &bounds, 0.0));
+    }
+
+    #[test]
+    fn range_pivot_multi_level_any_miss_prunes() {
+        let bounds = [(0.0, 10.0), (2.0, 3.0)];
+        assert!(range_pivot_may_intersect(&[5.0, 2.5], &bounds, 0.1));
+        assert!(!range_pivot_may_intersect(&[5.0, 9.0], &bounds, 0.1));
+    }
+
+    #[test]
+    fn pivot_filter_bound_examples() {
+        let q = [1.0, 5.0, 3.0];
+        let o = [2.0f32, 5.0, 0.5];
+        assert!((pivot_filter_lower_bound(&q, &o) - 2.5).abs() < 1e-9);
+        assert!(pivot_filter_keep(&q, &o, 2.5));
+        assert!(!pivot_filter_keep(&q, &o, 2.0));
+    }
+
+    #[test]
+    fn pivot_filter_handles_length_mismatch() {
+        // Query knows all pivots; object stored fewer — zip stops early.
+        let q = [1.0, 2.0, 3.0];
+        let o = [1.0f32];
+        assert_eq!(pivot_filter_lower_bound(&q, &o), 0.0);
+    }
+
+    #[test]
+    fn zero_radius_keeps_exact_match() {
+        let q = [4.0, 2.0];
+        let o = [4.0f32, 2.0];
+        assert!(pivot_filter_keep(&q, &o, 0.0));
+    }
+}

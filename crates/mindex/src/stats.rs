@@ -1,0 +1,67 @@
+//! Search and index statistics.
+
+/// Per-query search statistics — the server-side cost drivers the paper's
+/// analysis discusses (cells accessed, filtering effectiveness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Leaf cells whose buckets were read.
+    pub cells_visited: u64,
+    /// Cells (subtrees) pruned by the double-pivot constraint.
+    pub pruned_hyperplane: u64,
+    /// Leaves pruned by the range-pivot constraint.
+    pub pruned_range_pivot: u64,
+    /// Entries read from visited buckets.
+    pub entries_scanned: u64,
+    /// Entries discarded by object pivot filtering (Alg. 3 lines 5–7).
+    pub entries_filtered: u64,
+    /// Entries returned in the candidate set.
+    pub candidates: u64,
+}
+
+impl SearchStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.cells_visited += other.cells_visited;
+        self.pruned_hyperplane += other.pruned_hyperplane;
+        self.pruned_range_pivot += other.pruned_range_pivot;
+        self.entries_scanned += other.entries_scanned;
+        self.entries_filtered += other.entries_filtered;
+        self.candidates += other.candidates;
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cells visited ({} pruned hyperplane, {} pruned range), {} scanned, {} filtered, {} candidates",
+            self.cells_visited,
+            self.pruned_hyperplane,
+            self.pruned_range_pivot,
+            self.entries_scanned,
+            self.entries_filtered,
+            self.candidates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = SearchStats {
+            cells_visited: 1,
+            pruned_hyperplane: 2,
+            pruned_range_pivot: 3,
+            entries_scanned: 4,
+            entries_filtered: 5,
+            candidates: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.cells_visited, 2);
+        assert_eq!(a.candidates, 12);
+        assert!(a.to_string().contains("2 cells visited"));
+    }
+}

@@ -1,0 +1,657 @@
+//! Single-file paged bucket store — the paper's "Disk storage" (Table 2,
+//! CoPhIR configuration).
+//!
+//! Layout: a file of 4 KiB pages. Page 0 is the header (magic, version,
+//! page count, free-list head, directory chain head). Every other page is
+//! either on the free list or part of a chain: bucket chains carry record
+//! bytes, the directory chain persists the bucket table on flush.
+//!
+//! ```text
+//! page 0   : "SCLDSTOR" | version u32 | page_count u32 | free_head u32 | dir_head u32
+//! data page: next u32 | used u16 | payload bytes (PAGE_CAP = 4090)
+//! ```
+//!
+//! A small LRU buffer pool fronts the file; all reads/writes go through it
+//! and its hit/miss counts feed [`IoStats`], which the benches report as the
+//! server-side I/O component.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::{BucketId, BucketStore, IoStats, Record, StorageError};
+
+const MAGIC: &[u8; 8] = b"SCLDSTOR";
+const VERSION: u32 = 1;
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+const PAGE_HDR: usize = 6; // next: u32, used: u16
+const PAGE_CAP: usize = PAGE_SIZE - PAGE_HDR;
+const NIL: u32 = 0;
+
+#[derive(Clone)]
+struct CachedPage {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BucketMeta {
+    head: u32,
+    tail: u32,
+    /// bytes used in the tail page (cached to avoid a read on append)
+    tail_used: u16,
+    records: u64,
+}
+
+/// Paged single-file bucket store with an LRU buffer pool.
+pub struct DiskStore {
+    file: File,
+    page_count: u32,
+    free_head: u32,
+    dir_head: u32,
+    directory: HashMap<BucketId, BucketMeta>,
+    pool: HashMap<u32, CachedPage>,
+    pool_capacity: usize,
+    tick: u64,
+    stats: IoStats,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("pages", &self.page_count)
+            .field("buckets", &self.directory.len())
+            .field("pool", &self.pool.len())
+            .finish()
+    }
+}
+
+impl DiskStore {
+    /// Creates a new store file (truncating any existing content) with the
+    /// default 1024-page (4 MiB) buffer pool.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
+        Self::create_with_pool(path, 1024)
+    }
+
+    /// Creates a new store with an explicit buffer-pool capacity in pages.
+    pub fn create_with_pool<P: AsRef<Path>>(
+        path: P,
+        pool_capacity: usize,
+    ) -> Result<Self, StorageError> {
+        assert!(pool_capacity >= 2, "pool must hold at least two pages");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut store = Self {
+            file,
+            page_count: 1,
+            free_head: NIL,
+            dir_head: NIL,
+            directory: HashMap::new(),
+            pool: HashMap::new(),
+            pool_capacity,
+            tick: 0,
+            stats: IoStats::default(),
+        };
+        store.write_header()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store file and loads its directory.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
+        Self::open_with_pool(path, 1024)
+    }
+
+    /// Opens with an explicit buffer-pool capacity.
+    pub fn open_with_pool<P: AsRef<Path>>(
+        path: P,
+        pool_capacity: usize,
+    ) -> Result<Self, StorageError> {
+        assert!(pool_capacity >= 2, "pool must hold at least two pages");
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut hdr = [0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut hdr)?;
+        if &hdr[0..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let page_count = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+        let free_head = u32::from_le_bytes(hdr[16..20].try_into().unwrap());
+        let dir_head = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+        let mut store = Self {
+            file,
+            page_count,
+            free_head,
+            dir_head,
+            directory: HashMap::new(),
+            pool: HashMap::new(),
+            pool_capacity,
+            tick: 0,
+            stats: IoStats::default(),
+        };
+        store.load_directory()?;
+        Ok(store)
+    }
+
+    fn write_header(&mut self) -> Result<(), StorageError> {
+        let mut hdr = [0u8; PAGE_SIZE];
+        hdr[0..8].copy_from_slice(MAGIC);
+        hdr[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        hdr[12..16].copy_from_slice(&self.page_count.to_le_bytes());
+        hdr[16..20].copy_from_slice(&self.free_head.to_le_bytes());
+        hdr[20..24].copy_from_slice(&self.dir_head.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&hdr)?;
+        self.stats.page_writes += 1;
+        Ok(())
+    }
+
+    // ---- buffer pool ----------------------------------------------------
+
+    fn touch(&mut self, page: u32) {
+        self.tick += 1;
+        if let Some(p) = self.pool.get_mut(&page) {
+            p.last_used = self.tick;
+        }
+    }
+
+    fn evict_if_full(&mut self) -> Result<(), StorageError> {
+        while self.pool.len() >= self.pool_capacity {
+            let victim = self
+                .pool
+                .iter()
+                .min_by_key(|(_, p)| p.last_used)
+                .map(|(&n, _)| n)
+                .expect("pool not empty");
+            let page = self.pool.remove(&victim).unwrap();
+            if page.dirty {
+                self.file
+                    .seek(SeekFrom::Start(victim as u64 * PAGE_SIZE as u64))?;
+                self.file.write_all(&page.data[..])?;
+                self.stats.page_writes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_page(&mut self, page: u32) -> Result<&mut CachedPage, StorageError> {
+        debug_assert_ne!(page, NIL, "attempt to read nil page");
+        if self.pool.contains_key(&page) {
+            self.stats.pool_hits += 1;
+            self.touch(page);
+            return Ok(self.pool.get_mut(&page).unwrap());
+        }
+        self.evict_if_full()?;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.file
+            .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(&mut data[..])?;
+        self.stats.page_reads += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        self.pool.insert(
+            page,
+            CachedPage {
+                data,
+                dirty: false,
+                last_used: tick,
+            },
+        );
+        Ok(self.pool.get_mut(&page).unwrap())
+    }
+
+    /// Installs a fresh zeroed page into the pool marked dirty (no disk read).
+    fn fresh_page(&mut self, page: u32) -> Result<(), StorageError> {
+        self.evict_if_full()?;
+        self.tick += 1;
+        let tick = self.tick;
+        self.pool.insert(
+            page,
+            CachedPage {
+                data: Box::new([0u8; PAGE_SIZE]),
+                dirty: true,
+                last_used: tick,
+            },
+        );
+        Ok(())
+    }
+
+    // ---- page allocation -------------------------------------------------
+
+    fn alloc_page(&mut self) -> Result<u32, StorageError> {
+        if self.free_head != NIL {
+            let page = self.free_head;
+            let next = {
+                let p = self.read_page(page)?;
+                u32::from_le_bytes(p.data[0..4].try_into().unwrap())
+            };
+            self.free_head = next;
+            self.fresh_page(page)?;
+            Ok(page)
+        } else {
+            let page = self.page_count;
+            self.page_count += 1;
+            // extend the file so read_exact on eviction-reload succeeds
+            self.file
+                .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
+            self.file.write_all(&[0u8; PAGE_SIZE])?;
+            self.stats.page_writes += 1;
+            self.fresh_page(page)?;
+            Ok(page)
+        }
+    }
+
+    fn free_chain(&mut self, head: u32) -> Result<(), StorageError> {
+        let mut page = head;
+        while page != NIL {
+            let next = {
+                let p = self.read_page(page)?;
+                u32::from_le_bytes(p.data[0..4].try_into().unwrap())
+            };
+            // link into free list through the same next-pointer slot
+            let free_head = self.free_head;
+            let p = self.read_page(page)?;
+            p.data[0..4].copy_from_slice(&free_head.to_le_bytes());
+            p.data[4..6].copy_from_slice(&0u16.to_le_bytes());
+            p.dirty = true;
+            self.free_head = page;
+            page = next;
+        }
+        Ok(())
+    }
+
+    // ---- chain I/O ---------------------------------------------------------
+
+    /// Appends `bytes` to the chain ending at `meta.tail`, allocating pages
+    /// as needed; updates `meta` in place.
+    fn chain_append(&mut self, meta: &mut BucketMeta, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut remaining = bytes;
+        if meta.head == NIL {
+            let page = self.alloc_page()?;
+            meta.head = page;
+            meta.tail = page;
+            meta.tail_used = 0;
+        }
+        while !remaining.is_empty() {
+            let space = PAGE_CAP - meta.tail_used as usize;
+            if space == 0 {
+                let new_page = self.alloc_page()?;
+                let tail = meta.tail;
+                let p = self.read_page(tail)?;
+                p.data[0..4].copy_from_slice(&new_page.to_le_bytes());
+                p.dirty = true;
+                meta.tail = new_page;
+                meta.tail_used = 0;
+                continue;
+            }
+            let take = space.min(remaining.len());
+            let tail = meta.tail;
+            let used = meta.tail_used as usize;
+            let p = self.read_page(tail)?;
+            p.data[PAGE_HDR + used..PAGE_HDR + used + take].copy_from_slice(&remaining[..take]);
+            let new_used = (used + take) as u16;
+            p.data[4..6].copy_from_slice(&new_used.to_le_bytes());
+            p.dirty = true;
+            meta.tail_used = new_used;
+            remaining = &remaining[take..];
+        }
+        Ok(())
+    }
+
+    /// Reads the full byte stream of a chain.
+    fn chain_read(&mut self, head: u32) -> Result<Vec<u8>, StorageError> {
+        let mut out = Vec::new();
+        let mut page = head;
+        while page != NIL {
+            let (next, chunk) = {
+                let p = self.read_page(page)?;
+                let next = u32::from_le_bytes(p.data[0..4].try_into().unwrap());
+                let used = u16::from_le_bytes(p.data[4..6].try_into().unwrap()) as usize;
+                if used > PAGE_CAP {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {page} claims {used} used bytes"
+                    )));
+                }
+                (next, p.data[PAGE_HDR..PAGE_HDR + used].to_vec())
+            };
+            out.extend_from_slice(&chunk);
+            if next == page {
+                return Err(StorageError::Corrupt(format!("page {page} links to itself")));
+            }
+            page = next;
+        }
+        Ok(out)
+    }
+
+    // ---- directory persistence -----------------------------------------
+
+    fn load_directory(&mut self) -> Result<(), StorageError> {
+        self.directory.clear();
+        if self.dir_head == NIL {
+            return Ok(());
+        }
+        let bytes = self.chain_read(self.dir_head)?;
+        if bytes.len() < 4 {
+            return Err(StorageError::Corrupt("directory truncated".into()));
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mut off = 4;
+        for _ in 0..n {
+            if bytes.len() < off + 26 {
+                return Err(StorageError::Corrupt("directory entry truncated".into()));
+            }
+            let bucket = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let head = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap());
+            let tail = u32::from_le_bytes(bytes[off + 12..off + 16].try_into().unwrap());
+            let tail_used = u16::from_le_bytes(bytes[off + 16..off + 18].try_into().unwrap());
+            let records = u64::from_le_bytes(bytes[off + 18..off + 26].try_into().unwrap());
+            self.directory.insert(
+                BucketId(bucket),
+                BucketMeta {
+                    head,
+                    tail,
+                    tail_used,
+                    records,
+                },
+            );
+            off += 26;
+        }
+        Ok(())
+    }
+
+    fn persist_directory(&mut self) -> Result<(), StorageError> {
+        // free old chain, then write a fresh one
+        let old = self.dir_head;
+        self.dir_head = NIL;
+        if old != NIL {
+            self.free_chain(old)?;
+        }
+        let mut bytes = Vec::with_capacity(4 + 26 * self.directory.len());
+        bytes.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
+        let mut entries: Vec<(BucketId, BucketMeta)> =
+            self.directory.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        for (bucket, meta) in entries {
+            bytes.extend_from_slice(&bucket.0.to_le_bytes());
+            bytes.extend_from_slice(&meta.head.to_le_bytes());
+            bytes.extend_from_slice(&meta.tail.to_le_bytes());
+            bytes.extend_from_slice(&meta.tail_used.to_le_bytes());
+            bytes.extend_from_slice(&meta.records.to_le_bytes());
+        }
+        let mut dir_meta = BucketMeta {
+            head: NIL,
+            tail: NIL,
+            tail_used: 0,
+            records: 0,
+        };
+        self.chain_append(&mut dir_meta, &bytes)?;
+        self.dir_head = dir_meta.head;
+        Ok(())
+    }
+}
+
+impl BucketStore for DiskStore {
+    fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError> {
+        if record.payload.len() > crate::record::MAX_PAYLOAD {
+            return Err(StorageError::RecordTooLarge(record.payload.len()));
+        }
+        let mut bytes = Vec::with_capacity(record.encoded_len());
+        record.encode(&mut bytes);
+        let mut meta = self.directory.get(&bucket).copied().unwrap_or(BucketMeta {
+            head: NIL,
+            tail: NIL,
+            tail_used: 0,
+            records: 0,
+        });
+        self.chain_append(&mut meta, &bytes)?;
+        meta.records += 1;
+        self.directory.insert(bucket, meta);
+        self.stats.records_appended += 1;
+        Ok(())
+    }
+
+    fn read_bucket(&mut self, bucket: BucketId) -> Result<Vec<Record>, StorageError> {
+        let meta = *self
+            .directory
+            .get(&bucket)
+            .ok_or(StorageError::UnknownBucket(bucket))?;
+        let bytes = self.chain_read(meta.head)?;
+        let mut records = Vec::with_capacity(meta.records as usize);
+        let mut off = 0;
+        while off < bytes.len() {
+            let (r, used) = Record::decode(&bytes[off..]).ok_or_else(|| {
+                StorageError::Corrupt(format!("bucket {bucket} record stream truncated"))
+            })?;
+            records.push(r);
+            off += used;
+        }
+        if records.len() as u64 != meta.records {
+            return Err(StorageError::Corrupt(format!(
+                "bucket {bucket}: directory claims {} records, found {}",
+                meta.records,
+                records.len()
+            )));
+        }
+        self.stats.records_read += records.len() as u64;
+        Ok(records)
+    }
+
+    fn bucket_len(&mut self, bucket: BucketId) -> usize {
+        self.directory.get(&bucket).map_or(0, |m| m.records as usize)
+    }
+
+    fn delete_bucket(&mut self, bucket: BucketId) -> Result<(), StorageError> {
+        if let Some(meta) = self.directory.remove(&bucket) {
+            if meta.head != NIL {
+                self.free_chain(meta.head)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn bucket_ids(&self) -> Vec<BucketId> {
+        self.directory.keys().copied().collect()
+    }
+
+    fn total_records(&self) -> u64 {
+        self.directory.values().map(|m| m.records).sum()
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.persist_directory()?;
+        // write all dirty pages
+        let dirty: Vec<u32> = self
+            .pool
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&n, _)| n)
+            .collect();
+        for page in dirty {
+            let data = self.pool.get(&page).unwrap().data.clone();
+            self.file
+                .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
+            self.file.write_all(&data[..])?;
+            self.stats.page_writes += 1;
+            self.pool.get_mut(&page).unwrap().dirty = false;
+        }
+        self.write_header()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "Disk storage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("simcloud-storage-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.db", std::process::id()))
+    }
+
+    fn rec(id: u64, len: usize) -> Record {
+        Record::new(id, (0..len).map(|i| ((id as usize + i) % 256) as u8).collect())
+    }
+
+    #[test]
+    fn create_append_read() {
+        let path = tmp("basic");
+        let mut s = DiskStore::create(&path).unwrap();
+        s.append(BucketId(1), rec(1, 100)).unwrap();
+        s.append(BucketId(1), rec(2, 50)).unwrap();
+        s.append(BucketId(2), rec(3, 10)).unwrap();
+        let b1 = s.read_bucket(BucketId(1)).unwrap();
+        assert_eq!(b1, vec![rec(1, 100), rec(2, 50)]);
+        assert_eq!(s.bucket_len(BucketId(2)), 1);
+        assert_eq!(s.total_records(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn records_spanning_pages() {
+        let path = tmp("span");
+        let mut s = DiskStore::create(&path).unwrap();
+        // Payloads bigger than one page must span the chain.
+        for i in 0..10u64 {
+            s.append(BucketId(7), rec(i, 3000)).unwrap();
+        }
+        let back = s.read_bucket(BucketId(7)).unwrap();
+        assert_eq!(back.len(), 10);
+        for (i, r) in back.iter().enumerate() {
+            assert_eq!(*r, rec(i as u64, 3000));
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_and_reopen_preserves_data() {
+        let path = tmp("reopen");
+        {
+            let mut s = DiskStore::create(&path).unwrap();
+            for b in 0..5u64 {
+                for i in 0..20u64 {
+                    s.append(BucketId(b), rec(b * 100 + i, 200)).unwrap();
+                }
+            }
+            s.flush().unwrap();
+        }
+        {
+            let mut s = DiskStore::open(&path).unwrap();
+            assert_eq!(s.total_records(), 100);
+            let mut ids = s.bucket_ids();
+            ids.sort();
+            assert_eq!(ids, (0..5).map(BucketId).collect::<Vec<_>>());
+            let b3 = s.read_bucket(BucketId(3)).unwrap();
+            assert_eq!(b3.len(), 20);
+            assert_eq!(b3[0], rec(300, 200));
+            // store remains writable after reopen
+            s.append(BucketId(3), rec(999, 10)).unwrap();
+            assert_eq!(s.bucket_len(BucketId(3)), 21);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn delete_bucket_recycles_pages() {
+        let path = tmp("recycle");
+        let mut s = DiskStore::create(&path).unwrap();
+        for i in 0..50u64 {
+            s.append(BucketId(1), rec(i, 1000)).unwrap();
+        }
+        s.flush().unwrap();
+        let pages_before = s.page_count;
+        s.delete_bucket(BucketId(1)).unwrap();
+        // Rewriting similar volume should not grow the file (free list reuse).
+        for i in 0..50u64 {
+            s.append(BucketId(2), rec(i, 1000)).unwrap();
+        }
+        assert!(
+            s.page_count <= pages_before + 2,
+            "pages grew {} -> {} despite free list",
+            pages_before,
+            s.page_count
+        );
+        assert!(s.read_bucket(BucketId(1)).is_err());
+        assert_eq!(s.bucket_len(BucketId(2)), 50);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn small_pool_still_correct() {
+        let path = tmp("smallpool");
+        let mut s = DiskStore::create_with_pool(&path, 2).unwrap();
+        for b in 0..8u64 {
+            for i in 0..10u64 {
+                s.append(BucketId(b), rec(b * 10 + i, 500)).unwrap();
+            }
+        }
+        for b in 0..8u64 {
+            let recs = s.read_bucket(BucketId(b)).unwrap();
+            assert_eq!(recs.len(), 10, "bucket {b}");
+            for (i, r) in recs.iter().enumerate() {
+                assert_eq!(*r, rec(b * 10 + i as u64, 500));
+            }
+        }
+        let st = s.stats();
+        assert!(st.page_reads > 0, "tiny pool must miss");
+        assert!(st.page_writes > 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        match DiskStore::open(&path) {
+            Err(StorageError::Corrupt(msg)) => assert!(msg.contains("magic")),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_store_flush_reopen() {
+        let path = tmp("empty");
+        {
+            let mut s = DiskStore::create(&path).unwrap();
+            s.flush().unwrap();
+        }
+        let s = DiskStore::open(&path).unwrap();
+        assert_eq!(s.total_records(), 0);
+        assert!(s.bucket_ids().is_empty());
+        assert_eq!(s.backend_name(), "Disk storage");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn pool_hits_are_counted() {
+        let path = tmp("poolhits");
+        let mut s = DiskStore::create(&path).unwrap();
+        s.append(BucketId(1), rec(1, 10)).unwrap();
+        let _ = s.read_bucket(BucketId(1)).unwrap();
+        let _ = s.read_bucket(BucketId(1)).unwrap();
+        assert!(s.stats().pool_hits > 0);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! # simcloud-storage — bucket storage backing the M-Index
+//!
+//! The M-Index stores data objects in *buckets* attached to the leaves of
+//! its Voronoi cell tree. The paper's evaluation runs YEAST/HUMAN on
+//! "Memory storage" and CoPhIR on "Disk storage" (Table 2); this crate
+//! provides both behind one trait:
+//!
+//! * [`MemoryStore`] — buckets as in-memory vectors (fast, volatile);
+//! * [`DiskStore`] — a single-file paged store (4 KiB pages, per-bucket page
+//!   chains, free-list reuse, LRU buffer pool) with I/O statistics.
+//!
+//! Records are opaque `(u64 id, bytes)` pairs: the index layer stores its
+//! routing information (pivot permutation or distances) and the sealed
+//! object payload inside the byte blob, so the storage layer never sees
+//! plaintext structure — consistent with the paper's layering where storage
+//! is the least trusted component.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod memory;
+pub mod record;
+
+pub use disk::DiskStore;
+pub use memory::MemoryStore;
+pub use record::Record;
+
+/// Identifier of a bucket (an M-Index leaf owns exactly one bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct BucketId(pub u64);
+
+impl std::fmt::Display for BucketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Storage-level errors.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Bucket does not exist.
+    UnknownBucket(BucketId),
+    /// Underlying I/O failure (disk store only).
+    Io(std::io::Error),
+    /// File content is not a valid store (bad magic/version) or is corrupt.
+    Corrupt(String),
+    /// A record exceeds the maximum encodable size.
+    RecordTooLarge(usize),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownBucket(b) => write!(f, "unknown bucket {b}"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(s) => write!(f, "corrupt store: {s}"),
+            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Cumulative I/O statistics of a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read from the backing file (buffer-pool misses).
+    pub page_reads: u64,
+    /// Pages written to the backing file.
+    pub page_writes: u64,
+    /// Buffer-pool hits (page served from memory).
+    pub pool_hits: u64,
+    /// Records appended.
+    pub records_appended: u64,
+    /// Records read back.
+    pub records_read: u64,
+}
+
+/// Abstract bucket storage; the M-Index is generic over this.
+///
+/// The access pattern the index needs is deliberately narrow: append a
+/// record, stream a whole bucket (search reads entire candidate cells),
+/// and drop a bucket (splits re-distribute its records).
+pub trait BucketStore: Send {
+    /// Appends a record to `bucket`, creating the bucket if new.
+    fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError>;
+
+    /// Reads every record in `bucket` (order = insertion order).
+    fn read_bucket(&mut self, bucket: BucketId) -> Result<Vec<Record>, StorageError>;
+
+    /// Number of records in `bucket` (0 if absent).
+    fn bucket_len(&mut self, bucket: BucketId) -> usize;
+
+    /// Deletes `bucket`, releasing its space. Deleting a non-existent bucket
+    /// is a no-op.
+    fn delete_bucket(&mut self, bucket: BucketId) -> Result<(), StorageError>;
+
+    /// All existing bucket ids (unspecified order).
+    fn bucket_ids(&self) -> Vec<BucketId>;
+
+    /// Total records across buckets.
+    fn total_records(&self) -> u64;
+
+    /// Flushes to durable media where applicable.
+    fn flush(&mut self) -> Result<(), StorageError>;
+
+    /// Point-in-time I/O statistics.
+    fn stats(&self) -> IoStats;
+
+    /// Human-readable backend name (appears in experiment reports, cf.
+    /// "Storage type" column of the paper's Table 2).
+    fn backend_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_id_display() {
+        assert_eq!(BucketId(17).to_string(), "b17");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(StorageError::UnknownBucket(BucketId(1))
+            .to_string()
+            .contains("unknown bucket"));
+        assert!(StorageError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(StorageError::RecordTooLarge(9).to_string().contains("9"));
+        let io: StorageError = std::io::Error::other("x").into();
+        assert!(io.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,139 @@
+//! In-memory bucket store — the paper's "Memory storage" (Table 2, YEAST and
+//! HUMAN configurations).
+
+use std::collections::HashMap;
+
+use crate::{BucketId, BucketStore, IoStats, Record, StorageError};
+
+/// Volatile bucket store; all data lives in a hash map of vectors.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    buckets: HashMap<BucketId, Vec<Record>>,
+    stats: IoStats,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate resident bytes (payload only), for reporting.
+    pub fn payload_bytes(&self) -> usize {
+        self.buckets
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|r| r.payload.len())
+            .sum()
+    }
+}
+
+impl BucketStore for MemoryStore {
+    fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError> {
+        self.stats.records_appended += 1;
+        self.buckets.entry(bucket).or_default().push(record);
+        Ok(())
+    }
+
+    fn read_bucket(&mut self, bucket: BucketId) -> Result<Vec<Record>, StorageError> {
+        let recs = self
+            .buckets
+            .get(&bucket)
+            .ok_or(StorageError::UnknownBucket(bucket))?;
+        self.stats.records_read += recs.len() as u64;
+        Ok(recs.clone())
+    }
+
+    fn bucket_len(&mut self, bucket: BucketId) -> usize {
+        self.buckets.get(&bucket).map_or(0, Vec::len)
+    }
+
+    fn delete_bucket(&mut self, bucket: BucketId) -> Result<(), StorageError> {
+        self.buckets.remove(&bucket);
+        Ok(())
+    }
+
+    fn bucket_ids(&self) -> Vec<BucketId> {
+        self.buckets.keys().copied().collect()
+    }
+
+    fn total_records(&self) -> u64 {
+        self.buckets.values().map(|v| v.len() as u64).sum()
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "Memory storage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, len: usize) -> Record {
+        Record::new(id, vec![id as u8; len])
+    }
+
+    #[test]
+    fn append_and_read_back_in_order() {
+        let mut s = MemoryStore::new();
+        s.append(BucketId(1), rec(10, 4)).unwrap();
+        s.append(BucketId(1), rec(11, 2)).unwrap();
+        s.append(BucketId(2), rec(20, 1)).unwrap();
+        let b1 = s.read_bucket(BucketId(1)).unwrap();
+        assert_eq!(b1.iter().map(|r| r.id).collect::<Vec<_>>(), vec![10, 11]);
+        assert_eq!(s.bucket_len(BucketId(1)), 2);
+        assert_eq!(s.bucket_len(BucketId(2)), 1);
+        assert_eq!(s.total_records(), 3);
+    }
+
+    #[test]
+    fn unknown_bucket_is_error() {
+        let mut s = MemoryStore::new();
+        assert!(matches!(
+            s.read_bucket(BucketId(9)),
+            Err(StorageError::UnknownBucket(BucketId(9)))
+        ));
+        assert_eq!(s.bucket_len(BucketId(9)), 0);
+    }
+
+    #[test]
+    fn delete_bucket_frees_records() {
+        let mut s = MemoryStore::new();
+        s.append(BucketId(1), rec(1, 8)).unwrap();
+        s.delete_bucket(BucketId(1)).unwrap();
+        assert_eq!(s.total_records(), 0);
+        assert!(s.read_bucket(BucketId(1)).is_err());
+        // deleting again is a no-op
+        s.delete_bucket(BucketId(1)).unwrap();
+    }
+
+    #[test]
+    fn stats_track_reads_and_appends() {
+        let mut s = MemoryStore::new();
+        s.append(BucketId(1), rec(1, 1)).unwrap();
+        s.append(BucketId(1), rec(2, 1)).unwrap();
+        let _ = s.read_bucket(BucketId(1)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.records_appended, 2);
+        assert_eq!(st.records_read, 2);
+        assert_eq!(st.page_reads, 0);
+    }
+
+    #[test]
+    fn payload_bytes_accounting() {
+        let mut s = MemoryStore::new();
+        s.append(BucketId(1), rec(1, 10)).unwrap();
+        s.append(BucketId(2), rec(2, 5)).unwrap();
+        assert_eq!(s.payload_bytes(), 15);
+        assert_eq!(s.backend_name(), "Memory storage");
+    }
+}

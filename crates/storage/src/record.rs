@@ -1,0 +1,116 @@
+//! The opaque storage record: `(id, payload)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum payload size a record may carry (fits a `u32` length with ample
+/// headroom below page-chain bookkeeping limits).
+pub const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// One stored record. The id is the external [`ObjectId`] value; the payload
+/// is whatever the index layer serialized (routing info + sealed object).
+///
+/// [`ObjectId`]: https://docs.rs/simcloud-metric
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// External object identifier.
+    pub id: u64,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(id: u64, payload: Vec<u8>) -> Self {
+        Self { id, payload }
+    }
+
+    /// Bytes occupied by the encoded form: 8 (id) + 4 (len) + payload.
+    pub fn encoded_len(&self) -> usize {
+        8 + 4 + self.payload.len()
+    }
+
+    /// Appends the binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Decodes one record from the front of `buf`; returns record and bytes
+    /// consumed, or `None` if truncated.
+    pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let id = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD || buf.len() < 12 + len {
+            return None;
+        }
+        Some((
+            Self {
+                id,
+                payload: buf[12..12 + len].to_vec(),
+            },
+            12 + len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = Record::new(42, vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), r.encoded_len());
+        let (back, used) = Record::decode(&buf).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let r = Record::new(0, vec![]);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (back, used) = Record::decode(&buf).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, 12);
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let r = Record::new(7, vec![9; 10]);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        for cut in [0, 5, 11, buf.len() - 1] {
+            assert!(Record::decode(&buf[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn sequential_records_decode_in_order() {
+        let rs = vec![
+            Record::new(1, vec![0xaa; 3]),
+            Record::new(2, vec![]),
+            Record::new(3, vec![0xbb; 17]),
+        ];
+        let mut buf = Vec::new();
+        for r in &rs {
+            r.encode(&mut buf);
+        }
+        let mut off = 0;
+        let mut got = Vec::new();
+        while off < buf.len() {
+            let (r, used) = Record::decode(&buf[off..]).unwrap();
+            got.push(r);
+            off += used;
+        }
+        assert_eq!(got, rs);
+    }
+}

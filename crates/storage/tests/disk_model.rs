@@ -1,0 +1,107 @@
+//! Model-based property test of the paged disk store: an arbitrary
+//! sequence of appends/reads/deletes/flush/reopen must behave exactly like
+//! a hash-map model, under an adversarially small buffer pool.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use simcloud_storage::{BucketId, BucketStore, DiskStore, Record};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append { bucket: u8, len: u16 },
+    Read { bucket: u8 },
+    Delete { bucket: u8 },
+    Flush,
+    Reopen,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u16..2200).prop_map(|(bucket, len)| Op::Append { bucket: bucket % 6, len }),
+        3 => any::<u8>().prop_map(|bucket| Op::Read { bucket: bucket % 6 }),
+        1 => any::<u8>().prop_map(|bucket| Op::Delete { bucket: bucket % 6 }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn disk_store_matches_model(ops in proptest::collection::vec(arb_op(), 1..60), pool in 2usize..8) {
+        let path = std::env::temp_dir().join(format!(
+            "simcloud-model-{}-{}.db",
+            std::process::id(),
+            rand_suffix(&ops)
+        ));
+        let mut store = DiskStore::create_with_pool(&path, pool).unwrap();
+        let mut model: HashMap<BucketId, Vec<Record>> = HashMap::new();
+        let mut next_id = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Append { bucket, len } => {
+                    let b = BucketId(*bucket as u64);
+                    let rec = Record::new(
+                        next_id,
+                        (0..*len).map(|i| ((next_id as usize + i as usize) % 256) as u8).collect(),
+                    );
+                    next_id += 1;
+                    store.append(b, rec.clone()).unwrap();
+                    model.entry(b).or_default().push(rec);
+                }
+                Op::Read { bucket } => {
+                    let b = BucketId(*bucket as u64);
+                    match model.get(&b) {
+                        Some(expected) => {
+                            let got = store.read_bucket(b).unwrap();
+                            prop_assert_eq!(&got, expected);
+                        }
+                        None => prop_assert!(store.read_bucket(b).is_err()),
+                    }
+                }
+                Op::Delete { bucket } => {
+                    let b = BucketId(*bucket as u64);
+                    store.delete_bucket(b).unwrap();
+                    model.remove(&b);
+                }
+                Op::Flush => store.flush().unwrap(),
+                Op::Reopen => {
+                    store.flush().unwrap();
+                    drop(store);
+                    store = DiskStore::open_with_pool(&path, pool).unwrap();
+                }
+            }
+            prop_assert_eq!(
+                store.total_records(),
+                model.values().map(|v| v.len() as u64).sum::<u64>()
+            );
+        }
+        // Final full check.
+        for (b, expected) in &model {
+            let got = store.read_bucket(*b).unwrap();
+            prop_assert_eq!(&got, expected);
+        }
+        drop(store);
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Cheap deterministic suffix so parallel proptest cases do not collide on
+/// one file.
+fn rand_suffix(ops: &[Op]) -> u64 {
+    let mut h = 1469598103934665603u64;
+    for op in ops {
+        let tag = match op {
+            Op::Append { bucket, len } => 1u64 ^ ((*bucket as u64) << 8) ^ ((*len as u64) << 16),
+            Op::Read { bucket } => 2u64 ^ ((*bucket as u64) << 8),
+            Op::Delete { bucket } => 3u64 ^ ((*bucket as u64) << 8),
+            Op::Flush => 4,
+            Op::Reopen => 5,
+        };
+        h = (h ^ tag).wrapping_mul(1099511628211);
+    }
+    h
+}

@@ -1,0 +1,78 @@
+//! # simcloud-transport — client/server substrate with cost accounting
+//!
+//! The paper runs the encryption client and the M-Index server as separate
+//! processes "communicating via TCP/IP" on a loopback interface (§4.4, §5.1)
+//! and reports three separate cost components per operation: client time,
+//! server time and communication time/cost. This crate reproduces that
+//! substrate:
+//!
+//! * [`RequestHandler`] — the server side as a byte-level request→response
+//!   function (the protocol crates encode messages on top);
+//! * [`InProcessTransport`] — calls the handler directly; communication
+//!   *time* is computed from exact byte counts through a configurable
+//!   [`NetworkModel`] (default calibrated to a loopback interface), while
+//!   server time is the measured wall time inside the handler;
+//! * [`TcpTransport`] / [`serve_tcp`] — a real TCP loopback deployment: the
+//!   server thread prefixes each response with its measured processing time
+//!   so the client can attribute elapsed = server + communication;
+//! * [`TransportStats`] — requests, exact bytes in both directions,
+//!   accumulated server and communication time;
+//! * [`Stopwatch`] — the timing primitive the experiment harness uses for
+//!   the client-side components.
+//!
+//! Frame format (both transports): `u32 LE length || payload`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod stopwatch;
+pub mod tcp;
+pub mod transport;
+
+pub use stats::TransportStats;
+pub use stopwatch::Stopwatch;
+pub use tcp::{serve_tcp, TcpTransport};
+pub use transport::{InProcessTransport, NetworkModel, RequestHandler, Transport};
+
+/// Transport-level errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying socket/I/O failure.
+    Io(std::io::Error),
+    /// Peer sent a malformed frame.
+    BadFrame(String),
+    /// The connection was closed mid-exchange.
+    Disconnected,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::BadFrame(s) => write!(f, "bad frame: {s}"),
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(TransportError::Disconnected.to_string().contains("disconnected"));
+        assert!(TransportError::BadFrame("x".into()).to_string().contains("x"));
+        let e: TransportError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

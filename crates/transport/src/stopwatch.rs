@@ -1,0 +1,76 @@
+//! Wall-clock timing primitive for the experiment cost components.
+
+use std::time::{Duration, Instant};
+
+/// Accumulating stopwatch: measures disjoint code sections and sums them,
+/// the way the paper accumulates "client time", "encryption time" etc.
+/// across a bulk of operations.
+#[derive(Debug, Clone, Default)]
+pub struct Stopwatch {
+    total: Duration,
+}
+
+impl Stopwatch {
+    /// New stopwatch at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, adds the elapsed wall time, returns `f`'s result.
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.total += start.elapsed();
+        r
+    }
+
+    /// Adds an externally measured duration.
+    pub fn add(&mut self, d: Duration) {
+        self.total += d;
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Total in seconds as `f64` (reporting convenience).
+    pub fn secs(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+
+    /// Resets to zero and returns the previous total.
+    pub fn reset(&mut self) -> Duration {
+        std::mem::take(&mut self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_returns_result() {
+        let mut sw = Stopwatch::new();
+        let x = sw.time(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            41 + 1
+        });
+        assert_eq!(x, 42);
+        assert!(sw.total() >= Duration::from_millis(2));
+        let before = sw.total();
+        sw.time(|| {});
+        assert!(sw.total() >= before);
+    }
+
+    #[test]
+    fn add_and_reset() {
+        let mut sw = Stopwatch::new();
+        sw.add(Duration::from_secs(1));
+        sw.add(Duration::from_secs(2));
+        assert_eq!(sw.total(), Duration::from_secs(3));
+        assert!((sw.secs() - 3.0).abs() < 1e-9);
+        assert_eq!(sw.reset(), Duration::from_secs(3));
+        assert_eq!(sw.total(), Duration::ZERO);
+    }
+}

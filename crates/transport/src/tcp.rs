@@ -1,0 +1,304 @@
+//! Real TCP loopback deployment.
+//!
+//! The paper's prototype runs "both client and server … communicating via
+//! TCP/IP" on one machine (§4.4). [`serve_tcp`] spawns a server thread that
+//! owns a [`RequestHandler`]; [`TcpTransport`] is the client side.
+//!
+//! Each accepted connection is served by its own worker thread; the handler
+//! is shared behind a mutex (requests are serialized, matching the paper's
+//! single-threaded evaluation client, but a stuck or open connection can
+//! never block `shutdown`).
+//!
+//! Wire format per message: `u32 LE payload length || payload`. Responses
+//! additionally carry a leading `u64 LE` with the server's measured
+//! processing time in nanoseconds, so the client can attribute the elapsed
+//! round-trip time between the "server" and "communication" components the
+//! way the paper's tables do.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::transport::{RequestHandler, Transport, FRAME_HEADER};
+use crate::{TransportError, TransportStats};
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TransportError> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(TransportError::Disconnected)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > 1 << 30 {
+        return Err(TransportError::BadFrame(format!("frame of {len} bytes")));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::Disconnected
+        } else {
+            TransportError::Io(e)
+        }
+    })?;
+    Ok(payload)
+}
+
+/// Handle to a running TCP server; dropping it stops the accept loop.
+/// Active connections finish serving their current client independently.
+pub struct TcpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// Address the server listens on (connect [`TcpTransport`] here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop and waits for it to exit. Worker
+    /// threads for already-accepted connections are detached and exit when
+    /// their client disconnects.
+    pub fn shutdown(mut self) {
+        self.stop_accept_loop();
+    }
+
+    fn stop_accept_loop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.stop_accept_loop();
+    }
+}
+
+/// Starts a TCP server on `127.0.0.1` (ephemeral port) serving `handler`.
+///
+/// Connections are accepted concurrently; requests across connections are
+/// serialized through a mutex around the handler (the M-Index server is a
+/// single-writer structure, as in the paper's prototype).
+pub fn serve_tcp<H: RequestHandler + 'static>(handler: H) -> std::io::Result<TcpServerHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handler = Arc::new(Mutex::new(handler));
+    let join = std::thread::Builder::new()
+        .name("simcloud-tcp-accept".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                let Ok((stream, _)) = listener.accept() else {
+                    break;
+                };
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let handler = Arc::clone(&handler);
+                // Detached worker: exits when the client disconnects.
+                let _ = std::thread::Builder::new()
+                    .name("simcloud-tcp-conn".into())
+                    .spawn(move || serve_connection(stream, handler));
+            }
+        })?;
+    Ok(TcpServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn serve_connection<H: RequestHandler>(mut stream: TcpStream, handler: Arc<Mutex<H>>) {
+    stream.set_nodelay(true).ok();
+    loop {
+        let request = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(_) => break, // client done or connection broken
+        };
+        let start = Instant::now();
+        let response = handler.lock().handle(&request);
+        let server_ns = start.elapsed().as_nanos() as u64;
+        let mut framed = Vec::with_capacity(8 + response.len());
+        framed.extend_from_slice(&server_ns.to_le_bytes());
+        framed.extend_from_slice(&response);
+        if write_frame(&mut stream, &framed).is_err() {
+            break;
+        }
+    }
+}
+
+/// Client side of the TCP deployment.
+pub struct TcpTransport {
+    stream: TcpStream,
+    stats: TransportStats,
+}
+
+impl TcpTransport {
+    /// Connects to a server started with [`serve_tcp`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            stats: TransportStats::default(),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let start = Instant::now();
+        write_frame(&mut self.stream, request)?;
+        let framed = read_frame(&mut self.stream)?;
+        let elapsed = start.elapsed();
+        if framed.len() < 8 {
+            return Err(TransportError::BadFrame("missing server-time header".into()));
+        }
+        let server_ns = u64::from_le_bytes(framed[0..8].try_into().unwrap());
+        let server_time = Duration::from_nanos(server_ns);
+        let response = framed[8..].to_vec();
+        self.stats.requests += 1;
+        self.stats.bytes_sent += (request.len() + FRAME_HEADER) as u64;
+        // The 8-byte server-time header is measurement apparatus, not
+        // protocol payload; excluded from communication cost.
+        self.stats.bytes_received += (response.len() + FRAME_HEADER) as u64;
+        self.stats.server_time += server_time;
+        self.stats.comm_time += elapsed.saturating_sub(server_time);
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = serve_tcp(|req: &[u8]| {
+            let mut out = req.to_vec();
+            out.reverse();
+            out
+        })
+        .unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        assert_eq!(client.round_trip(b"hello").unwrap(), b"olleh");
+        assert_eq!(client.round_trip(b"x").unwrap(), b"x");
+        let s = client.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes_sent, (5 + 4) as u64 + (1 + 4) as u64);
+        assert_eq!(s.bytes_received, s.bytes_sent);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_client_still_connected_does_not_hang() {
+        let server = serve_tcp(|req: &[u8]| req.to_vec()).unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        assert_eq!(client.round_trip(b"ping").unwrap(), b"ping");
+        // Client intentionally kept alive across shutdown.
+        server.shutdown();
+        drop(client);
+    }
+
+    #[test]
+    fn tcp_server_time_attribution() {
+        let server = serve_tcp(|_req: &[u8]| {
+            std::thread::sleep(Duration::from_millis(10));
+            vec![0u8; 8]
+        })
+        .unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        client.round_trip(b"q").unwrap();
+        let s = client.stats();
+        assert!(
+            s.server_time >= Duration::from_millis(10),
+            "server time {:?} should include the sleep",
+            s.server_time
+        );
+        assert!(
+            s.comm_time < Duration::from_millis(10),
+            "comm time {:?} should exclude the server sleep",
+            s.comm_time
+        );
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_large_payload() {
+        let server = serve_tcp(|req: &[u8]| req.to_vec()).unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        let big = vec![0xabu8; 1_000_000];
+        let resp = client.round_trip(&big).unwrap();
+        assert_eq!(resp, big);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_concurrent_clients_share_handler_state() {
+        struct Counter(u32);
+        impl RequestHandler for Counter {
+            fn handle(&mut self, _r: &[u8]) -> Vec<u8> {
+                self.0 += 1;
+                self.0.to_le_bytes().to_vec()
+            }
+        }
+        let server = serve_tcp(Counter(0)).unwrap();
+        let mut c1 = TcpTransport::connect(server.addr()).unwrap();
+        let mut c2 = TcpTransport::connect(server.addr()).unwrap();
+        let r1 = u32::from_le_bytes(c1.round_trip(b"a").unwrap().try_into().unwrap());
+        let r2 = u32::from_le_bytes(c2.round_trip(b"b").unwrap().try_into().unwrap());
+        let r3 = u32::from_le_bytes(c1.round_trip(b"c").unwrap().try_into().unwrap());
+        assert_eq!(
+            {
+                let mut v = vec![r1, r2, r3];
+                v.sort_unstable();
+                v
+            },
+            vec![1, 2, 3],
+            "all clients hit one shared handler"
+        );
+        drop(c1);
+        drop(c2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_sequential_clients() {
+        let server = serve_tcp(|req: &[u8]| vec![req.len() as u8]).unwrap();
+        for i in 1..4usize {
+            let mut client = TcpTransport::connect(server.addr()).unwrap();
+            let resp = client.round_trip(&vec![0u8; i]).unwrap();
+            assert_eq!(resp, vec![i as u8]);
+            // client dropped here; server accepts the next one
+        }
+        server.shutdown();
+    }
+}

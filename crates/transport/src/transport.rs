@@ -1,0 +1,226 @@
+//! Transport abstraction and the in-process deployment.
+//!
+//! The experiment harness needs the three cost components the paper reports
+//! separately — client, server, communication. The in-process transport
+//! yields them exactly: server time is measured around the handler call and
+//! communication time is computed from exact byte counts through a
+//! [`NetworkModel`]. This removes scheduler noise from the shape of the
+//! results while keeping byte counts honest (they come from real encoded
+//! frames, the same ones [`crate::tcp`] puts on a socket).
+
+use std::time::{Duration, Instant};
+
+use crate::{TransportError, TransportStats};
+
+/// Server side of the protocol: consumes a request payload, produces a
+/// response payload. Implemented by the M-Index server, the baselines'
+/// servers, and test echo servers.
+pub trait RequestHandler: Send {
+    /// Handles one request.
+    fn handle(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F: FnMut(&[u8]) -> Vec<u8> + Send> RequestHandler for F {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// Client side: a byte-level request/response channel with cost accounting.
+pub trait Transport {
+    /// Sends a request and waits for the response.
+    fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Analytic network model: `time(bytes) = latency + bytes / bandwidth`,
+/// applied per direction of every round trip.
+///
+/// The default models the loopback interface of the paper's testbed
+/// (both processes on one machine): 25 µs one-way latency, 1 GiB/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way latency per message.
+    pub latency: Duration,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::loopback()
+    }
+}
+
+impl NetworkModel {
+    /// Loopback interface (paper's setting: client and server on the same
+    /// machine).
+    pub fn loopback() -> Self {
+        Self {
+            latency: Duration::from_micros(25),
+            bandwidth: 1.0 * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// A typical 2012 LAN: 0.3 ms latency, 1 Gb/s.
+    pub fn lan() -> Self {
+        Self {
+            latency: Duration::from_micros(300),
+            bandwidth: 125.0 * 1000.0 * 1000.0,
+        }
+    }
+
+    /// A WAN link to a remote cloud region: 20 ms latency, 100 Mb/s —
+    /// used by the ablation that shows how the trade-off shifts when the
+    /// similarity cloud is actually remote.
+    pub fn wan() -> Self {
+        Self {
+            latency: Duration::from_millis(20),
+            bandwidth: 12.5 * 1000.0 * 1000.0,
+        }
+    }
+
+    /// Transfer time of `bytes` in one direction.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+/// Frame header size: `u32` length prefix.
+pub const FRAME_HEADER: usize = 4;
+
+/// In-process deployment: the handler runs in the caller's process; the
+/// communication component is modelled, the server component is measured.
+pub struct InProcessTransport<H> {
+    handler: H,
+    model: NetworkModel,
+    stats: TransportStats,
+}
+
+impl<H: RequestHandler> InProcessTransport<H> {
+    /// Wraps `handler` with the default loopback model.
+    pub fn new(handler: H) -> Self {
+        Self::with_model(handler, NetworkModel::default())
+    }
+
+    /// Wraps `handler` with an explicit network model.
+    pub fn with_model(handler: H, model: NetworkModel) -> Self {
+        Self {
+            handler,
+            model,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Access the wrapped handler (e.g. to inspect server-side state in
+    /// tests and experiment reports).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutable access to the wrapped handler.
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    /// The configured network model.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+}
+
+impl<H: RequestHandler> Transport for InProcessTransport<H> {
+    fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError> {
+        let sent = (request.len() + FRAME_HEADER) as u64;
+        let start = Instant::now();
+        let response = self.handler.handle(request);
+        let server_time = start.elapsed();
+        let received = (response.len() + FRAME_HEADER) as u64;
+        self.stats.requests += 1;
+        self.stats.bytes_sent += sent;
+        self.stats.bytes_received += received;
+        self.stats.server_time += server_time;
+        self.stats.comm_time += self.model.transfer_time(sent) + self.model.transfer_time(received);
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl RequestHandler for Echo {
+        fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+            let mut out = request.to_vec();
+            out.reverse();
+            out
+        }
+    }
+
+    #[test]
+    fn round_trip_returns_response_and_counts_bytes() {
+        let mut t = InProcessTransport::new(Echo);
+        let resp = t.round_trip(b"abc").unwrap();
+        assert_eq!(resp, b"cba");
+        let s = t.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.bytes_sent, 3 + FRAME_HEADER as u64);
+        assert_eq!(s.bytes_received, 3 + FRAME_HEADER as u64);
+        assert!(s.comm_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn closure_handlers_work() {
+        let mut t = InProcessTransport::new(|req: &[u8]| req.to_vec());
+        assert_eq!(t.round_trip(b"hi").unwrap(), b"hi");
+    }
+
+    #[test]
+    fn network_model_times() {
+        let m = NetworkModel {
+            latency: Duration::from_millis(1),
+            bandwidth: 1000.0, // 1000 B/s
+        };
+        // 500 bytes at 1000 B/s = 0.5 s + 1 ms latency
+        let t = m.transfer_time(500);
+        assert!((t.as_secs_f64() - 0.501).abs() < 1e-9);
+        // WAN slower than loopback for same bytes
+        assert!(NetworkModel::wan().transfer_time(10_000) > NetworkModel::loopback().transfer_time(10_000));
+    }
+
+    #[test]
+    fn server_time_accumulates() {
+        let mut t = InProcessTransport::new(|_req: &[u8]| {
+            std::thread::sleep(Duration::from_millis(2));
+            vec![1]
+        });
+        t.round_trip(b"x").unwrap();
+        t.round_trip(b"y").unwrap();
+        assert!(t.stats().server_time >= Duration::from_millis(4));
+        assert_eq!(t.stats().requests, 2);
+    }
+
+    #[test]
+    fn handler_access() {
+        struct Counting(u32);
+        impl RequestHandler for Counting {
+            fn handle(&mut self, _r: &[u8]) -> Vec<u8> {
+                self.0 += 1;
+                vec![]
+            }
+        }
+        let mut t = InProcessTransport::new(Counting(0));
+        t.round_trip(b"a").unwrap();
+        t.round_trip(b"b").unwrap();
+        assert_eq!(t.handler().0, 2);
+        t.handler_mut().0 = 0;
+        assert_eq!(t.handler().0, 0);
+    }
+}

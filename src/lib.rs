@@ -1,0 +1,102 @@
+//! # simcloud — Secure Metric-Based Index for Similarity Cloud
+//!
+//! A from-scratch Rust reproduction of *Kozák, Novak, Zezula: Secure
+//! Metric-Based Index for Similarity Cloud* (SDM @ VLDB 2012): the
+//! **Encrypted M-Index**, a privacy-preserving metric similarity index for
+//! outsourced "similarity clouds", together with every substrate it needs
+//! (metric toolkit, AES/SHA-2 stack, bucket storage, client/server
+//! transport) and the comparison baselines of Yiu et al.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! ```
+//! use simcloud::prelude::*;
+//!
+//! // Data owner: generate data, pick a secret key (pivots + AES key).
+//! let data = simcloud::datasets::yeast_like(7, Some(500)).vectors;
+//! let (key, _master) = SecretKey::generate(&data, 30, &L1, PivotSelection::Random, 42);
+//!
+//! // Deploy an in-process similarity cloud and outsource the collection.
+//! let mut cloud = simcloud::core::in_process(
+//!     key, L1, MIndexConfig::yeast(), MemoryStore::new(), ClientConfig::distances(),
+//! ).unwrap();
+//! let objects: Vec<(ObjectId, Vector)> = data.iter().cloned().enumerate()
+//!     .map(|(i, v)| (ObjectId(i as u64), v)).collect();
+//! cloud.insert_bulk(&objects).unwrap();
+//!
+//! // Authorized client: approximate 10-NN with a 100-candidate budget.
+//! let (neighbors, costs) = cloud.knn_approx(&data[0], 10, 100).unwrap();
+//! assert_eq!(neighbors[0].0, ObjectId(0));
+//! assert!(costs.candidates <= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Metric-space toolkit (vectors, metrics, pivots, permutations).
+pub use simcloud_metric as metric;
+
+/// Symmetric crypto stack (AES, SHA-256, HMAC, envelopes).
+pub use simcloud_crypto as crypto;
+
+/// Bucket storage (memory + paged disk).
+pub use simcloud_storage as storage;
+
+/// Client/server transport with cost accounting.
+pub use simcloud_transport as transport;
+
+/// The M-Index and its plain (non-encrypted) deployment.
+pub use simcloud_mindex as mindex;
+
+/// The Encrypted M-Index (the paper's contribution).
+pub use simcloud_core as core;
+
+/// Comparison baselines (trivial, EHI, MPT, FDH).
+pub use simcloud_baselines as baselines;
+
+/// Synthetic datasets, workloads, ground truth.
+pub use simcloud_datasets as datasets;
+
+/// Convenience prelude with the most common types.
+pub mod prelude {
+    pub use simcloud_core::{
+        in_process, over_tcp, ClientConfig, CostReport, DistanceTransform, EncryptedClient,
+        SecretKey,
+    };
+    pub use simcloud_metric::{
+        CombinedMetric, Metric, ObjectId, PivotSelection, Vector, L1, L2, Lp,
+    };
+    pub use simcloud_mindex::{recall, MIndexConfig, PlainMIndex, RoutingStrategy};
+    pub use simcloud_storage::{DiskStore, MemoryStore};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_round_trip() {
+        let data: Vec<Vector> = (0..100)
+            .map(|i| Vector::new(vec![i as f32, (i % 9) as f32]))
+            .collect();
+        let (key, _) = SecretKey::generate(&data, 4, &L2, PivotSelection::Random, 1);
+        let mut cfg = MIndexConfig::yeast();
+        cfg.num_pivots = 4;
+        let mut cloud = in_process(
+            key,
+            L2,
+            cfg,
+            MemoryStore::new(),
+            ClientConfig::distances(),
+        )
+        .unwrap();
+        let objects: Vec<(ObjectId, Vector)> = data
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (ObjectId(i as u64), v))
+            .collect();
+        cloud.insert_bulk(&objects).unwrap();
+        let (res, _) = cloud.knn_approx(&data[5], 3, 50).unwrap();
+        assert_eq!(res[0].0, ObjectId(5));
+    }
+}
