@@ -431,8 +431,7 @@ mod tests {
     #[test]
     fn ehi_handles_duplicates() {
         let v = Vector::new(vec![1.0, 1.0]);
-        let d: Vec<(ObjectId, Vector)> =
-            (0..50).map(|i| (ObjectId(i), v.clone())).collect();
+        let d: Vec<(ObjectId, Vector)> = (0..50).map(|i| (ObjectId(i), v.clone())).collect();
         let (key, _) = SecretKey::generate(&[v.clone()], 1, &L2, PivotSelection::Random, 1);
         let mut scheme = EhiScheme::new(key, L2, EhiConfig::default(), 2);
         scheme.build(&d).unwrap();

@@ -210,7 +210,9 @@ impl<M: Metric<Vector>> SecureScheme for FdhScheme<M> {
             let sealed = enc.time(|| {
                 let mut plain = Vec::with_capacity(o.encoded_len());
                 o.encode(&mut plain);
-                self.key.cipher().seal(&plain, self.key.mode(), &mut self.rng)
+                self.key
+                    .cipher()
+                    .seal(&plain, self.key.mode(), &mut self.rng)
             });
             let mut req = Vec::with_capacity(21 + sealed.len());
             req.push(0x01);

@@ -203,10 +203,7 @@ mod tests {
         let mut s = KvServer::new();
         s.handle(&wire::put(1, b"old"));
         s.handle(&wire::put(1, b"new"));
-        assert_eq!(
-            wire::decode_blob(&s.handle(&wire::get(1))).unwrap(),
-            b"new"
-        );
+        assert_eq!(wire::decode_blob(&s.handle(&wire::get(1))).unwrap(), b"new");
         assert_eq!(s.len(), 1);
     }
 }

@@ -315,7 +315,9 @@ impl<M: Metric<Vector>> SecureScheme for MptScheme<M> {
             let sealed = enc.time(|| {
                 let mut plain = Vec::with_capacity(o.encoded_len());
                 o.encode(&mut plain);
-                self.key.cipher().seal(&plain, self.key.mode(), &mut self.rng)
+                self.key
+                    .cipher()
+                    .seal(&plain, self.key.mode(), &mut self.rng)
             });
             let mut req = Vec::with_capacity(11 + 8 * enc_ds.len() + 4 + sealed.len());
             req.push(0x01);
@@ -387,7 +389,11 @@ mod tests {
             .map(|i| {
                 (
                     ObjectId(i as u64),
-                    Vector::new(vec![rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)]),
+                    Vector::new(vec![
+                        rng.gen_range(-4.0..4.0),
+                        rng.gen_range(-4.0..4.0),
+                        rng.gen_range(-4.0..4.0),
+                    ]),
                 )
             })
             .collect()

@@ -63,7 +63,9 @@ impl<M: Metric<Vector>> SecureScheme for TrivialScheme<M> {
             let sealed = enc.time(|| {
                 let mut plain = Vec::with_capacity(o.encoded_len());
                 o.encode(&mut plain);
-                self.key.cipher().seal(&plain, self.key.mode(), &mut self.rng)
+                self.key
+                    .cipher()
+                    .seal(&plain, self.key.mode(), &mut self.rng)
             });
             let before = self.transport.stats();
             let resp = self.transport.round_trip(&wire::put(id.0, &sealed))?;
@@ -117,7 +119,12 @@ mod tests {
 
     fn data(n: usize) -> Vec<(ObjectId, Vector)> {
         (0..n)
-            .map(|i| (ObjectId(i as u64), Vector::new(vec![i as f32, (i % 7) as f32])))
+            .map(|i| {
+                (
+                    ObjectId(i as u64),
+                    Vector::new(vec![i as f32, (i % 7) as f32]),
+                )
+            })
             .collect()
     }
 

@@ -61,9 +61,8 @@ fn bench_pivot_filter(c: &mut Criterion) {
 fn bench_metric_eval(c: &mut Criterion) {
     // The L1/CombinedMetric costs that dominate the paper's CoPhIR rows.
     let mut rng = StdRng::seed_from_u64(7);
-    let mut mk = |dim: usize| {
-        Vector::new((0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
-    };
+    let mut mk =
+        |dim: usize| Vector::new((0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect());
     let a17 = mk(17);
     let b17 = mk(17);
     c.bench_function("l1_17d", |b| {

@@ -10,11 +10,9 @@ fn bench_construction(c: &mut Criterion) {
     g.sample_size(10);
     for (which, n) in [(Which::Yeast, 1000usize), (Which::Human, 1000)] {
         let ds = which.dataset(n, 7);
-        g.bench_with_input(
-            BenchmarkId::new("encrypted", &ds.name),
-            &ds,
-            |b, ds| b.iter(|| std::hint::black_box(construction_encrypted(ds, 1))),
-        );
+        g.bench_with_input(BenchmarkId::new("encrypted", &ds.name), &ds, |b, ds| {
+            b.iter(|| std::hint::black_box(construction_encrypted(ds, 1)))
+        });
         g.bench_with_input(BenchmarkId::new("plain", &ds.name), &ds, |b, ds| {
             b.iter(|| std::hint::black_box(construction_plain(ds, 1)))
         });

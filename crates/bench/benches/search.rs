@@ -9,15 +9,9 @@ fn bench_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("search_yeast_30nn");
     g.sample_size(10);
     for cand in [150usize, 600] {
-        g.bench_with_input(
-            BenchmarkId::new("encrypted", cand),
-            &cand,
-            |b, &cand| {
-                b.iter(|| {
-                    std::hint::black_box(search_encrypted(&yeast, &[cand], 5, 30, 3))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("encrypted", cand), &cand, |b, &cand| {
+            b.iter(|| std::hint::black_box(search_encrypted(&yeast, &[cand], 5, 30, 3)))
+        });
         g.bench_with_input(BenchmarkId::new("plain", cand), &cand, |b, &cand| {
             b.iter(|| std::hint::black_box(search_plain(&yeast, &[cand], 5, 30, 3)))
         });
@@ -29,15 +23,9 @@ fn bench_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("search_cophir_30nn");
     g.sample_size(10);
     for cand in [150usize, 600] {
-        g.bench_with_input(
-            BenchmarkId::new("encrypted", cand),
-            &cand,
-            |b, &cand| {
-                b.iter(|| {
-                    std::hint::black_box(search_encrypted(&cophir, &[cand], 3, 30, 3))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("encrypted", cand), &cand, |b, &cand| {
+            b.iter(|| std::hint::black_box(search_encrypted(&cophir, &[cand], 3, 30, 3)))
+        });
     }
     g.finish();
 }

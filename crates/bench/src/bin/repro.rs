@@ -108,7 +108,10 @@ fn main() {
                     SEED,
                 );
                 print_search_table(
-                    &format!("Table 5: Approximate {}-NN, Encrypted M-Index (YEAST)", sizes.k),
+                    &format!(
+                        "Table 5: Approximate {}-NN, Encrypted M-Index (YEAST)",
+                        sizes.k
+                    ),
                     &rows,
                     true,
                 );
@@ -123,7 +126,10 @@ fn main() {
                     SEED,
                 );
                 print_search_table(
-                    &format!("Table 6: Approximate {}-NN, Encrypted M-Index (CoPhIR)", sizes.k),
+                    &format!(
+                        "Table 6: Approximate {}-NN, Encrypted M-Index (CoPhIR)",
+                        sizes.k
+                    ),
                     &rows,
                     true,
                 );
@@ -153,7 +159,10 @@ fn main() {
                     SEED,
                 );
                 print_search_table(
-                    &format!("Table 8: Approximate {}-NN, basic M-Index (CoPhIR)", sizes.k),
+                    &format!(
+                        "Table 8: Approximate {}-NN, basic M-Index (CoPhIR)",
+                        sizes.k
+                    ),
                     &rows,
                     false,
                 );
@@ -167,14 +176,17 @@ fn main() {
         match a.as_str() {
             "pivots" => {
                 let ds = yeast();
-                let rows = ablation_pivots(&ds, &[10, 30, 50, 100], 600, sizes.queries, sizes.k, SEED);
+                let rows =
+                    ablation_pivots(&ds, &[10, 30, 50, 100], 600, sizes.queries, sizes.k, SEED);
                 let mut t = Table::new(
                     "Ablation: pivot count (YEAST, CandSize 600)",
                     rows.iter().map(|(n, _)| n.to_string()).collect(),
                 );
                 t.row(
                     "Recall [%]",
-                    rows.iter().map(|(_, r)| format!("{:.2}", r.recall)).collect(),
+                    rows.iter()
+                        .map(|(_, r)| format!("{:.2}", r.recall))
+                        .collect(),
                 );
                 t.row(
                     "Client time [s]",
@@ -203,11 +215,15 @@ fn main() {
                 );
                 t.row(
                     "Recall [%]",
-                    rows.iter().map(|(_, r)| format!("{:.2}", r.recall)).collect(),
+                    rows.iter()
+                        .map(|(_, r)| format!("{:.2}", r.recall))
+                        .collect(),
                 );
                 t.row(
                     "Bytes sent / query",
-                    rows.iter().map(|(_, r)| r.costs.bytes_sent.to_string()).collect(),
+                    rows.iter()
+                        .map(|(_, r)| r.costs.bytes_sent.to_string())
+                        .collect(),
                 );
                 t.row(
                     "Overall time [s]",
@@ -281,7 +297,12 @@ fn main() {
 fn table1(datasets: &[Dataset]) {
     let mut t = Table::new(
         "Table 1: Data sets summary",
-        vec!["# of records".into(), "dim".into(), "distance".into(), "distance distribution".into()],
+        vec![
+            "# of records".into(),
+            "dim".into(),
+            "distance".into(),
+            "distance distribution".into(),
+        ],
     );
     for ds in datasets {
         let hist = DistanceHistogram::sample(&ds.vectors, &ds.metric, 1000, 16, 1);
@@ -301,12 +322,28 @@ fn table1(datasets: &[Dataset]) {
 fn table2() {
     let mut t = Table::new(
         "Table 2: M-Index parameters",
-        vec!["Bucket capacity".into(), "Storage type".into(), "# of pivots".into()],
+        vec![
+            "Bucket capacity".into(),
+            "Storage type".into(),
+            "# of pivots".into(),
+        ],
     );
     for (name, cfg, storage) in [
-        ("YEAST", simcloud_mindex::MIndexConfig::yeast(), "Memory storage"),
-        ("HUMAN", simcloud_mindex::MIndexConfig::human(), "Memory storage"),
-        ("CoPhIR", simcloud_mindex::MIndexConfig::cophir(), "Disk storage"),
+        (
+            "YEAST",
+            simcloud_mindex::MIndexConfig::yeast(),
+            "Memory storage",
+        ),
+        (
+            "HUMAN",
+            simcloud_mindex::MIndexConfig::human(),
+            "Memory storage",
+        ),
+        (
+            "CoPhIR",
+            simcloud_mindex::MIndexConfig::cophir(),
+            "Disk storage",
+        ),
     ] {
         t.row(
             name,

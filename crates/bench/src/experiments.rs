@@ -403,14 +403,7 @@ pub fn comparison_1nn(ds: &Dataset, queries: usize, seed: u64) -> Vec<Comparison
     // --- Baselines -------------------------------------------------------
     let schemes: Vec<Box<dyn SecureScheme>> = {
         let mk_key = |s: u64| {
-            SecretKey::generate(
-                &workload.indexed,
-                2,
-                &ds.metric,
-                PivotSelection::Random,
-                s,
-            )
-            .0
+            SecretKey::generate(&workload.indexed, 2, &ds.metric, PivotSelection::Random, s).0
         };
         vec![
             Box::new(EhiScheme::new(
@@ -650,7 +643,11 @@ pub fn ablation_transform(
             base_cands += b_costs.candidates;
             tr_cands += t_costs.candidates;
         }
-        out.push((radius, base_cands / queries as u64, tr_cands / queries as u64));
+        out.push((
+            radius,
+            base_cands / queries as u64,
+            tr_cands / queries as u64,
+        ));
     }
     out
 }

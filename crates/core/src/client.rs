@@ -48,7 +48,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Seal(e) => write!(f, "candidate rejected: {e}"),
             ClientError::BadObject(id) => write!(f, "object {id} undecodable after unseal"),
             ClientError::NeedsDistances => {
-                write!(f, "precise range queries require the distance routing strategy")
+                write!(
+                    f,
+                    "precise range queries require the distance routing strategy"
+                )
             }
         }
     }
@@ -168,10 +171,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 // Monotone transforms do not change permutations, so the
                 // transform is a no-op here — exactly the paper's point that
                 // permutations already hide distance values.
-                let len = self
-                    .config
-                    .permutation_prefix
-                    .unwrap_or(distances.len());
+                let len = self.config.permutation_prefix.unwrap_or(distances.len());
                 Routing::permutation_prefix(distances, len)
             }
         }
@@ -229,7 +229,9 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             let sealed = enc.time(|| {
                 let mut plain = Vec::with_capacity(o.encoded_len());
                 o.encode(&mut plain);
-                self.key.cipher().seal(&plain, self.key.mode(), &mut self.rng)
+                self.key
+                    .cipher()
+                    .seal(&plain, self.key.mode(), &mut self.rng)
             });
             entries.push(IndexEntry::new(id.0, routing, sealed));
         }

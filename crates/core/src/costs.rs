@@ -83,7 +83,11 @@ impl CostReport {
 
 impl std::fmt::Display for CostReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Client time [s]        {:>10.4}", self.client.as_secs_f64())?;
+        writeln!(
+            f,
+            "Client time [s]        {:>10.4}",
+            self.client.as_secs_f64()
+        )?;
         if self.encryption > Duration::ZERO {
             writeln!(
                 f,
@@ -103,14 +107,26 @@ impl std::fmt::Display for CostReport {
             "  Dist. comp. time [s] {:>10.4}",
             self.distance.as_secs_f64()
         )?;
-        writeln!(f, "Server time [s]        {:>10.4}", self.server.as_secs_f64())?;
+        writeln!(
+            f,
+            "Server time [s]        {:>10.4}",
+            self.server.as_secs_f64()
+        )?;
         writeln!(
             f,
             "Communication time [s] {:>10.4}",
             self.communication.as_secs_f64()
         )?;
-        writeln!(f, "Overall time [s]       {:>10.4}", self.overall().as_secs_f64())?;
-        write!(f, "Communication cost [kB] {:>9.3}", self.communication_kb())
+        writeln!(
+            f,
+            "Overall time [s]       {:>10.4}",
+            self.overall().as_secs_f64()
+        )?;
+        write!(
+            f,
+            "Communication cost [kB] {:>9.3}",
+            self.communication_kb()
+        )
     }
 }
 

@@ -145,8 +145,7 @@ impl Request {
                     if buf.len() < off + 4 {
                         return Err(err("insert entry length truncated"));
                     }
-                    let len =
-                        u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+                    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
                     off += 4;
                     if buf.len() < off + len || len < 8 {
                         return Err(err("insert entry body truncated"));
@@ -174,12 +173,9 @@ impl Request {
                 let mut distances = Vec::with_capacity(n);
                 for i in 0..n {
                     let off = 3 + 4 * i;
-                    distances.push(f32::from_le_bytes(
-                        buf[off..off + 4].try_into().unwrap(),
-                    ));
+                    distances.push(f32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
                 }
-                let radius =
-                    f64::from_le_bytes(buf[3 + 4 * n..3 + 4 * n + 8].try_into().unwrap());
+                let radius = f64::from_le_bytes(buf[3 + 4 * n..3 + 4 * n + 8].try_into().unwrap());
                 Ok(Request::Range { distances, radius })
             }
             0x03 => {
@@ -376,7 +372,10 @@ mod tests {
 
     #[test]
     fn info_round_trip() {
-        assert_eq!(Request::decode(&Request::Info.encode()).unwrap(), Request::Info);
+        assert_eq!(
+            Request::decode(&Request::Info.encode()).unwrap(),
+            Request::Info
+        );
         let resp = Response::Info {
             entries: 1_000_000,
             leaves: 1234,

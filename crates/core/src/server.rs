@@ -7,7 +7,9 @@
 //! **no key material** — compromising it yields sealed payloads and routing
 //! information only (§4.3).
 
-use simcloud_mindex::{IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing, SearchStats};
+use simcloud_mindex::{
+    IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing, SearchStats,
+};
 use simcloud_storage::BucketStore;
 use simcloud_transport::RequestHandler;
 
@@ -45,7 +47,10 @@ impl<S: BucketStore> CloudServer<S> {
         self.total_search_stats
     }
 
-    fn candidates_response(&mut self, result: Result<(Vec<IndexEntry>, SearchStats), MIndexError>) -> Response {
+    fn candidates_response(
+        &mut self,
+        result: Result<(Vec<IndexEntry>, SearchStats), MIndexError>,
+    ) -> Response {
         match result {
             Ok((entries, stats)) => {
                 self.last_search_stats = stats;
@@ -84,9 +89,9 @@ impl<S: BucketStore> CloudServer<S> {
             }
             Request::ApproxKnn { routing, cand_size } => {
                 let evaluator = match routing {
-                    Routing::Distances(ds) => PromiseEvaluator::from_distances(
-                        ds.iter().map(|&d| d as f64).collect(),
-                    ),
+                    Routing::Distances(ds) => {
+                        PromiseEvaluator::from_distances(ds.iter().map(|&d| d as f64).collect())
+                    }
                     Routing::Permutation(p) => PromiseEvaluator::from_permutation(p),
                 };
                 let result = self.index.knn_candidates(&evaluator, cand_size as usize);
@@ -158,7 +163,9 @@ mod tests {
         ]));
         assert_eq!(resp, Response::Inserted(2));
         match s.process(Request::Info) {
-            Response::Info { entries, leaves, .. } => {
+            Response::Info {
+                entries, leaves, ..
+            } => {
                 assert_eq!(entries, 2);
                 assert_eq!(leaves, 2);
             }

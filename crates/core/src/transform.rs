@@ -92,10 +92,7 @@ impl DistanceTransform {
     pub fn apply(&self, d: f64) -> f64 {
         assert!(d >= 0.0, "distances are non-negative");
         // binary search for the segment
-        let seg = match self
-            .breaks
-            .binary_search_by(|b| b.partial_cmp(&d).unwrap())
-        {
+        let seg = match self.breaks.binary_search_by(|b| b.partial_cmp(&d).unwrap()) {
             Ok(i) => i.min(self.slopes.len() - 1),
             Err(0) => 0,
             Err(i) => (i - 1).min(self.slopes.len() - 1),

@@ -54,7 +54,12 @@ fn encrypted_range_equals_brute_force() {
         let mut res: Vec<(ObjectId, f64)> = data
             .iter()
             .enumerate()
-            .map(|(i, v)| (ObjectId(i as u64), simcloud_metric::Metric::distance(&L2, q, v)))
+            .map(|(i, v)| {
+                (
+                    ObjectId(i as u64),
+                    simcloud_metric::Metric::distance(&L2, q, v),
+                )
+            })
             .filter(|(_, d)| *d <= r)
             .collect();
         res.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
@@ -143,7 +148,12 @@ fn encrypted_precise_knn_is_exact() {
     let mut want: Vec<(ObjectId, f64)> = data
         .iter()
         .enumerate()
-        .map(|(i, v)| (ObjectId(i as u64), simcloud_metric::Metric::distance(&L2, q, v)))
+        .map(|(i, v)| {
+            (
+                ObjectId(i as u64),
+                simcloud_metric::Metric::distance(&L2, q, v),
+            )
+        })
         .collect();
     want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     want.truncate(15);
@@ -178,7 +188,12 @@ fn permutation_strategy_full_candidates_reach_full_recall() {
         let mut v: Vec<(ObjectId, f64)> = data
             .iter()
             .enumerate()
-            .map(|(i, o)| (ObjectId(i as u64), simcloud_metric::Metric::distance(&L2, q, o)))
+            .map(|(i, o)| {
+                (
+                    ObjectId(i as u64),
+                    simcloud_metric::Metric::distance(&L2, q, o),
+                )
+            })
             .collect();
         v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         v.truncate(10);

@@ -50,8 +50,7 @@ fn rekey_revokes_old_key_and_preserves_answers() {
     assert_eq!(exported[7].1, data[7]);
 
     // Rotate: fresh key (same pivots, new cipher), fresh server.
-    let (new_key, new_master) =
-        SecretKey::generate(&data, 6, &L2, PivotSelection::Random, 99);
+    let (new_key, new_master) = SecretKey::generate(&data, 6, &L2, PivotSelection::Random, 99);
     let mut new_cloud = in_process(
         new_key.clone(),
         L2,

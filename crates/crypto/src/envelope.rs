@@ -23,8 +23,8 @@ use rand::RngCore;
 
 use crate::aes::Aes;
 use crate::ct_eq;
-use crate::kdf::pbkdf2_hmac_sha256;
 use crate::hmac::HmacSha256;
+use crate::kdf::pbkdf2_hmac_sha256;
 use crate::modes::{cbc_decrypt, cbc_encrypt, ctr_apply};
 
 /// Cipher mode selector for the envelope.
@@ -91,7 +91,11 @@ pub struct CipherKey {
 
 impl std::fmt::Debug for CipherKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CipherKey{{fp: {}}}", crate::hex_encode(&self.fingerprint))
+        write!(
+            f,
+            "CipherKey{{fp: {}}}",
+            crate::hex_encode(&self.fingerprint)
+        )
     }
 }
 

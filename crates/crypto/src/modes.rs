@@ -119,9 +119,7 @@ mod tests {
         let iv: [u8; 16] = hex_decode("000102030405060708090a0b0c0d0e0f")
             .try_into()
             .unwrap();
-        let pt = hex_decode(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
-        );
+        let pt = hex_decode("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         let ct = cbc_encrypt(&aes, &iv, &pt);
         // First 32 bytes must match the standard; the tail is our padding block.
         assert_eq!(

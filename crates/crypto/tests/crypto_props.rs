@@ -2,6 +2,10 @@
 //! detection over arbitrary inputs. The known-answer vectors live in the
 //! unit tests; these check the *structural* properties the similarity
 //! cloud relies on for every possible object payload.
+//!
+//! Case counts are pinned via `ProptestConfig::with_cases` and the proptest
+//! harness seeds each test from a fixed constant hashed with the test name
+//! (crates/shims/README.md), so CI runs are bit-identical to local runs.
 
 use proptest::prelude::*;
 use simcloud_crypto::envelope::EnvelopeMode;

@@ -33,7 +33,11 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "csv I/O: {e}"),
             CsvError::Parse(l, c) => write!(f, "csv parse error at line {l}, column {c}"),
-            CsvError::RaggedRows { line, expected, got } => {
+            CsvError::RaggedRows {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "row {line} has {got} values, expected {expected}")
             }
         }
@@ -152,7 +156,11 @@ mod tests {
         let p = tmp("ragged");
         std::fs::write(&p, "1,2,3\n4,5\n").unwrap();
         match load_csv(&p) {
-            Err(CsvError::RaggedRows { line: 2, expected: 3, got: 2 }) => {}
+            Err(CsvError::RaggedRows {
+                line: 2,
+                expected: 3,
+                got: 2,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
         std::fs::remove_file(p).unwrap();

@@ -2,8 +2,8 @@
 //!
 //! The paper's recall (§4.1) needs the precise answer `A_P` per query; for
 //! CoPhIR-scale data that is the dominant offline cost of running the
-//! evaluation, so we parallelize across queries with crossbeam scoped
-//! threads.
+//! evaluation, so we parallelize across queries with `std::thread::scope`
+//! (scoped threads are in std since 1.63, so no crossbeam dependency).
 
 use simcloud_metric::{Metric, ObjectId, Vector};
 
@@ -24,8 +24,7 @@ impl GroundTruth {
         if precise.is_empty() {
             return 100.0;
         }
-        let set: std::collections::HashSet<ObjectId> =
-            precise.iter().map(|(id, _)| *id).collect();
+        let set: std::collections::HashSet<ObjectId> = precise.iter().map(|(id, _)| *id).collect();
         let hits = approx.iter().filter(|(id, _)| set.contains(id)).count();
         100.0 * hits as f64 / precise.len() as f64
     }
@@ -63,16 +62,15 @@ where
     assert!(threads >= 1);
     let mut answers: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); queries.len()];
     let chunk = queries.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (qchunk, achunk) in queries.chunks(chunk).zip(answers.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (q, slot) in qchunk.iter().zip(achunk.iter_mut()) {
                     *slot = knn_one(data, q, metric, k);
                 }
             });
         }
-    })
-    .expect("ground-truth worker panicked");
+    });
     GroundTruth { answers, k }
 }
 
@@ -148,7 +146,9 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_answers() {
         let data = line(200);
-        let queries: Vec<Vector> = (0..10).map(|i| Vector::new(vec![i as f32 * 17.3])).collect();
+        let queries: Vec<Vector> = (0..10)
+            .map(|i| Vector::new(vec![i as f32 * 17.3]))
+            .collect();
         let a = parallel_knn_ground_truth(&data, &queries, &L2, 5, 1);
         let b = parallel_knn_ground_truth(&data, &queries, &L2, 5, 4);
         for (x, y) in a.answers.iter().zip(&b.answers) {
@@ -162,7 +162,12 @@ mod tests {
         let queries = vec![Vector::new(vec![5.0])];
         let gt = parallel_knn_ground_truth(&data, &queries, &L2, 4, 1);
         // true: 5,4,6,3 — give an approx answer with 2 hits
-        let approx = vec![(ObjectId(5), 0.0), (ObjectId(4), 1.0), (ObjectId(40), 35.0), (ObjectId(41), 36.0)];
+        let approx = vec![
+            (ObjectId(5), 0.0),
+            (ObjectId(4), 1.0),
+            (ObjectId(40), 35.0),
+            (ObjectId(41), 36.0),
+        ];
         assert!((gt.recall(0, &approx) - 50.0).abs() < 1e-9);
         assert!((gt.mean_recall(&[approx]) - 50.0).abs() < 1e-9);
         assert_eq!(gt.kth_distance(0), Some(2.0));

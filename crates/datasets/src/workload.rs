@@ -23,7 +23,11 @@ pub struct QueryWorkload {
 impl QueryWorkload {
     /// Paper §5.3 style: queries are members of the indexed set.
     pub fn members(data: &[Vector], count: usize, seed: u64) -> Self {
-        assert!(count <= data.len(), "cannot sample {count} from {}", data.len());
+        assert!(
+            count <= data.len(),
+            "cannot sample {count} from {}",
+            data.len()
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut idx: Vec<usize> = (0..data.len()).collect();
         idx.shuffle(&mut rng);

@@ -74,7 +74,11 @@ impl DistanceHistogram {
             f64::INFINITY
         };
         let mut hist = vec![0u64; bins];
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         for &d in ds {
             let mut b = ((d - lo) / width) as usize;
             if b >= bins {

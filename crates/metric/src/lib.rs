@@ -36,7 +36,7 @@ pub mod vector;
 
 pub use counting::CountingMetric;
 pub use extra::{Angular, Hamming, Scaled};
-pub use metrics::{CombinedMetric, DescriptorBlock, EditDistance, Metric, L1, L2, Linf, Lp};
+pub use metrics::{CombinedMetric, DescriptorBlock, EditDistance, Linf, Lp, Metric, L1, L2};
 pub use permutation::{permutation_from_distances, PivotPermutation};
 pub use pivots::{select_pivots, PivotSelection};
 pub use vector::Vector;
@@ -44,7 +44,9 @@ pub use vector::Vector;
 /// Identifier of an indexed object. The similarity cloud returns IDs of
 /// relevant objects; the raw-data storage resolves them to original content
 /// (paper §2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ObjectId(pub u64);
 
 impl std::fmt::Display for ObjectId {

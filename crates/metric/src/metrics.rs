@@ -205,7 +205,10 @@ impl CombinedMetric {
     /// Builds a combined metric; blocks must tile `[0, total_dim)` without
     /// overlap (checked).
     pub fn new(blocks: Vec<DescriptorBlock>) -> Self {
-        assert!(!blocks.is_empty(), "combined metric needs at least one block");
+        assert!(
+            !blocks.is_empty(),
+            "combined metric needs at least one block"
+        );
         let mut covered = 0usize;
         for b in &blocks {
             assert_eq!(
@@ -229,11 +232,11 @@ impl CombinedMetric {
     /// with weights resembling the CoPhIR aggregate.
     pub fn cophir_default() -> Self {
         let spec: [(usize, f64, f64); 5] = [
-            (64, 1.0, 2.0),  // ScalableColor
-            (64, 1.0, 3.0),  // ColorStructure
-            (12, 2.0, 2.0),  // ColorLayout
-            (80, 1.0, 4.0),  // EdgeHistogram
-            (62, 2.0, 0.5),  // HomogeneousTexture
+            (64, 1.0, 2.0), // ScalableColor
+            (64, 1.0, 3.0), // ColorStructure
+            (12, 2.0, 2.0), // ColorLayout
+            (80, 1.0, 4.0), // EdgeHistogram
+            (62, 2.0, 0.5), // HomogeneousTexture
         ];
         let mut blocks = Vec::with_capacity(spec.len());
         let mut start = 0;
@@ -262,7 +265,11 @@ impl CombinedMetric {
 
 impl Metric<Vector> for CombinedMetric {
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
-        assert_eq!(a.dim(), self.total_dim, "vector does not match metric layout");
+        assert_eq!(
+            a.dim(),
+            self.total_dim,
+            "vector does not match metric layout"
+        );
         check_dims(a, b);
         let xs = a.as_slice();
         let ys = b.as_slice();

@@ -167,15 +167,27 @@ mod tests {
 
     #[test]
     fn farthest_first_spreads_pivots() {
-        // A line of points: farthest-first from any start must include both
-        // extremes among the first three pivots.
+        // A line of points: whatever the random start pivot s, the second
+        // pivot is the extreme farther from s, so the spread is at least
+        // max(s, 99-s) >= half the diameter. (Both extremes appear only when
+        // s is central — that is start-dependent, so it is not asserted.)
         let data: Vec<Vector> = (0..100).map(|i| Vector::new(vec![i as f32])).collect();
-        let p = select_pivots(&data, 3, &L2, PivotSelection::FarthestFirst, 1);
-        let xs: Vec<f32> = p.iter().map(|v| v[0]).collect();
-        assert!(xs.contains(&0.0) || xs.contains(&99.0));
-        let spread = xs.iter().cloned().fold(f32::MIN, f32::max)
-            - xs.iter().cloned().fold(f32::MAX, f32::min);
-        assert!(spread >= 90.0, "spread {spread} too small");
+        for seed in 0..8 {
+            let p = select_pivots(&data, 3, &L2, PivotSelection::FarthestFirst, seed);
+            let xs: Vec<f32> = p.iter().map(|v| v[0]).collect();
+            assert!(
+                xs.contains(&0.0) || xs.contains(&99.0),
+                "no extreme among pivots {xs:?} (seed {seed})"
+            );
+            let spread = xs.iter().cloned().fold(f32::MIN, f32::max)
+                - xs.iter().cloned().fold(f32::MAX, f32::min);
+            assert!(spread >= 49.5, "spread {spread} too small (seed {seed})");
+            assert_eq!(xs.len(), 3);
+            assert!(
+                xs[0] != xs[1] && xs[1] != xs[2] && xs[0] != xs[2],
+                "duplicate pivots"
+            );
+        }
     }
 
     #[test]

@@ -2,11 +2,15 @@
 //! paper relies on (§1): non-negativity, identity of indiscernibles,
 //! symmetry, triangle inequality. Pruning rules in the M-Index are *only*
 //! correct if these hold, so they are the foundational invariants.
+//!
+//! Case counts are pinned via `ProptestConfig::with_cases` and the proptest
+//! harness seeds each test from a fixed constant hashed with the test name
+//! (crates/shims/README.md), so CI runs are bit-identical to local runs.
 
 use proptest::prelude::*;
 use simcloud_metric::{
-    permutation_from_distances, Angular, CombinedMetric, EditDistance, Hamming, Metric, Scaled,
-    Vector, L1, L2, Linf, Lp,
+    permutation_from_distances, Angular, CombinedMetric, EditDistance, Hamming, Linf, Lp, Metric,
+    Scaled, Vector, L1, L2,
 };
 
 const EPS: f64 = 1e-9;

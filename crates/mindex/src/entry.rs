@@ -150,8 +150,7 @@ impl IndexEntry {
         if buf.len() < used + 4 {
             return None;
         }
-        let len =
-            u32::from_le_bytes(buf[used..used + 4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(buf[used..used + 4].try_into().unwrap()) as usize;
         if buf.len() < used + 4 + len {
             return None;
         }

@@ -57,7 +57,10 @@ impl std::fmt::Display for MIndexError {
         match self {
             MIndexError::Storage(e) => write!(f, "storage error: {e}"),
             MIndexError::Corrupt(s) => write!(f, "corrupt index data: {s}"),
-            MIndexError::WrongStrategy { required, configured } => write!(
+            MIndexError::WrongStrategy {
+                required,
+                configured,
+            } => write!(
                 f,
                 "operation requires {required} routing but index stores {configured}"
             ),
@@ -314,8 +317,8 @@ impl<S: BucketStore> MIndex<S> {
                     let records = store.read_bucket(leaf.bucket)?;
                     for rec in records {
                         stats.entries_scanned += 1;
-                        let entry = IndexEntry::decode_payload(rec.id, &rec.payload)
-                            .ok_or_else(|| {
+                        let entry =
+                            IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
                                 MIndexError::Corrupt(format!("record {} undecodable", rec.id))
                             })?;
                         let keep = match entry.routing.distances() {
@@ -417,8 +420,8 @@ impl<S: BucketStore> MIndex<S> {
                     let records = store.read_bucket(leaf.bucket)?;
                     for rec in records {
                         stats.entries_scanned += 1;
-                        let entry = IndexEntry::decode_payload(rec.id, &rec.payload)
-                            .ok_or_else(|| {
+                        let entry =
+                            IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
                                 MIndexError::Corrupt(format!("record {} undecodable", rec.id))
                             })?;
                         // Within-cell rank: pivot-filter lower bound when
@@ -456,9 +459,11 @@ impl<S: BucketStore> MIndex<S> {
         let mut out = Vec::with_capacity(self.entries as usize);
         for b in ids {
             for rec in self.store.read_bucket(b)? {
-                out.push(IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(
-                    || MIndexError::Corrupt(format!("record {} undecodable", rec.id)),
-                )?);
+                out.push(
+                    IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
+                        MIndexError::Corrupt(format!("record {} undecodable", rec.id))
+                    })?,
+                );
             }
         }
         Ok(out)
@@ -524,11 +529,8 @@ mod tests {
     #[test]
     fn strategy_mismatch_rejected() {
         let mut idx = MIndex::new(cfg(3, 2, 2), MemoryStore::new()).unwrap();
-        let perm_entry = IndexEntry::new(
-            1,
-            Routing::permutation_prefix(&[0.1, 0.2, 0.3], 2),
-            vec![],
-        );
+        let perm_entry =
+            IndexEntry::new(1, Routing::permutation_prefix(&[0.1, 0.2, 0.3], 2), vec![]);
         assert!(matches!(
             idx.insert(perm_entry),
             Err(MIndexError::WrongStrategy { .. })
@@ -591,7 +593,8 @@ mod tests {
         // 1-D line world: pivot 0 at x=0, pivot 1 at x=10.
         // object at x: distances (x, 10-x) for x in 0..=10
         for x in 0..=10u64 {
-            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64])).unwrap();
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64]))
+                .unwrap();
         }
         // query at x=2 (distances 2, 8), radius 1.5 → true matches x ∈ {1,2,3}
         let (cands, stats) = idx.range_candidates(&[2.0, 8.0], 1.5).unwrap();
@@ -609,7 +612,8 @@ mod tests {
     fn knn_candidates_respects_cand_size_and_ranking() {
         let mut idx = MIndex::new(cfg(2, 1, 4), MemoryStore::new()).unwrap();
         for x in 0..=10u64 {
-            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64])).unwrap();
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64]))
+                .unwrap();
         }
         let ev = PromiseEvaluator::from_distances(vec![2.0, 8.0]);
         let (cands, stats) = idx.knn_candidates(&ev, 5).unwrap();
@@ -684,7 +688,8 @@ mod tests {
     fn zero_radius_query_finds_exact_point() {
         let mut idx = MIndex::new(cfg(2, 2, 3), MemoryStore::new()).unwrap();
         for x in 0..=10u64 {
-            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64])).unwrap();
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64]))
+                .unwrap();
         }
         let (cands, _) = idx.range_candidates(&[7.0, 3.0], 0.0).unwrap();
         assert_eq!(cands.len(), 1);

@@ -79,7 +79,10 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                assert!(seen.insert(cell_ordinal(&[a, b], n)), "collision at [{a},{b}]");
+                assert!(
+                    seen.insert(cell_ordinal(&[a, b], n)),
+                    "collision at [{a},{b}]"
+                );
             }
         }
     }
@@ -112,7 +115,10 @@ mod tests {
         let n = 3;
         let k = scalar_key(&[1], 10.0, 10.0, n);
         let (lo, hi) = cell_interval(&[1], n);
-        assert!(k >= lo && k < hi, "boundary distance must not leak into the next cell");
+        assert!(
+            k >= lo && k < hi,
+            "boundary distance must not leak into the next cell"
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
 
     /// Precise range query `R(q, r)` — candidates from Alg. 3, refined
     /// server-side. Returns `(id, distance)` sorted by distance.
-    pub fn range(&mut self, q: &Vector, radius: f64) -> Result<(Vec<Neighbor>, SearchStats), MIndexError> {
+    pub fn range(
+        &mut self,
+        q: &Vector,
+        radius: f64,
+    ) -> Result<(Vec<Neighbor>, SearchStats), MIndexError> {
         let qd = self.pivot_distances(q);
         let (cands, stats) = self.index.range_candidates(&qd, radius)?;
         let mut result = Vec::new();
@@ -277,7 +281,10 @@ mod tests {
             assert_eq!(got.len(), 10);
             // Distances must agree even if tie ordering differs.
             for ((gid, gd), (wid, wd)) in got.iter().zip(&want) {
-                assert!((gd - wd).abs() < 1e-9, "query {qi}: {gid:?}@{gd} vs {wid:?}@{wd}");
+                assert!(
+                    (gd - wd).abs() < 1e-9,
+                    "query {qi}: {gid:?}@{gd} vs {wid:?}@{wd}"
+                );
             }
         }
     }

@@ -41,9 +41,7 @@ pub fn distance_penalty_step(query_distances: &[f64], d_min: f64, pivot: u16, k:
 /// maximal displacement `perm.len()`.
 #[inline]
 pub fn permutation_penalty_step(query_perm: &PivotPermutation, pivot: u16, k: usize) -> f64 {
-    let rank = query_perm
-        .rank_of(pivot)
-        .unwrap_or(query_perm.len());
+    let rank = query_perm.rank_of(pivot).unwrap_or(query_perm.len());
     level_weight(k) * (rank as f64 - k as f64).abs()
 }
 

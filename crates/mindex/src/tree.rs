@@ -169,10 +169,7 @@ impl CellTree {
     /// replaced leaf (the index re-inserts its records one level deeper).
     pub fn split_leaf(&mut self, prefix: &[u16]) -> LeafCell {
         let first = prefix[0];
-        let node = Self::descend_mut(
-            self.roots.get_mut(&first).expect("root exists"),
-            prefix,
-        );
+        let node = Self::descend_mut(self.roots.get_mut(&first).expect("root exists"), prefix);
         match std::mem::replace(
             node,
             Node::Internal {
@@ -200,11 +197,7 @@ impl CellTree {
         }
     }
 
-    fn walk<'a>(
-        node: &'a Node,
-        prefix: &mut Vec<u16>,
-        f: &mut impl FnMut(&[u16], &'a LeafCell),
-    ) {
+    fn walk<'a>(node: &'a Node, prefix: &mut Vec<u16>, f: &mut impl FnMut(&[u16], &'a LeafCell)) {
         match node {
             Node::Leaf(leaf) => f(prefix, leaf),
             Node::Internal { children } => {

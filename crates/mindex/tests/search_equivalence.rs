@@ -159,10 +159,7 @@ fn duplicates_are_preserved() {
 #[test]
 fn insert_order_does_not_change_results() {
     let data = random_data(120, 3, 5);
-    let mut orders: Vec<Vec<usize>> = vec![
-        (0..120).collect(),
-        (0..120).rev().collect(),
-    ];
+    let mut orders: Vec<Vec<usize>> = vec![(0..120).collect(), (0..120).rev().collect()];
     let mut interleaved: Vec<usize> = Vec::new();
     for i in 0..60 {
         interleaved.push(i);

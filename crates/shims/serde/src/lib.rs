@@ -1,0 +1,24 @@
+//! Offline shim for `serde`'s derive macros.
+//!
+//! The workspace annotates public types with `#[derive(Serialize,
+//! Deserialize)]` so that a future PR can turn on real serde-based
+//! persistence, but nothing in the seed actually serializes through serde —
+//! all wire/storage encoding is hand-rolled in the protocol and storage
+//! layers. Since the build environment is offline (no crates.io), this shim
+//! provides the two derive macros as no-ops: the attribute compiles, no code
+//! is generated, and no `Serialize`/`Deserialize` trait bound exists anywhere
+//! to need it. Swapping in real serde later is a one-line manifest change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

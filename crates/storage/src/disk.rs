@@ -328,7 +328,9 @@ impl DiskStore {
             };
             out.extend_from_slice(&chunk);
             if next == page {
-                return Err(StorageError::Corrupt(format!("page {page} links to itself")));
+                return Err(StorageError::Corrupt(format!(
+                    "page {page} links to itself"
+                )));
             }
             page = next;
         }
@@ -449,7 +451,9 @@ impl BucketStore for DiskStore {
     }
 
     fn bucket_len(&mut self, bucket: BucketId) -> usize {
-        self.directory.get(&bucket).map_or(0, |m| m.records as usize)
+        self.directory
+            .get(&bucket)
+            .map_or(0, |m| m.records as usize)
     }
 
     fn delete_bucket(&mut self, bucket: BucketId) -> Result<(), StorageError> {
@@ -511,7 +515,10 @@ mod tests {
     }
 
     fn rec(id: u64, len: usize) -> Record {
-        Record::new(id, (0..len).map(|i| ((id as usize + i) % 256) as u8).collect())
+        Record::new(
+            id,
+            (0..len).map(|i| ((id as usize + i) % 256) as u8).collect(),
+        )
     }
 
     #[test]

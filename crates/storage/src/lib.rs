@@ -27,7 +27,9 @@ pub use memory::MemoryStore;
 pub use record::Record;
 
 /// Identifier of a bucket (an M-Index leaf owns exactly one bucket).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct BucketId(pub u64);
 
 impl std::fmt::Display for BucketId {

@@ -70,8 +70,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TransportError::Disconnected.to_string().contains("disconnected"));
-        assert!(TransportError::BadFrame("x".into()).to_string().contains("x"));
+        assert!(TransportError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+        assert!(TransportError::BadFrame("x".into())
+            .to_string()
+            .contains("x"));
         let e: TransportError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
     }

@@ -173,7 +173,9 @@ impl Transport for TcpTransport {
         let framed = read_frame(&mut self.stream)?;
         let elapsed = start.elapsed();
         if framed.len() < 8 {
-            return Err(TransportError::BadFrame("missing server-time header".into()));
+            return Err(TransportError::BadFrame(
+                "missing server-time header".into(),
+            ));
         }
         let server_ns = u64::from_le_bytes(framed[0..8].try_into().unwrap());
         let server_time = Duration::from_nanos(server_ns);

@@ -192,7 +192,10 @@ mod tests {
         let t = m.transfer_time(500);
         assert!((t.as_secs_f64() - 0.501).abs() < 1e-9);
         // WAN slower than loopback for same bytes
-        assert!(NetworkModel::wan().transfer_time(10_000) > NetworkModel::loopback().transfer_time(10_000));
+        assert!(
+            NetworkModel::wan().transfer_time(10_000)
+                > NetworkModel::loopback().transfer_time(10_000)
+        );
     }
 
     #[test]

@@ -89,13 +89,8 @@ fn main() {
     );
 
     let attacker_data = simcloud::datasets::human_like(666, Some(100));
-    let (attacker_key, _) = SecretKey::generate(
-        &attacker_data.vectors,
-        50,
-        &L1,
-        PivotSelection::Random,
-        666,
-    );
+    let (attacker_key, _) =
+        SecretKey::generate(&attacker_data.vectors, 50, &L1, PivotSelection::Random, 666);
     match attacker_key.cipher().unseal(&sealed) {
         Err(e) => println!("  attacker with wrong key: {e}"),
         Ok(_) => unreachable!("HMAC must reject a wrong key"),

@@ -25,14 +25,9 @@ fn main() {
 
     // 100 pivots, disk-backed buckets — the paper's CoPhIR configuration
     // (Table 2).
-    let (key, _) = SecretKey::generate(
-        &dataset.vectors,
-        100,
-        &metric,
-        PivotSelection::Random,
-        11,
-    );
-    let store_path = std::env::temp_dir().join(format!("simcloud-images-{}.db", std::process::id()));
+    let (key, _) = SecretKey::generate(&dataset.vectors, 100, &metric, PivotSelection::Random, 11);
+    let store_path =
+        std::env::temp_dir().join(format!("simcloud-images-{}.db", std::process::id()));
     let store = DiskStore::create(&store_path).expect("disk store");
     let mut cloud = simcloud::core::in_process(
         key,
@@ -43,7 +38,9 @@ fn main() {
     )
     .expect("config");
 
-    println!("indexing {n} image descriptors (this computes 100 distances per image on the client)…");
+    println!(
+        "indexing {n} image descriptors (this computes 100 distances per image on the client)…"
+    );
     let objects: Vec<(ObjectId, Vector)> = dataset
         .vectors
         .iter()
@@ -66,10 +63,18 @@ fn main() {
     // "Find images visually similar to this one" with increasing candidate
     // budgets — the accuracy/cost dial of Table 6.
     let query = &dataset.vectors[123];
-    let truth =
-        simcloud::datasets::parallel_knn_ground_truth(&dataset.vectors, &[query.clone()], &metric, 30, 8);
+    let truth = simcloud::datasets::parallel_knn_ground_truth(
+        &dataset.vectors,
+        &[query.clone()],
+        &metric,
+        30,
+        8,
+    );
     println!("— approximate 30-NN at increasing candidate budgets —");
-    println!("{:>10} {:>10} {:>12} {:>10}", "CandSize", "recall %", "overall s", "kB moved");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "CandSize", "recall %", "overall s", "kB moved"
+    );
     for frac in [0.0005, 0.005, 0.05] {
         let cand = ((n as f64 * frac) as usize).max(30);
         let (res, costs) = cloud.knn_approx(query, 30, cand).expect("knn");
@@ -83,6 +88,8 @@ fn main() {
     }
 
     let (entries, leaves, depth) = cloud.server_info().expect("info");
-    println!("\nserver state: {entries} sealed descriptors in {leaves} Voronoi cells (depth {depth})");
+    println!(
+        "\nserver state: {entries} sealed descriptors in {leaves} Voronoi cells (depth {depth})"
+    );
     let _ = std::fs::remove_file(store_path);
 }

@@ -61,14 +61,9 @@ fn main() {
     // ---- Level 3: the Encrypted M-Index ------------------------------------
     {
         let (key, _) = SecretKey::generate(data, 30, &L1, PivotSelection::Random, 2);
-        let mut cloud = simcloud::core::in_process(
-            key,
-            L1,
-            cfg,
-            MemoryStore::new(),
-            ClientConfig::distances(),
-        )
-        .expect("config");
+        let mut cloud =
+            simcloud::core::in_process(key, L1, cfg, MemoryStore::new(), ClientConfig::distances())
+                .expect("config");
         for chunk in objects.chunks(1000) {
             cloud.insert_bulk(chunk).expect("insert");
         }

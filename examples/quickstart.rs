@@ -32,14 +32,9 @@ fn main() {
     // the real two-process deployment instead.
     let mut cfg = MIndexConfig::yeast();
     cfg.num_pivots = 30;
-    let mut cloud = simcloud::core::in_process(
-        key,
-        L1,
-        cfg,
-        MemoryStore::new(),
-        ClientConfig::distances(),
-    )
-    .expect("valid configuration");
+    let mut cloud =
+        simcloud::core::in_process(key, L1, cfg, MemoryStore::new(), ClientConfig::distances())
+            .expect("valid configuration");
 
     // --- Construction phase (Alg. 1, Fig. 4) -------------------------------
     // Client computes object-pivot distances, encrypts each object, ships

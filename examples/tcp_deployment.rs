@@ -22,14 +22,9 @@ fn main() {
     cfg.num_pivots = 30;
 
     // Server thread + connected client.
-    let (mut cloud, server) = simcloud::core::over_tcp(
-        key,
-        L1,
-        cfg,
-        MemoryStore::new(),
-        ClientConfig::distances(),
-    )
-    .expect("tcp deployment");
+    let (mut cloud, server) =
+        simcloud::core::over_tcp(key, L1, cfg, MemoryStore::new(), ClientConfig::distances())
+            .expect("tcp deployment");
     println!("similarity cloud listening on {}", server.addr());
 
     let objects: Vec<(ObjectId, Vector)> = data

@@ -63,7 +63,7 @@ pub mod prelude {
         SecretKey,
     };
     pub use simcloud_metric::{
-        CombinedMetric, Metric, ObjectId, PivotSelection, Vector, L1, L2, Lp,
+        CombinedMetric, Lp, Metric, ObjectId, PivotSelection, Vector, L1, L2,
     };
     pub use simcloud_mindex::{recall, MIndexConfig, PlainMIndex, RoutingStrategy};
     pub use simcloud_storage::{DiskStore, MemoryStore};
@@ -81,14 +81,8 @@ mod tests {
         let (key, _) = SecretKey::generate(&data, 4, &L2, PivotSelection::Random, 1);
         let mut cfg = MIndexConfig::yeast();
         cfg.num_pivots = 4;
-        let mut cloud = in_process(
-            key,
-            L2,
-            cfg,
-            MemoryStore::new(),
-            ClientConfig::distances(),
-        )
-        .unwrap();
+        let mut cloud =
+            in_process(key, L2, cfg, MemoryStore::new(), ClientConfig::distances()).unwrap();
         let objects: Vec<(ObjectId, Vector)> = data
             .iter()
             .cloned()

@@ -32,14 +32,9 @@ fn tcp_and_in_process_deployments_agree() {
     )
     .unwrap()
     .with_rng_seed(5);
-    let (mut remote, server) = simcloud::core::over_tcp(
-        key,
-        L1,
-        cfg,
-        MemoryStore::new(),
-        ClientConfig::distances(),
-    )
-    .unwrap();
+    let (mut remote, server) =
+        simcloud::core::over_tcp(key, L1, cfg, MemoryStore::new(), ClientConfig::distances())
+            .unwrap();
 
     let objs = objects(data);
     local.insert_bulk(&objs).unwrap();
@@ -88,15 +83,10 @@ fn disk_backed_cloud_survives_data_volume() {
     cfg.bucket_capacity = 100;
     let path = std::env::temp_dir().join(format!("simcloud-int-{}.db", std::process::id()));
     let store = DiskStore::create(&path).unwrap();
-    let mut cloud = simcloud::core::in_process(
-        key,
-        metric.clone(),
-        cfg,
-        store,
-        ClientConfig::distances(),
-    )
-    .unwrap()
-    .with_rng_seed(11);
+    let mut cloud =
+        simcloud::core::in_process(key, metric.clone(), cfg, store, ClientConfig::distances())
+            .unwrap()
+            .with_rng_seed(11);
     cloud.insert_bulk(&objects(&dataset.vectors)).unwrap();
     let q = &dataset.vectors[5];
     let (res, _) = cloud.knn_approx(q, 10, 200).unwrap();
@@ -175,8 +165,7 @@ fn server_never_sees_plaintext() {
 
     // The plaintext object bytes must not appear in the request.
     assert!(
-        !req
-            .windows(plain.len().min(16))
+        !req.windows(plain.len().min(16))
             .any(|w| w == &plain[..plain.len().min(16)]),
         "plaintext leaked into the insert request"
     );
@@ -250,7 +239,14 @@ fn tampered_candidates_are_rejected() {
 fn mindex_routing_supports_any_metric() {
     use simcloud_metric::{permutation_from_distances, EditDistance};
     let words = [
-        "similarity", "similarly", "simulator", "cloud", "clouds", "cloudy", "metric", "matric",
+        "similarity",
+        "similarly",
+        "simulator",
+        "cloud",
+        "clouds",
+        "cloudy",
+        "metric",
+        "matric",
     ];
     let pivots = ["similar", "cloud"];
     let m = EditDistance;
@@ -263,9 +259,7 @@ fn mindex_routing_supports_any_metric() {
             .collect();
         let perm = permutation_from_distances(&ds);
         assert_eq!(perm.len(), 2);
-        if Metric::<str>::distance(&m, w, "similar")
-            < Metric::<str>::distance(&m, w, "cloud")
-        {
+        if Metric::<str>::distance(&m, w, "similar") < Metric::<str>::distance(&m, w, "cloud") {
             assert_eq!(perm.closest(), Some(0), "{w}");
         }
     }
