@@ -113,7 +113,7 @@ pub const BULK: usize = 1000;
 pub fn construction_encrypted(ds: &Dataset, seed: u64) -> CostReport {
     let (key, _) = SecretKey::generate(
         &ds.vectors,
-        ds_config(ds).num_pivots,
+        dataset_config(ds).num_pivots,
         &ds.metric,
         PivotSelection::Random,
         seed,
@@ -121,7 +121,7 @@ pub fn construction_encrypted(ds: &Dataset, seed: u64) -> CostReport {
     let mut cloud = in_process(
         key,
         ds.metric.clone(),
-        ds_config(ds),
+        dataset_config(ds),
         MemoryStore::new(),
         ClientConfig::distances(),
     )
@@ -138,7 +138,7 @@ pub fn construction_encrypted(ds: &Dataset, seed: u64) -> CostReport {
 /// Basic (non-encrypted) M-Index construction (Table 4): the client ships
 /// raw vectors; the server computes pivot distances and builds the index.
 pub fn construction_plain(ds: &Dataset, seed: u64) -> CostReport {
-    let cfg = ds_config(ds);
+    let cfg = dataset_config(ds);
     let pivots = simcloud_metric::select_pivots(
         &ds.vectors,
         cfg.num_pivots,
@@ -181,7 +181,9 @@ pub fn construction_plain(ds: &Dataset, seed: u64) -> CostReport {
     costs
 }
 
-fn ds_config(ds: &Dataset) -> MIndexConfig {
+/// The paper's M-Index parameters for a generated dataset (Table 2),
+/// matched by name.
+pub fn dataset_config(ds: &Dataset) -> MIndexConfig {
     match ds.name.as_str() {
         "YEAST" => MIndexConfig::yeast(),
         "HUMAN" => MIndexConfig::human(),
@@ -213,7 +215,7 @@ pub fn search_encrypted(
     k: usize,
     seed: u64,
 ) -> Vec<SearchRow> {
-    let cfg = ds_config(ds);
+    let cfg = dataset_config(ds);
     let (key, _) = SecretKey::generate(
         &ds.vectors,
         cfg.num_pivots,
@@ -270,7 +272,7 @@ pub fn search_plain(
     k: usize,
     seed: u64,
 ) -> Vec<SearchRow> {
-    let cfg = ds_config(ds);
+    let cfg = dataset_config(ds);
     let pivots = simcloud_metric::select_pivots(
         &ds.vectors,
         cfg.num_pivots,
@@ -361,7 +363,7 @@ pub fn comparison_1nn(ds: &Dataset, queries: usize, seed: u64) -> Vec<Comparison
 
     // --- Encrypted M-Index, single-cell candidate sets -----------------
     {
-        let cfg = ds_config(ds);
+        let cfg = dataset_config(ds);
         let (key, _) = SecretKey::generate(
             &workload.indexed,
             cfg.num_pivots,
@@ -481,7 +483,7 @@ pub fn ablation_pivots(
     );
     let mut out = Vec::new();
     for &np in pivot_counts {
-        let mut cfg = ds_config(ds);
+        let mut cfg = dataset_config(ds);
         cfg.num_pivots = np;
         cfg.max_level = cfg.max_level.min(np);
         let (key, _) =
@@ -547,7 +549,7 @@ pub fn ablation_strategy(
             ClientConfig::permutations(),
         ),
     ] {
-        let mut cfg = ds_config(ds);
+        let mut cfg = dataset_config(ds);
         cfg.strategy = strategy;
         let (key, _) = SecretKey::generate(
             &ds.vectors,
@@ -591,7 +593,7 @@ pub fn ablation_transform(
 ) -> Vec<(f64, u64, u64)> {
     use simcloud_core::DistanceTransform;
     use simcloud_metric::analysis::DistanceHistogram;
-    let cfg = ds_config(ds);
+    let cfg = dataset_config(ds);
     let (key, _) = SecretKey::generate(
         &ds.vectors,
         cfg.num_pivots,
@@ -661,7 +663,7 @@ pub fn ablation_k(
     queries: usize,
     seed: u64,
 ) -> Vec<(usize, f64)> {
-    let cfg = ds_config(ds);
+    let cfg = dataset_config(ds);
     let (key, _) = SecretKey::generate(
         &ds.vectors,
         cfg.num_pivots,
@@ -711,7 +713,7 @@ pub fn ablation_network(
     seed: u64,
 ) -> Vec<(&'static str, Duration, Duration)> {
     use simcloud_core::in_process_with_model;
-    let cfg = ds_config(ds);
+    let cfg = dataset_config(ds);
     let (key, _) = SecretKey::generate(
         &ds.vectors,
         cfg.num_pivots,

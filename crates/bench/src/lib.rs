@@ -18,8 +18,10 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod steady;
 pub mod tables;
 
 pub use experiments::*;
 pub use scale::Scale;
+pub use steady::{prebuild, steady_state_batch, steady_state_encrypted, PreBuilt, SteadyState};
 pub use tables::Table;

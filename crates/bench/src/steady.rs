@@ -1,0 +1,187 @@
+//! Steady-state search throughput — the ROADMAP perf target.
+//!
+//! The seed search bench rebuilt the index inside every iteration, so its
+//! numbers mixed construction into the search cost. Here the index is built
+//! **once**, then encrypted approximate k-NN queries are driven against it
+//! and reported as queries/second:
+//!
+//! * [`steady_state_encrypted`] — `threads` clients share one
+//!   `Arc<CloudServer>` through the `&self` handler path (1 thread = the
+//!   classic single-client number, 4 threads = the concurrent serving
+//!   mode);
+//! * [`steady_state_batch`] — the batch query API: all queries of a chunk
+//!   travel in one round trip.
+//!
+//! Throughput is end-to-end per query: pivot distances + server candidate
+//! selection + decryption + refinement, i.e. the paper's whole Alg. 2 loop.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use simcloud_core::{client_for, ClientConfig, CloudServer, SecretKey};
+use simcloud_datasets::{Dataset, QueryWorkload};
+use simcloud_metric::{ObjectId, PivotSelection};
+use simcloud_storage::MemoryStore;
+
+use crate::experiments::BULK;
+
+/// Result of one steady-state run.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyState {
+    /// Query threads driving the shared server.
+    pub threads: usize,
+    /// Total queries executed across threads.
+    pub queries: u64,
+    /// Wall-clock time of the query phase (construction excluded).
+    pub elapsed: Duration,
+}
+
+impl SteadyState {
+    /// Aggregate throughput in queries per second.
+    pub fn queries_per_second(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// A pre-built encrypted deployment: shared server + the key/workload
+/// needed to drive queries against it.
+pub struct PreBuilt {
+    /// The shared server holding the fully built index.
+    pub server: Arc<CloudServer<MemoryStore>>,
+    /// The data owner's key (clients clone it).
+    pub key: SecretKey,
+    /// Member queries drawn from the indexed data.
+    pub workload: QueryWorkload,
+    /// Dataset the index was built from.
+    pub dataset: Dataset,
+}
+
+/// Builds the index once (outside any timed region).
+pub fn prebuild(ds: Dataset, queries: usize, seed: u64) -> PreBuilt {
+    let cfg = crate::experiments::dataset_config(&ds);
+    let (key, _) = SecretKey::generate(
+        &ds.vectors,
+        cfg.num_pivots,
+        &ds.metric,
+        PivotSelection::Random,
+        seed,
+    );
+    let server = Arc::new(CloudServer::new(cfg, MemoryStore::new()).expect("valid config"));
+    let mut owner = client_for(
+        key.clone(),
+        ds.metric.clone(),
+        Arc::clone(&server),
+        ClientConfig::distances(),
+    )
+    .with_rng_seed(seed ^ 1);
+    let objects: Vec<(ObjectId, _)> = ds
+        .vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (ObjectId(i as u64), v.clone()))
+        .collect();
+    for chunk in objects.chunks(BULK) {
+        owner.insert_bulk(chunk).expect("insert");
+    }
+    let workload = QueryWorkload::members(&ds.vectors, queries, seed ^ 3);
+    PreBuilt {
+        server,
+        key,
+        workload,
+        dataset: ds,
+    }
+}
+
+/// Runs `rounds` passes over the workload from `threads` concurrent
+/// clients, all sharing `pre.server` through the lock-free read path.
+/// Returns the aggregate steady-state throughput.
+pub fn steady_state_encrypted(
+    pre: &PreBuilt,
+    cand_size: usize,
+    k: usize,
+    threads: usize,
+    rounds: usize,
+    seed: u64,
+) -> SteadyState {
+    let start = Instant::now();
+    let per_thread: u64 = (rounds * pre.workload.len()) as u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let server = Arc::clone(&pre.server);
+                let key = pre.key.clone();
+                let metric = pre.dataset.metric.clone();
+                let workload = &pre.workload;
+                scope.spawn(move || {
+                    let mut client = client_for(key, metric, server, ClientConfig::distances())
+                        .with_rng_seed(seed ^ t as u64);
+                    for _ in 0..rounds {
+                        for q in &workload.queries {
+                            let (res, _) = client.knn_approx(q, k, cand_size).expect("search");
+                            std::hint::black_box(res);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("query thread");
+        }
+    });
+    SteadyState {
+        threads,
+        queries: per_thread * threads as u64,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Single-threaded batch-API variant: the whole workload travels in
+/// `ceil(len/batch)` round trips per round instead of one per query.
+pub fn steady_state_batch(
+    pre: &PreBuilt,
+    cand_size: usize,
+    k: usize,
+    batch: usize,
+    rounds: usize,
+    seed: u64,
+) -> SteadyState {
+    let mut client = client_for(
+        pre.key.clone(),
+        pre.dataset.metric.clone(),
+        Arc::clone(&pre.server),
+        ClientConfig::distances(),
+    )
+    .with_rng_seed(seed ^ 0xba7c);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for chunk in pre.workload.queries.chunks(batch.max(1)) {
+            let (res, _) = client
+                .knn_approx_batch(chunk, k, cand_size)
+                .expect("batch search");
+            std::hint::black_box(res);
+        }
+    }
+    SteadyState {
+        threads: 1,
+        queries: (rounds * pre.workload.len()) as u64,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Which;
+
+    #[test]
+    fn steady_state_smoke() {
+        let pre = prebuild(Which::Yeast.dataset(300, 11), 4, 5);
+        let single = steady_state_encrypted(&pre, 50, 10, 1, 1, 7);
+        assert_eq!(single.queries, 4);
+        assert!(single.queries_per_second() > 0.0);
+        let multi = steady_state_encrypted(&pre, 50, 10, 2, 1, 7);
+        assert_eq!(multi.queries, 8);
+        let batch = steady_state_batch(&pre, 50, 10, 4, 1, 7);
+        assert_eq!(batch.queries, 4);
+    }
+}

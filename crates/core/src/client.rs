@@ -28,6 +28,15 @@ pub enum ClientError {
     Transport(TransportError),
     /// The server answered with an error message.
     Server(String),
+    /// A bulk insert failed mid-batch. Bulk inserts are **not atomic**:
+    /// `inserted` entries of the batch prefix are stored on the server; the
+    /// caller decides whether to retry the remainder or compensate.
+    PartialInsert {
+        /// Entries of the batch that the server stored before failing.
+        inserted: u32,
+        /// The server's failure description.
+        message: String,
+    },
     /// The server's response did not match the request type.
     UnexpectedResponse(String),
     /// A candidate failed decryption/authentication — tampering or key
@@ -44,6 +53,10 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Transport(e) => write!(f, "transport: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::PartialInsert { inserted, message } => write!(
+                f,
+                "bulk insert failed after {inserted} stored entries: {message}"
+            ),
             ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
             ClientError::Seal(e) => write!(f, "candidate rejected: {e}"),
             ClientError::BadObject(id) => write!(f, "object {id} undecodable after unseal"),
@@ -200,10 +213,13 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         costs.bytes_received += delta.bytes_received;
         let resp = Response::decode(&resp_bytes)
             .map_err(|e| ClientError::UnexpectedResponse(e.to_string()))?;
-        if let Response::Error(msg) = resp {
-            return Err(ClientError::Server(msg));
+        match resp {
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::InsertError { inserted, message } => {
+                Err(ClientError::PartialInsert { inserted, message })
+            }
+            other => Ok(other),
         }
-        Ok(resp)
     }
 
     /// Inserts a batch of objects (Alg. 1 applied per object, shipped as one
@@ -278,13 +294,18 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             // Alg. 2 line 13: decrypt.
             let plain = dec.time(|| self.key.cipher().unseal(&c.payload))?;
             let (o, _) = Vector::decode(&plain).map_err(|_| ClientError::BadObject(c.id))?;
-            // Alg. 2 line 14: true distance.
+            // Alg. 2 line 14: true distance. A non-finite distance means the
+            // payload decoded to garbage (e.g. NaN coordinates) — reject it
+            // instead of letting it poison the sort.
             let d = dist.time(|| self.metric.distance(q, &o));
+            if !d.is_finite() {
+                return Err(ClientError::BadObject(c.id));
+            }
             if keep(d) {
                 result.push((ObjectId(c.id), d));
             }
         }
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        result.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         if let Some(k) = limit {
             result.truncate(k);
         }
@@ -314,8 +335,11 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             Some(t) => (t.apply_all(&ds), t.server_radius(radius)),
             None => (ds.clone(), radius),
         };
+        // Full f64 on the wire: the server prunes with exactly the values
+        // the client refines with, so objects at distance exactly `radius`
+        // survive (the paper's *precise* range guarantee).
         let request = Request::Range {
-            distances: wire_ds.iter().map(|&d| d as f32).collect(),
+            distances: wire_ds,
             radius: wire_radius,
         };
         let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
@@ -363,6 +387,64 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
         self.total.merge(&costs);
         Ok((result, costs))
+    }
+
+    /// Approximate k-NN for a whole batch of queries in **one round trip**
+    /// (the batch query API): the server answers with one pre-ranked
+    /// candidate set per query; the client refines each locally. Amortizes
+    /// per-message latency — on LAN/WAN deployments this is the dominant
+    /// per-query cost — and gives a concurrent server a whole batch to
+    /// schedule at once.
+    ///
+    /// The wire format carries at most `u16::MAX` queries per message;
+    /// larger batches are transparently split into multiple round trips.
+    pub fn knn_approx_batch(
+        &mut self,
+        queries: &[Vector],
+        k: usize,
+        cand_size: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, CostReport), ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt_elapsed = std::time::Duration::ZERO;
+        let op_start = Instant::now();
+        let mut dist = Stopwatch::new();
+        let before_dc = self.metric.count();
+        let mut results = Vec::with_capacity(queries.len());
+
+        for chunk in queries.chunks(u16::MAX as usize).filter(|c| !c.is_empty()) {
+            let batch: Vec<crate::protocol::KnnQuery> = chunk
+                .iter()
+                .map(|q| {
+                    let ds = dist.time(|| self.key.pivot_distances(self.metric.as_ref(), q));
+                    crate::protocol::KnnQuery {
+                        routing: self.routing_for(&ds),
+                        cand_size: cand_size as u32,
+                    }
+                })
+                .collect();
+            let resp = self.exchange(&Request::BatchKnn(batch), &mut costs, &mut rt_elapsed)?;
+            let sets = match resp {
+                Response::CandidateSets(sets) if sets.len() == chunk.len() => sets,
+                Response::CandidateSets(sets) => {
+                    return Err(ClientError::UnexpectedResponse(format!(
+                        "{} candidate sets for {} queries",
+                        sets.len(),
+                        chunk.len()
+                    )))
+                }
+                other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+            };
+            for (q, candidates) in chunk.iter().zip(sets) {
+                results.push(self.refine(q, candidates, &mut costs, |_| true, Some(k))?);
+            }
+        }
+        // refine() accumulated its own distance time into `costs`; add the
+        // pivot-distance stopwatch on top rather than overwriting it.
+        costs.distance += dist.total();
+        costs.distance_computations = self.metric.count() - before_dc;
+        costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
+        self.total.merge(&costs);
+        Ok((results, costs))
     }
 
     /// Precise k-NN (paper §4.2): approximate pass estimates `ρ_k`, then the

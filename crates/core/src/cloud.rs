@@ -5,11 +5,21 @@
 //! process with a modelled network (deterministic measurements);
 //! [`over_tcp`] runs the server on a real TCP loopback socket in its own
 //! thread, like the original MESSIF prototype.
+//!
+//! The *concurrent* serving mode shares one `Arc<CloudServer>` among any
+//! number of clients: [`client_for`] wires additional in-process clients
+//! (each thread gets its own), [`serve_tcp_concurrent`] accepts TCP
+//! connections without serializing requests, and [`connect_tcp`] attaches
+//! further authorized clients to a running server.
+
+use std::sync::Arc;
 
 use simcloud_metric::{Metric, Vector};
 use simcloud_mindex::{MIndexConfig, MIndexError};
 use simcloud_storage::BucketStore;
-use simcloud_transport::{serve_tcp, InProcessTransport, NetworkModel, TcpTransport};
+use simcloud_transport::{
+    serve_tcp, serve_tcp_shared, InProcessTransport, NetworkModel, Shared, TcpTransport,
+};
 
 use crate::client::{ClientConfig, EncryptedClient};
 use crate::key::SecretKey;
@@ -57,6 +67,71 @@ where
 {
     let server = CloudServer::new(index_config, store)?;
     let transport = InProcessTransport::with_model(server, model);
+    Ok(EncryptedClient::new(key, metric, transport, client_config))
+}
+
+/// A client sharing an `Arc`'d in-process server with other clients
+/// (typically one such client per query thread).
+pub type SharedCloud<M, S> = EncryptedClient<M, InProcessTransport<Shared<Arc<CloudServer<S>>>>>;
+
+/// Wires an in-process client to an *existing shared* server with the
+/// default loopback model. Every thread of a concurrent workload builds its
+/// own client this way; queries hit the server's `&self` path in parallel.
+pub fn client_for<M, S>(
+    key: SecretKey,
+    metric: M,
+    server: Arc<CloudServer<S>>,
+    client_config: ClientConfig,
+) -> SharedCloud<M, S>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    client_for_with_model(key, metric, server, client_config, NetworkModel::loopback())
+}
+
+/// [`client_for`] with an explicit network model.
+pub fn client_for_with_model<M, S>(
+    key: SecretKey,
+    metric: M,
+    server: Arc<CloudServer<S>>,
+    client_config: ClientConfig,
+    model: NetworkModel,
+) -> SharedCloud<M, S>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    let transport = InProcessTransport::with_model(Shared(server), model);
+    EncryptedClient::new(key, metric, transport, client_config)
+}
+
+/// Concurrent TCP serving mode: accepts any number of connections against
+/// one shared server, processing requests from different connections in
+/// parallel (no handler lock — searches share the index read lock, inserts
+/// take the write lock). The caller keeps its `Arc` for inspection; attach
+/// clients with [`connect_tcp`].
+pub fn serve_tcp_concurrent<S>(
+    server: Arc<CloudServer<S>>,
+) -> std::io::Result<simcloud_transport::tcp::TcpServerHandle>
+where
+    S: BucketStore + 'static,
+{
+    serve_tcp_shared(server)
+}
+
+/// Connects one more authorized client to a running TCP server (started
+/// with [`over_tcp`] or [`serve_tcp_concurrent`]).
+pub fn connect_tcp<M>(
+    key: SecretKey,
+    metric: M,
+    addr: std::net::SocketAddr,
+    client_config: ClientConfig,
+) -> std::io::Result<EncryptedClient<M, TcpTransport>>
+where
+    M: Metric<Vector>,
+{
+    let transport = TcpTransport::connect(addr)?;
     Ok(EncryptedClient::new(key, metric, transport, client_config))
 }
 

@@ -50,7 +50,10 @@ pub mod server;
 pub mod transform;
 
 pub use client::{ClientConfig, ClientError, EncryptedClient, Neighbor};
-pub use cloud::{in_process, in_process_with_model, over_tcp, InProcessCloud};
+pub use cloud::{
+    client_for, client_for_with_model, connect_tcp, in_process, in_process_with_model, over_tcp,
+    serve_tcp_concurrent, InProcessCloud, SharedCloud,
+};
 pub use costs::CostReport;
 pub use key::SecretKey;
 pub use server::CloudServer;

@@ -9,14 +9,23 @@
 //!
 //! ```text
 //! request  := 0x01 u32 n { u32 len; entry }*n           bulk insert
-//!           | 0x02 u16 n { f32 }*n f64 radius           precise range
+//!           | 0x02 u16 n { f64 }*n f64 radius           precise range
 //!           | 0x03 routing u32 cand_size                approx k-NN
 //!           | 0x04                                      server info
+//!           | 0x05                                      export all
+//!           | 0x06 u16 n { routing; u32 cand_size }*n   batched approx k-NN
 //! response := 0x01 u32 inserted_count
 //!           | 0x02 u32 n { u64 id; u32 len; bytes }*n   candidate set
 //!           | 0x03 u16 len utf8                         error
 //!           | 0x04 u64 entries; u32 leaves; u32 depth   info
+//!           | 0x05 u16 n { candidate set }*n            batched candidate sets
+//!           | 0x06 u32 inserted; u16 len utf8           partial-insert error
 //! ```
+//!
+//! Range query distances travel as `f64`: the server's pruning rules and
+//! the client's refinement both compute in `f64`, and a narrower wire type
+//! would let boundary objects (distance exactly `radius`) be pruned
+//! server-side, breaking the precise range guarantee.
 
 use simcloud_mindex::{IndexEntry, Routing};
 
@@ -28,8 +37,8 @@ pub enum Request {
     Insert(Vec<IndexEntry>),
     /// Precise range search (Alg. 3): query–pivot distances + radius.
     Range {
-        /// Query–pivot distances (f32 on the wire).
-        distances: Vec<f32>,
+        /// Query–pivot distances (full `f64` on the wire; see module docs).
+        distances: Vec<f64>,
         /// Query radius.
         radius: f64,
     },
@@ -47,6 +56,23 @@ pub enum Request {
     /// server still learns nothing, and a non-owner requester only obtains
     /// what a server compromise would yield anyway (§4.3 threat model).
     ExportAll,
+    /// Many approximate k-NN queries in one round trip (the batch query
+    /// API): the server answers with one candidate set per query, in order.
+    /// Amortizes per-message latency — the dominant cost on LAN/WAN links —
+    /// and lets a concurrent server fan the batch out internally.
+    /// The wire count is `u16`, so one message carries at most `u16::MAX`
+    /// queries; `EncryptedClient::knn_approx_batch` chunks larger batches.
+    BatchKnn(Vec<KnnQuery>),
+}
+
+/// One query of a [`Request::BatchKnn`] batch — same fields as
+/// [`Request::ApproxKnn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnQuery {
+    /// Query routing: permutation (less leakage) or distances.
+    pub routing: Routing,
+    /// Candidate set size `CandSize`.
+    pub cand_size: u32,
 }
 
 /// One candidate in a response: the id and the sealed object — no routing
@@ -78,6 +104,17 @@ pub enum Response {
         /// Maximum tree depth.
         depth: u32,
     },
+    /// One candidate set per query of a [`Request::BatchKnn`], in order.
+    CandidateSets(Vec<Vec<Candidate>>),
+    /// A bulk insert failed mid-batch: `inserted` entries of the batch
+    /// prefix **are stored** — the client needs this count to know what
+    /// landed (bulk inserts are not atomic).
+    InsertError {
+        /// Entries of the batch prefix that were stored before the failure.
+        inserted: u32,
+        /// Failure description.
+        message: String,
+    },
 }
 
 /// Protocol decode errors.
@@ -94,6 +131,53 @@ impl std::error::Error for CodecError {}
 
 fn err(msg: &str) -> CodecError {
     CodecError(msg.into())
+}
+
+/// Appends `u32 n { u64 id; u32 len; bytes }*n` (the candidate-list layout
+/// shared by [`Response::Candidates`] and [`Response::CandidateSets`]).
+fn encode_candidates(out: &mut Vec<u8>, cands: &[Candidate]) {
+    out.extend_from_slice(&(cands.len() as u32).to_le_bytes());
+    for c in cands {
+        out.extend_from_slice(&c.id.to_le_bytes());
+        out.extend_from_slice(&(c.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&c.payload);
+    }
+}
+
+/// Decodes one candidate list starting at `buf[off]`; returns the list and
+/// the offset just past it.
+fn decode_candidates(buf: &[u8], mut off: usize) -> Result<(Vec<Candidate>, usize), CodecError> {
+    if buf.len() < off + 4 {
+        return Err(err("candidates header truncated"));
+    }
+    let n = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+    off += 4;
+    let mut cands = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        if buf.len() < off + 12 {
+            return Err(err("candidate header truncated"));
+        }
+        let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+        off += 12;
+        if buf.len() < off + len {
+            return Err(err("candidate payload truncated"));
+        }
+        cands.push(Candidate {
+            id,
+            payload: buf[off..off + len].to_vec(),
+        });
+        off += len;
+    }
+    Ok((cands, off))
+}
+
+/// Appends `u16 len || utf8` (truncating over-long messages).
+fn encode_message(out: &mut Vec<u8>, msg: &str) {
+    let bytes = msg.as_bytes();
+    let n = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..n]);
 }
 
 impl Request {
@@ -127,6 +211,14 @@ impl Request {
             }
             Request::Info => out.push(0x04),
             Request::ExportAll => out.push(0x05),
+            Request::BatchKnn(queries) => {
+                out.push(0x06);
+                out.extend_from_slice(&(queries.len() as u16).to_le_bytes());
+                for q in queries {
+                    q.routing.encode(&mut out);
+                    out.extend_from_slice(&q.cand_size.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -166,16 +258,16 @@ impl Request {
                     return Err(err("range header truncated"));
                 }
                 let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-                let need = 3 + 4 * n + 8;
+                let need = 3 + 8 * n + 8;
                 if buf.len() != need {
                     return Err(err("range body size mismatch"));
                 }
                 let mut distances = Vec::with_capacity(n);
                 for i in 0..n {
-                    let off = 3 + 4 * i;
-                    distances.push(f32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
+                    let off = 3 + 8 * i;
+                    distances.push(f64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
                 }
-                let radius = f64::from_le_bytes(buf[3 + 4 * n..3 + 4 * n + 8].try_into().unwrap());
+                let radius = f64::from_le_bytes(buf[3 + 8 * n..3 + 8 * n + 8].try_into().unwrap());
                 Ok(Request::Range { distances, radius })
             }
             0x03 => {
@@ -200,6 +292,29 @@ impl Request {
                 }
                 Ok(Request::ExportAll)
             }
+            0x06 => {
+                if buf.len() < 3 {
+                    return Err(err("batch header truncated"));
+                }
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                let mut queries = Vec::with_capacity(n);
+                let mut off = 3;
+                for _ in 0..n {
+                    let (routing, used) = Routing::decode(&buf[off..])
+                        .ok_or_else(|| err("batch routing undecodable"))?;
+                    off += used;
+                    if buf.len() < off + 4 {
+                        return Err(err("batch cand_size truncated"));
+                    }
+                    let cand_size = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                    off += 4;
+                    queries.push(KnnQuery { routing, cand_size });
+                }
+                if off != buf.len() {
+                    return Err(err("trailing bytes after batch"));
+                }
+                Ok(Request::BatchKnn(queries))
+            }
             t => Err(err(&format!("unknown request tag {t}"))),
         }
     }
@@ -216,19 +331,11 @@ impl Response {
             }
             Response::Candidates(cands) => {
                 out.push(0x02);
-                out.extend_from_slice(&(cands.len() as u32).to_le_bytes());
-                for c in cands {
-                    out.extend_from_slice(&c.id.to_le_bytes());
-                    out.extend_from_slice(&(c.payload.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&c.payload);
-                }
+                encode_candidates(&mut out, cands);
             }
             Response::Error(msg) => {
                 out.push(0x03);
-                let bytes = msg.as_bytes();
-                let n = bytes.len().min(u16::MAX as usize);
-                out.extend_from_slice(&(n as u16).to_le_bytes());
-                out.extend_from_slice(&bytes[..n]);
+                encode_message(&mut out, msg);
             }
             Response::Info {
                 entries,
@@ -239,6 +346,18 @@ impl Response {
                 out.extend_from_slice(&entries.to_le_bytes());
                 out.extend_from_slice(&leaves.to_le_bytes());
                 out.extend_from_slice(&depth.to_le_bytes());
+            }
+            Response::CandidateSets(sets) => {
+                out.push(0x05);
+                out.extend_from_slice(&(sets.len() as u16).to_le_bytes());
+                for cands in sets {
+                    encode_candidates(&mut out, cands);
+                }
+            }
+            Response::InsertError { inserted, message } => {
+                out.push(0x06);
+                out.extend_from_slice(&inserted.to_le_bytes());
+                encode_message(&mut out, message);
             }
         }
         out
@@ -256,29 +375,7 @@ impl Response {
                 )))
             }
             0x02 => {
-                if buf.len() < 5 {
-                    return Err(err("candidates header truncated"));
-                }
-                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
-                let mut cands = Vec::with_capacity(n);
-                let mut off = 5;
-                for _ in 0..n {
-                    if buf.len() < off + 12 {
-                        return Err(err("candidate header truncated"));
-                    }
-                    let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                    let len =
-                        u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
-                    off += 12;
-                    if buf.len() < off + len {
-                        return Err(err("candidate payload truncated"));
-                    }
-                    cands.push(Candidate {
-                        id,
-                        payload: buf[off..off + len].to_vec(),
-                    });
-                    off += len;
-                }
+                let (cands, off) = decode_candidates(buf, 1)?;
                 if off != buf.len() {
                     return Err(err("trailing bytes after candidates"));
                 }
@@ -304,6 +401,37 @@ impl Response {
                     entries: u64::from_le_bytes(buf[1..9].try_into().unwrap()),
                     leaves: u32::from_le_bytes(buf[9..13].try_into().unwrap()),
                     depth: u32::from_le_bytes(buf[13..17].try_into().unwrap()),
+                })
+            }
+            0x05 => {
+                if buf.len() < 3 {
+                    return Err(err("candidate sets header truncated"));
+                }
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                let mut sets = Vec::with_capacity(n);
+                let mut off = 3;
+                for _ in 0..n {
+                    let (cands, next) = decode_candidates(buf, off)?;
+                    sets.push(cands);
+                    off = next;
+                }
+                if off != buf.len() {
+                    return Err(err("trailing bytes after candidate sets"));
+                }
+                Ok(Response::CandidateSets(sets))
+            }
+            0x06 => {
+                if buf.len() < 7 {
+                    return Err(err("insert error header truncated"));
+                }
+                let inserted = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+                let n = u16::from_le_bytes([buf[5], buf[6]]) as usize;
+                if buf.len() != 7 + n {
+                    return Err(err("insert error body size mismatch"));
+                }
+                Ok(Response::InsertError {
+                    inserted,
+                    message: String::from_utf8_lossy(&buf[7..7 + n]).into_owned(),
                 })
             }
             t => Err(err(&format!("unknown response tag {t}"))),
@@ -343,6 +471,86 @@ mod tests {
             radius: 3.25,
         };
         assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Regression for the f32 wire format: query distances must survive the
+    /// round trip bit-exactly, or boundary objects at distance exactly
+    /// `radius` can be pruned server-side (values below are not
+    /// f32-representable).
+    #[test]
+    fn range_distances_survive_wire_bit_exactly() {
+        let ds = vec![0.1, 0.7, 1.0 - 1e-9, 16777217.0];
+        let req = Request::Range {
+            distances: ds.clone(),
+            radius: 0.15,
+        };
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Range { distances, .. } => {
+                for (sent, got) in ds.iter().zip(&distances) {
+                    assert_eq!(sent.to_bits(), got.to_bits(), "{sent} mangled to {got}");
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_knn_round_trip() {
+        let req = Request::BatchKnn(vec![
+            KnnQuery {
+                routing: Routing::from_distances(&[1.0, 2.0]),
+                cand_size: 600,
+            },
+            KnnQuery {
+                routing: Routing::permutation_prefix(&[0.3, 0.1, 0.2], 3),
+                cand_size: 30,
+            },
+        ]);
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let empty = Request::BatchKnn(vec![]);
+        assert_eq!(Request::decode(&empty.encode()).unwrap(), empty);
+        let mut bytes = req.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn candidate_sets_round_trip() {
+        let resp = Response::CandidateSets(vec![
+            vec![
+                Candidate {
+                    id: 1,
+                    payload: vec![1, 2],
+                },
+                Candidate {
+                    id: 2,
+                    payload: vec![],
+                },
+            ],
+            vec![],
+            vec![Candidate {
+                id: 9,
+                payload: vec![9; 17],
+            }],
+        ]);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let bytes = resp.encode();
+        for cut in [1, 2, 4, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn insert_error_round_trip() {
+        let resp = Response::InsertError {
+            inserted: 412,
+            message: "bucket b9 missing".into(),
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let bytes = resp.encode();
+        for cut in [1, 5, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -1,128 +1,182 @@
 //! The similarity-cloud server: an M-Index that never sees plaintext.
 //!
-//! [`CloudServer`] implements [`RequestHandler`] over the byte protocol, so
-//! it can be deployed behind any transport (in-process for measurements,
-//! TCP for the real client/server setup, cf. paper §4.4). It holds the
-//! M-Index over a bucket store and the per-query search statistics; it holds
-//! **no key material** — compromising it yields sealed payloads and routing
-//! information only (§4.3).
+//! [`CloudServer`] implements both handler traits of the transport layer:
+//! the classic `&mut self` [`RequestHandler`] and the *shared-read*
+//! [`SharedRequestHandler`], so one `Arc<CloudServer>` can answer any
+//! number of concurrent client connections (paper §4.4 serves independent
+//! clients). Internally the index sits behind a reader–writer lock —
+//! searches take shared read access and run in parallel, inserts take the
+//! write lock — and all statistics live in atomics/locks so the whole
+//! request path needs only `&self`. The server holds **no key material** —
+//! compromising it yields sealed payloads and routing information only
+//! (§4.3).
 
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use simcloud_mindex::{
     IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing, SearchStats,
+    SharedSearchStats,
 };
 use simcloud_storage::BucketStore;
-use simcloud_transport::RequestHandler;
+use simcloud_transport::{RequestHandler, SharedRequestHandler};
 
 use crate::protocol::{Candidate, Request, Response};
 
 /// Server half of the Encrypted M-Index.
 pub struct CloudServer<S: BucketStore> {
-    index: MIndex<S>,
-    last_search_stats: SearchStats,
-    total_search_stats: SearchStats,
+    index: RwLock<MIndex<S>>,
+    last_search_stats: Mutex<SearchStats>,
+    total_search_stats: SharedSearchStats,
 }
 
 impl<S: BucketStore> CloudServer<S> {
     /// Creates a server with the given index configuration and store.
     pub fn new(config: MIndexConfig, store: S) -> Result<Self, MIndexError> {
         Ok(Self {
-            index: MIndex::new(config, store)?,
-            last_search_stats: SearchStats::default(),
-            total_search_stats: SearchStats::default(),
+            index: RwLock::new(MIndex::new(config, store)?),
+            last_search_stats: Mutex::new(SearchStats::default()),
+            total_search_stats: SharedSearchStats::new(),
         })
     }
 
-    /// The underlying index (shape and storage inspection).
-    pub fn index(&self) -> &MIndex<S> {
-        &self.index
+    /// Read access to the underlying index (shape and storage inspection).
+    /// Holds the shared lock for the guard's lifetime — keep it short.
+    pub fn index(&self) -> RwLockReadGuard<'_, MIndex<S>> {
+        self.index.read()
     }
 
-    /// Statistics of the most recent search request.
+    /// Statistics of the most recent search request. Zeroed when the most
+    /// recent search *failed*, so cost accounting never attributes a
+    /// previous query's work to a failed request.
     pub fn last_search_stats(&self) -> SearchStats {
-        self.last_search_stats
+        *self.last_search_stats.lock()
     }
 
-    /// Accumulated statistics over all search requests.
+    /// Accumulated statistics over all search requests (lock-free atomic
+    /// counters; exact once in-flight queries finish).
     pub fn total_search_stats(&self) -> SearchStats {
-        self.total_search_stats
+        self.total_search_stats.snapshot()
+    }
+
+    fn record_search(&self, stats: SearchStats) {
+        *self.last_search_stats.lock() = stats;
+        self.total_search_stats.add(&stats);
     }
 
     fn candidates_response(
-        &mut self,
+        &self,
         result: Result<(Vec<IndexEntry>, SearchStats), MIndexError>,
     ) -> Response {
         match result {
             Ok((entries, stats)) => {
-                self.last_search_stats = stats;
-                self.total_search_stats.merge(&stats);
-                Response::Candidates(
-                    entries
-                        .into_iter()
-                        .map(|e| Candidate {
-                            id: e.id,
-                            payload: e.payload,
-                        })
-                        .collect(),
-                )
+                self.record_search(stats);
+                Response::Candidates(entries.into_iter().map(candidate).collect())
             }
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => {
+                // A failed search did no accountable work: zero the
+                // per-request stats instead of leaving the previous
+                // query's numbers in place.
+                *self.last_search_stats.lock() = SearchStats::default();
+                Response::Error(e.to_string())
+            }
         }
     }
 
     /// Processes one decoded request (the typed core of the handler).
-    pub fn process(&mut self, request: Request) -> Response {
+    /// Needs only `&self`: searches share the index read lock, inserts
+    /// briefly take the write lock.
+    pub fn process(&self, request: Request) -> Response {
         match request {
             Request::Insert(entries) => {
+                let mut index = self.index.write();
                 let mut n = 0u32;
                 for e in entries {
-                    match self.index.insert(e) {
+                    match index.insert(e) {
                         Ok(()) => n += 1,
-                        Err(e) => return Response::Error(e.to_string()),
+                        // Bulk inserts are not atomic: the already-inserted
+                        // prefix stays, so the error must carry the count.
+                        Err(e) => {
+                            return Response::InsertError {
+                                inserted: n,
+                                message: e.to_string(),
+                            }
+                        }
                     }
                 }
                 Response::Inserted(n)
             }
             Request::Range { distances, radius } => {
-                let qd: Vec<f64> = distances.iter().map(|&d| d as f64).collect();
-                let result = self.index.range_candidates(&qd, radius);
+                let result = self.index.read().range_candidates(&distances, radius);
                 self.candidates_response(result)
             }
             Request::ApproxKnn { routing, cand_size } => {
-                let evaluator = match routing {
-                    Routing::Distances(ds) => {
-                        PromiseEvaluator::from_distances(ds.iter().map(|&d| d as f64).collect())
-                    }
-                    Routing::Permutation(p) => PromiseEvaluator::from_permutation(p),
-                };
-                let result = self.index.knn_candidates(&evaluator, cand_size as usize);
+                let evaluator = evaluator_for(routing);
+                let result = self
+                    .index
+                    .read()
+                    .knn_candidates(&evaluator, cand_size as usize);
                 self.candidates_response(result)
             }
+            Request::BatchKnn(queries) => {
+                // One read-lock acquisition for the whole batch; queries
+                // from other connections still interleave freely.
+                let index = self.index.read();
+                let mut sets = Vec::with_capacity(queries.len());
+                let mut batch_stats = SearchStats::default();
+                for q in queries {
+                    let evaluator = evaluator_for(q.routing);
+                    match index.knn_candidates(&evaluator, q.cand_size as usize) {
+                        Ok((entries, stats)) => {
+                            batch_stats.merge(&stats);
+                            sets.push(entries.into_iter().map(candidate).collect());
+                        }
+                        Err(e) => {
+                            // The completed sub-queries' work (bucket reads,
+                            // scans) really happened — keep it in the totals;
+                            // only the per-request stats are zeroed.
+                            self.total_search_stats.add(&batch_stats);
+                            *self.last_search_stats.lock() = SearchStats::default();
+                            return Response::Error(e.to_string());
+                        }
+                    }
+                }
+                self.record_search(batch_stats);
+                Response::CandidateSets(sets)
+            }
             Request::Info => {
-                let shape = self.index.shape();
+                let index = self.index.read();
+                let shape = index.shape();
                 Response::Info {
-                    entries: self.index.len(),
+                    entries: index.len(),
                     leaves: shape.leaves as u32,
                     depth: shape.max_depth as u32,
                 }
             }
-            Request::ExportAll => match self.index.all_entries() {
-                Ok(entries) => Response::Candidates(
-                    entries
-                        .into_iter()
-                        .map(|e| Candidate {
-                            id: e.id,
-                            payload: e.payload,
-                        })
-                        .collect(),
-                ),
+            Request::ExportAll => match self.index.read().all_entries() {
+                Ok(entries) => Response::Candidates(entries.into_iter().map(candidate).collect()),
                 Err(e) => Response::Error(e.to_string()),
             },
         }
     }
 }
 
-impl<S: BucketStore> RequestHandler for CloudServer<S> {
-    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+fn candidate(e: IndexEntry) -> Candidate {
+    Candidate {
+        id: e.id,
+        payload: e.payload,
+    }
+}
+
+fn evaluator_for(routing: Routing) -> PromiseEvaluator {
+    match routing {
+        Routing::Distances(ds) => {
+            PromiseEvaluator::from_distances(ds.iter().map(|&d| d as f64).collect())
+        }
+        Routing::Permutation(p) => PromiseEvaluator::from_permutation(p),
+    }
+}
+
+impl<S: BucketStore> SharedRequestHandler for CloudServer<S> {
+    fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
         let response = match Request::decode(request) {
             Ok(req) => self.process(req),
             Err(e) => Response::Error(e.to_string()),
@@ -131,9 +185,18 @@ impl<S: BucketStore> RequestHandler for CloudServer<S> {
     }
 }
 
+/// `&mut self` adapter so existing single-threaded call sites (in-process
+/// transports, tests) keep working unchanged.
+impl<S: BucketStore> RequestHandler for CloudServer<S> {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self.handle_shared(request)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::KnnQuery;
     use simcloud_mindex::RoutingStrategy;
     use simcloud_storage::MemoryStore;
 
@@ -156,7 +219,7 @@ mod tests {
 
     #[test]
     fn insert_then_info() {
-        let mut s = server();
+        let s = server();
         let resp = s.process(Request::Insert(vec![
             entry(1, &[0.1, 0.5, 0.9]),
             entry(2, &[0.9, 0.1, 0.5]),
@@ -175,7 +238,7 @@ mod tests {
 
     #[test]
     fn range_returns_candidates() {
-        let mut s = server();
+        let s = server();
         s.process(Request::Insert(vec![
             entry(1, &[0.1, 0.5, 0.9]),
             entry(2, &[0.12, 0.52, 0.88]),
@@ -232,7 +295,7 @@ mod tests {
 
     #[test]
     fn wrong_strategy_yields_error_response() {
-        let mut s = server();
+        let s = server();
         let resp = s.process(Request::ApproxKnn {
             routing: Routing::permutation_prefix(&[0.3, 0.2, 0.1], 2),
             cand_size: 5,
@@ -244,14 +307,14 @@ mod tests {
             Routing::permutation_prefix(&[0.1, 0.2, 0.3], 2),
             vec![],
         )]));
-        assert!(matches!(bad_insert, Response::Error(_)));
+        assert!(matches!(bad_insert, Response::InsertError { .. }));
         // and the knn above returned an empty candidate set, not an error
         assert!(matches!(resp, Response::Candidates(_)));
     }
 
     #[test]
     fn stats_accumulate_across_queries() {
-        let mut s = server();
+        let s = server();
         s.process(Request::Insert(vec![
             entry(1, &[0.1, 0.5, 0.9]),
             entry(2, &[0.2, 0.6, 0.8]),
@@ -264,5 +327,121 @@ mod tests {
         }
         assert_eq!(s.total_search_stats().candidates, 6);
         assert_eq!(s.last_search_stats().candidates, 2);
+    }
+
+    #[test]
+    fn partial_insert_reports_stored_prefix() {
+        let s = server();
+        // Second entry has a dimension mismatch: the first one stays.
+        let resp = s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6]),
+            entry(3, &[0.9, 0.1, 0.2]),
+        ]));
+        match resp {
+            Response::InsertError { inserted, message } => {
+                assert_eq!(inserted, 1, "exactly the prefix before the bad entry");
+                assert!(message.contains("pivot distances"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.process(Request::Info) {
+            Response::Info { entries, .. } => assert_eq!(entries, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_search_zeroes_last_stats() {
+        let s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        let ok = s.process(Request::Range {
+            distances: vec![0.1, 0.5, 0.9],
+            radius: 1.0,
+        });
+        assert!(matches!(ok, Response::Candidates(_)));
+        let before_total = s.total_search_stats();
+        assert!(s.last_search_stats().entries_scanned > 0);
+        // Dimension mismatch: the search fails before doing any work.
+        let bad = s.process(Request::Range {
+            distances: vec![0.1],
+            radius: 1.0,
+        });
+        assert!(matches!(bad, Response::Error(_)));
+        assert_eq!(
+            s.last_search_stats(),
+            SearchStats::default(),
+            "stale stats must not be attributed to the failed request"
+        );
+        assert_eq!(
+            s.total_search_stats(),
+            before_total,
+            "failed searches add nothing to the totals"
+        );
+    }
+
+    #[test]
+    fn batch_knn_returns_one_set_per_query_in_order() {
+        let s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+            entry(3, &[0.9, 0.1, 0.2]),
+        ]));
+        let resp = s.process(Request::BatchKnn(vec![
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 1,
+            },
+            KnnQuery {
+                routing: Routing::from_distances(&[0.9, 0.1, 0.2]),
+                cand_size: 2,
+            },
+        ]));
+        match resp {
+            Response::CandidateSets(sets) => {
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[0][0].id, 1);
+                assert_eq!(sets[1][0].id, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The batch counts as one search request in the per-request stats
+        // and its full volume lands in the totals.
+        assert_eq!(s.last_search_stats().candidates, 3);
+        assert_eq!(s.total_search_stats().candidates, 3);
+    }
+
+    #[test]
+    fn shared_handle_serves_reads_from_many_threads() {
+        let s = std::sync::Arc::new(server());
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let bytes = s.handle_shared(
+                            &Request::ApproxKnn {
+                                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                                cand_size: 2,
+                            }
+                            .encode(),
+                        );
+                        match Response::decode(&bytes).unwrap() {
+                            Response::Candidates(c) => assert_eq!(c.len(), 2),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_search_stats().candidates, 4 * 10 * 2);
     }
 }

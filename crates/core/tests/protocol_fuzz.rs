@@ -47,7 +47,7 @@ proptest! {
     }
 
     #[test]
-    fn range_request_round_trips(ds in proptest::collection::vec(-1e6f32..1e6, 0..64),
+    fn range_request_round_trips(ds in proptest::collection::vec(-1e6f64..1e6, 0..64),
                                  radius in 0.0f64..1e9) {
         let req = Request::Range { distances: ds, radius };
         prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);

@@ -240,7 +240,7 @@ impl<S: BucketStore> MIndex<S> {
     /// compute `d(q, o)` — but are guaranteed to contain every true result
     /// (safety comes from the triangle inequality; see `tests/`).
     pub fn range_candidates(
-        &mut self,
+        &self,
         query_distances: &[f64],
         radius: f64,
     ) -> Result<(Vec<IndexEntry>, SearchStats), MIndexError> {
@@ -260,7 +260,7 @@ impl<S: BucketStore> MIndex<S> {
         let mut candidates = Vec::new();
         // Iterative DFS carrying (node, prefix, used-pivot mask).
         let tree = &self.tree;
-        let store = &mut self.store;
+        let store = &self.store;
         let mut stack: Vec<(&Node, Vec<u16>)> = Vec::new();
         {
             let available_min = query_distances
@@ -351,14 +351,14 @@ impl<S: BucketStore> MIndex<S> {
     /// M-Index Voronoi cell which then forms the candidate set" — the whole
     /// most-promising leaf is returned untrimmed.
     pub fn knn_candidates(
-        &mut self,
+        &self,
         evaluator: &PromiseEvaluator,
         cand_size: usize,
     ) -> Result<(Vec<IndexEntry>, SearchStats), MIndexError> {
         let mut stats = SearchStats::default();
         let mut candidates: Vec<(f64, IndexEntry)> = Vec::with_capacity(cand_size);
         let tree = &self.tree;
-        let store = &mut self.store;
+        let store = &self.store;
 
         struct Item<'a> {
             penalty: f64,
@@ -453,7 +453,7 @@ impl<S: BucketStore> MIndex<S> {
 
     /// Reads all entries (diagnostics / the trivial baseline's "download
     /// everything" path).
-    pub fn all_entries(&mut self) -> Result<Vec<IndexEntry>, MIndexError> {
+    pub fn all_entries(&self) -> Result<Vec<IndexEntry>, MIndexError> {
         let mut ids: Vec<_> = self.store.bucket_ids();
         ids.sort();
         let mut out = Vec::with_capacity(self.entries as usize);

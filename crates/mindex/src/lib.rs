@@ -41,4 +41,4 @@ pub use entry::{IndexEntry, Routing};
 pub use index::{MIndex, MIndexError, FIRST_CELL_ONLY};
 pub use plain::{recall, Neighbor, PlainMIndex};
 pub use promise::PromiseEvaluator;
-pub use stats::SearchStats;
+pub use stats::{SearchStats, SharedSearchStats};

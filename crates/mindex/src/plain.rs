@@ -109,7 +109,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
     /// Precise range query `R(q, r)` — candidates from Alg. 3, refined
     /// server-side. Returns `(id, distance)` sorted by distance.
     pub fn range(
-        &mut self,
+        &self,
         q: &Vector,
         radius: f64,
     ) -> Result<(Vec<Neighbor>, SearchStats), MIndexError> {
@@ -130,7 +130,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
     /// Approximate k-NN (paper §4.1): candidate set of `cand_size` objects
     /// chosen by cell promise, refined by true distances, best `k` returned.
     pub fn knn_approx(
-        &mut self,
+        &self,
         q: &Vector,
         k: usize,
         cand_size: usize,
@@ -157,7 +157,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
     /// of the data, hence `ρ_k ≥` the true k-th distance, so the range ball
     /// contains the true k-NN.
     pub fn knn_precise(
-        &mut self,
+        &self,
         q: &Vector,
         k: usize,
     ) -> Result<(Vec<Neighbor>, SearchStats), MIndexError> {
@@ -181,7 +181,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
     }
 
     /// Brute-force k-NN (test oracle and the recall ground truth).
-    pub fn brute_force_knn(&mut self, q: &Vector, k: usize) -> Result<Vec<Neighbor>, MIndexError> {
+    pub fn brute_force_knn(&self, q: &Vector, k: usize) -> Result<Vec<Neighbor>, MIndexError> {
         let entries = self.index.all_entries()?;
         let mut scored = Vec::with_capacity(entries.len());
         for entry in &entries {
@@ -194,11 +194,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
     }
 
     /// Brute-force range query (test oracle).
-    pub fn brute_force_range(
-        &mut self,
-        q: &Vector,
-        radius: f64,
-    ) -> Result<Vec<Neighbor>, MIndexError> {
+    pub fn brute_force_range(&self, q: &Vector, radius: f64) -> Result<Vec<Neighbor>, MIndexError> {
         let entries = self.index.all_entries()?;
         let mut result = Vec::new();
         for entry in &entries {
@@ -262,7 +258,7 @@ mod tests {
 
     #[test]
     fn range_equals_brute_force() {
-        let (mut idx, data) = build(300, 7);
+        let (idx, data) = build(300, 7);
         for (qi, radius) in [(0usize, 3.0), (5, 5.0), (10, 1.0), (20, 0.0)] {
             let q = &data[qi];
             let (got, _) = idx.range(q, radius).unwrap();
@@ -273,7 +269,7 @@ mod tests {
 
     #[test]
     fn precise_knn_equals_brute_force() {
-        let (mut idx, data) = build(250, 13);
+        let (idx, data) = build(250, 13);
         for qi in [1usize, 17, 42] {
             let q = &data[qi];
             let (got, _) = idx.knn_precise(q, 10).unwrap();
@@ -291,7 +287,7 @@ mod tests {
 
     #[test]
     fn approx_knn_recall_grows_with_candidates() {
-        let (mut idx, data) = build(400, 23);
+        let (idx, data) = build(400, 23);
         let q = &data[3];
         let truth = idx.brute_force_knn(q, 10).unwrap();
         let (small, _) = idx.knn_approx(q, 10, 20).unwrap();
@@ -307,7 +303,7 @@ mod tests {
 
     #[test]
     fn self_query_returns_self_first() {
-        let (mut idx, data) = build(100, 31);
+        let (idx, data) = build(100, 31);
         let (res, _) = idx.knn_approx(&data[7], 1, 100).unwrap();
         assert_eq!(res[0].0, ObjectId(7));
         assert!(res[0].1.abs() < 1e-9);
@@ -324,7 +320,7 @@ mod tests {
 
     #[test]
     fn distance_counter_tracks_work() {
-        let (mut idx, data) = build(50, 41);
+        let (idx, data) = build(50, 41);
         idx.reset_distance_computations();
         let _ = idx.knn_approx(&data[0], 5, 20).unwrap();
         let count = idx.distance_computations();
@@ -356,7 +352,7 @@ mod tests {
             strategy: RoutingStrategy::Distances,
         };
         let pivots = random_data(2, 4, 2);
-        let mut idx = PlainMIndex::new(cfg, pivots, L2, MemoryStore::new()).unwrap();
+        let idx = PlainMIndex::new(cfg, pivots, L2, MemoryStore::new()).unwrap();
         let q = Vector::zeros(4);
         assert!(idx.range(&q, 1.0).unwrap().0.is_empty());
         assert!(idx.knn_approx(&q, 3, 10).unwrap().0.is_empty());

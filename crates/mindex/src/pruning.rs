@@ -31,10 +31,15 @@ fn f32_slack(x: f64) -> f64 {
 /// available at that level, including `pivot` itself) intersect the ball
 /// `B(q, r)`? Returns `false` when the cell is safely prunable.
 ///
-/// Both inputs are query-side `f64` values, so no storage slack applies.
+/// Both inputs are query-side `f64` values, but the *cell assignment* of
+/// stored objects compared `f32`-quantized distances: an object whose true
+/// closest pivot loses a near-tie after rounding sits in the "wrong" cell
+/// by up to the quantization error, so the rule needs the same slack —
+/// without it a boundary query (e.g. radius 0 at an indexed point whose
+/// two nearest pivots almost tie) prunes the cell holding its answer.
 #[inline]
 pub fn hyperplane_may_intersect(d_q_pivot: f64, available_min: f64, radius: f64) -> bool {
-    d_q_pivot <= available_min + 2.0 * radius
+    d_q_pivot <= available_min + 2.0 * radius + f32_slack(d_q_pivot.max(available_min))
 }
 
 /// Range-pivot constraint over a leaf's stored per-level bounds. `ds` are
@@ -70,12 +75,21 @@ pub fn pivot_filter_lower_bound(query_ds: &[f64], object_ds: &[f32]) -> f64 {
 }
 
 /// Convenience: should the object be kept (lower bound within radius)?
+///
+/// The slack absorbs the f32 quantization of *stored* distances and must
+/// therefore scale with the magnitude of the coordinates being compared —
+/// not with `lb` or `radius`, which can both be ~0 (a zero-radius query at
+/// an indexed point) while the stored values, and hence their rounding
+/// error, are large.
 #[inline]
 pub fn pivot_filter_keep(query_ds: &[f64], object_ds: &[f32], radius: f64) -> bool {
-    // The slack absorbs the f32 quantization of stored distances so the
-    // filter stays conservative (never drops a true neighbour).
-    let lb = pivot_filter_lower_bound(query_ds, object_ds);
-    lb <= radius + f32_slack(lb.max(radius))
+    for (q, o) in query_ds.iter().zip(object_ds) {
+        let o = *o as f64;
+        if (q - o).abs() > radius + f32_slack(q.abs().max(o.abs())) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

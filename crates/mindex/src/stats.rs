@@ -1,5 +1,7 @@
 //! Search and index statistics.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Per-query search statistics — the server-side cost drivers the paper's
 /// analysis discusses (cells accessed, filtering effectiveness).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,9 +47,86 @@ impl std::fmt::Display for SearchStats {
     }
 }
 
+/// Thread-safe accumulator of [`SearchStats`] — the shape a *concurrent*
+/// server needs: many query threads fold their per-query stats in without a
+/// lock, accounting readers take a consistent-enough snapshot.
+///
+/// Each counter is an independent `AtomicU64` with relaxed ordering: sums
+/// are exact once all writers are quiescent (what the tests and the cost
+/// tables rely on), while a mid-flight snapshot may mix counters from
+/// different in-progress queries — acceptable for monitoring.
+#[derive(Debug, Default)]
+pub struct SharedSearchStats {
+    cells_visited: AtomicU64,
+    pruned_hyperplane: AtomicU64,
+    pruned_range_pivot: AtomicU64,
+    entries_scanned: AtomicU64,
+    entries_filtered: AtomicU64,
+    candidates: AtomicU64,
+}
+
+impl SharedSearchStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one query's stats in (lock-free).
+    pub fn add(&self, s: &SearchStats) {
+        self.cells_visited
+            .fetch_add(s.cells_visited, Ordering::Relaxed);
+        self.pruned_hyperplane
+            .fetch_add(s.pruned_hyperplane, Ordering::Relaxed);
+        self.pruned_range_pivot
+            .fetch_add(s.pruned_range_pivot, Ordering::Relaxed);
+        self.entries_scanned
+            .fetch_add(s.entries_scanned, Ordering::Relaxed);
+        self.entries_filtered
+            .fetch_add(s.entries_filtered, Ordering::Relaxed);
+        self.candidates.fetch_add(s.candidates, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot as a plain stats block.
+    pub fn snapshot(&self) -> SearchStats {
+        SearchStats {
+            cells_visited: self.cells_visited.load(Ordering::Relaxed),
+            pruned_hyperplane: self.pruned_hyperplane.load(Ordering::Relaxed),
+            pruned_range_pivot: self.pruned_range_pivot.load(Ordering::Relaxed),
+            entries_scanned: self.entries_scanned.load(Ordering::Relaxed),
+            entries_filtered: self.entries_filtered.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_stats_accumulate_across_threads() {
+        let shared = SharedSearchStats::new();
+        let one = SearchStats {
+            cells_visited: 1,
+            pruned_hyperplane: 2,
+            pruned_range_pivot: 3,
+            entries_scanned: 4,
+            entries_filtered: 5,
+            candidates: 6,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        shared.add(&one);
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.cells_visited, 400);
+        assert_eq!(snap.candidates, 2400);
+    }
 
     #[test]
     fn merge_adds_componentwise() {

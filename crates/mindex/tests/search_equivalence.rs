@@ -56,7 +56,7 @@ proptest! {
         let pivots = pivots.min(n);
         let max_level = max_level.min(pivots);
         let data = random_data(n, dim, seed);
-        let mut idx = build_l2(&data, pivots, max_level, cap, seed ^ 0xabc);
+        let idx = build_l2(&data, pivots, max_level, cap, seed ^ 0xabc);
         let q = &data[seed as usize % n];
         let (got, _) = idx.range(q, radius).unwrap();
         let want = idx.brute_force_range(q, radius).unwrap();
@@ -72,7 +72,7 @@ proptest! {
         k in 1usize..12,
     ) {
         let data = random_data(n, 3, seed);
-        let mut idx = build_l2(&data, 6.min(n), 2, 8, seed ^ 0x77);
+        let idx = build_l2(&data, 6.min(n), 2, 8, seed ^ 0x77);
         let q = &data[(seed as usize * 7) % n];
         let (got, _) = idx.knn_precise(q, k).unwrap();
         let want = idx.brute_force_knn(q, k).unwrap();
@@ -93,7 +93,7 @@ proptest! {
         k in 1usize..8,
     ) {
         let data = random_data(n, 2, seed);
-        let mut idx = build_l2(&data, 4.min(n), 2, 8, seed ^ 0x3);
+        let idx = build_l2(&data, 4.min(n), 2, 8, seed ^ 0x3);
         let q = &data[(seed as usize * 3) % n];
         let (approx, _) = idx.knn_approx(q, k, n).unwrap();
         let truth = idx.brute_force_knn(q, k).unwrap();
@@ -134,7 +134,7 @@ proptest! {
 fn precise_knn_boundary_radius_regression() {
     let (seed, n, k) = (724u64, 34usize, 1usize);
     let data = random_data(n, 3, seed);
-    let mut idx = build_l2(&data, 6.min(n), 2, 8, seed ^ 0x77);
+    let idx = build_l2(&data, 6.min(n), 2, 8, seed ^ 0x77);
     let q = &data[(seed as usize * 7) % n];
     let (got, _) = idx.knn_precise(q, k).unwrap();
     let want = idx.brute_force_knn(q, k).unwrap();
@@ -149,7 +149,7 @@ fn precise_knn_boundary_radius_regression() {
 fn duplicates_are_preserved() {
     let v = Vector::new(vec![1.0, 2.0]);
     let data: Vec<Vector> = (0..20).map(|_| v.clone()).collect();
-    let mut idx = build_l2(&data, 2, 2, 4, 99);
+    let idx = build_l2(&data, 2, 2, 4, 99);
     let (res, _) = idx.range(&v, 0.0).unwrap();
     assert_eq!(res.len(), 20, "all duplicates must be returned");
 }

@@ -14,11 +14,19 @@
 //! A small LRU buffer pool fronts the file; all reads/writes go through it
 //! and its hit/miss counts feed [`IoStats`], which the benches report as the
 //! server-side I/O component.
+//!
+//! Concurrency model: the file, directory and buffer pool live behind one
+//! [`parking_lot::Mutex`] — the disk model's latch. `&self` reads from many
+//! query threads are therefore *safe* but serialized at the device, exactly
+//! like a single spindle/buffer pool; the in-memory store is the backend
+//! that scales reads with threads.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+
+use parking_lot::Mutex;
 
 use crate::{BucketId, BucketStore, IoStats, Record, StorageError};
 
@@ -46,8 +54,9 @@ struct BucketMeta {
     records: u64,
 }
 
-/// Paged single-file bucket store with an LRU buffer pool.
-pub struct DiskStore {
+/// The mutable paged state: file, directory, buffer pool, statistics.
+/// One mutex guards all of it (see the module docs).
+struct Inner {
     file: File,
     page_count: u32,
     free_head: u32,
@@ -59,12 +68,18 @@ pub struct DiskStore {
     stats: IoStats,
 }
 
+/// Paged single-file bucket store with an LRU buffer pool.
+pub struct DiskStore {
+    inner: Mutex<Inner>,
+}
+
 impl std::fmt::Debug for DiskStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
         f.debug_struct("DiskStore")
-            .field("pages", &self.page_count)
-            .field("buckets", &self.directory.len())
-            .field("pool", &self.pool.len())
+            .field("pages", &inner.page_count)
+            .field("buckets", &inner.directory.len())
+            .field("pool", &inner.pool.len())
             .finish()
     }
 }
@@ -88,7 +103,7 @@ impl DiskStore {
             .create(true)
             .truncate(true)
             .open(path)?;
-        let mut store = Self {
+        let mut inner = Inner {
             file,
             page_count: 1,
             free_head: NIL,
@@ -99,8 +114,10 @@ impl DiskStore {
             tick: 0,
             stats: IoStats::default(),
         };
-        store.write_header()?;
-        Ok(store)
+        inner.write_header()?;
+        Ok(Self {
+            inner: Mutex::new(inner),
+        })
     }
 
     /// Opens an existing store file and loads its directory.
@@ -130,7 +147,7 @@ impl DiskStore {
         let page_count = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
         let free_head = u32::from_le_bytes(hdr[16..20].try_into().unwrap());
         let dir_head = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
-        let mut store = Self {
+        let mut inner = Inner {
             file,
             page_count,
             free_head,
@@ -141,10 +158,19 @@ impl DiskStore {
             tick: 0,
             stats: IoStats::default(),
         };
-        store.load_directory()?;
-        Ok(store)
+        inner.load_directory()?;
+        Ok(Self {
+            inner: Mutex::new(inner),
+        })
     }
 
+    /// Pages currently allocated in the backing file (header included).
+    pub fn page_count(&self) -> u32 {
+        self.inner.lock().page_count
+    }
+}
+
+impl Inner {
     fn write_header(&mut self) -> Result<(), StorageError> {
         let mut hdr = [0u8; PAGE_SIZE];
         hdr[0..8].copy_from_slice(MAGIC);
@@ -404,7 +430,7 @@ impl DiskStore {
     }
 }
 
-impl BucketStore for DiskStore {
+impl Inner {
     fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError> {
         if record.payload.len() > crate::record::MAX_PAYLOAD {
             return Err(StorageError::RecordTooLarge(record.payload.len()));
@@ -450,12 +476,6 @@ impl BucketStore for DiskStore {
         Ok(records)
     }
 
-    fn bucket_len(&mut self, bucket: BucketId) -> usize {
-        self.directory
-            .get(&bucket)
-            .map_or(0, |m| m.records as usize)
-    }
-
     fn delete_bucket(&mut self, bucket: BucketId) -> Result<(), StorageError> {
         if let Some(meta) = self.directory.remove(&bucket) {
             if meta.head != NIL {
@@ -463,14 +483,6 @@ impl BucketStore for DiskStore {
             }
         }
         Ok(())
-    }
-
-    fn bucket_ids(&self) -> Vec<BucketId> {
-        self.directory.keys().copied().collect()
-    }
-
-    fn total_records(&self) -> u64 {
-        self.directory.values().map(|m| m.records).sum()
     }
 
     fn flush(&mut self) -> Result<(), StorageError> {
@@ -494,9 +506,48 @@ impl BucketStore for DiskStore {
         self.file.sync_data()?;
         Ok(())
     }
+}
+
+impl BucketStore for DiskStore {
+    fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError> {
+        self.inner.get_mut().append(bucket, record)
+    }
+
+    fn read_bucket(&self, bucket: BucketId) -> Result<Vec<Record>, StorageError> {
+        self.inner.lock().read_bucket(bucket)
+    }
+
+    fn bucket_len(&self, bucket: BucketId) -> usize {
+        self.inner
+            .lock()
+            .directory
+            .get(&bucket)
+            .map_or(0, |m| m.records as usize)
+    }
+
+    fn delete_bucket(&mut self, bucket: BucketId) -> Result<(), StorageError> {
+        self.inner.get_mut().delete_bucket(bucket)
+    }
+
+    fn bucket_ids(&self) -> Vec<BucketId> {
+        self.inner.lock().directory.keys().copied().collect()
+    }
+
+    fn total_records(&self) -> u64 {
+        self.inner
+            .lock()
+            .directory
+            .values()
+            .map(|m| m.records)
+            .sum()
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.inner.get_mut().flush()
+    }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        self.inner.lock().stats
     }
 
     fn backend_name(&self) -> &'static str {
@@ -587,17 +638,17 @@ mod tests {
             s.append(BucketId(1), rec(i, 1000)).unwrap();
         }
         s.flush().unwrap();
-        let pages_before = s.page_count;
+        let pages_before = s.page_count();
         s.delete_bucket(BucketId(1)).unwrap();
         // Rewriting similar volume should not grow the file (free list reuse).
         for i in 0..50u64 {
             s.append(BucketId(2), rec(i, 1000)).unwrap();
         }
         assert!(
-            s.page_count <= pages_before + 2,
+            s.page_count() <= pages_before + 2,
             "pages grew {} -> {} despite free list",
             pages_before,
-            s.page_count
+            s.page_count()
         );
         assert!(s.read_bucket(BucketId(1)).is_err());
         assert_eq!(s.bucket_len(BucketId(2)), 50);

@@ -90,15 +90,20 @@ pub struct IoStats {
 /// The access pattern the index needs is deliberately narrow: append a
 /// record, stream a whole bucket (search reads entire candidate cells),
 /// and drop a bucket (splits re-distribute its records).
-pub trait BucketStore: Send {
+///
+/// Reads take `&self` so many queries can stream buckets concurrently
+/// while writes keep exclusive access; implementations use interior
+/// mutability where the backing medium needs it (read statistics, the
+/// disk store's buffer pool).
+pub trait BucketStore: Send + Sync {
     /// Appends a record to `bucket`, creating the bucket if new.
     fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError>;
 
     /// Reads every record in `bucket` (order = insertion order).
-    fn read_bucket(&mut self, bucket: BucketId) -> Result<Vec<Record>, StorageError>;
+    fn read_bucket(&self, bucket: BucketId) -> Result<Vec<Record>, StorageError>;
 
     /// Number of records in `bucket` (0 if absent).
-    fn bucket_len(&mut self, bucket: BucketId) -> usize;
+    fn bucket_len(&self, bucket: BucketId) -> usize;
 
     /// Deletes `bucket`, releasing its space. Deleting a non-existent bucket
     /// is a no-op.

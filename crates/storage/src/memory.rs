@@ -2,14 +2,20 @@
 //! HUMAN configurations).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{BucketId, BucketStore, IoStats, Record, StorageError};
 
 /// Volatile bucket store; all data lives in a hash map of vectors.
+///
+/// Reads are `&self` and fully concurrent: the only mutation on the read
+/// path is the `records_read` statistic, kept in an atomic so parallel
+/// queries never contend on a lock.
 #[derive(Debug, Default)]
 pub struct MemoryStore {
     buckets: HashMap<BucketId, Vec<Record>>,
-    stats: IoStats,
+    records_appended: u64,
+    records_read: AtomicU64,
 }
 
 impl MemoryStore {
@@ -30,21 +36,22 @@ impl MemoryStore {
 
 impl BucketStore for MemoryStore {
     fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError> {
-        self.stats.records_appended += 1;
+        self.records_appended += 1;
         self.buckets.entry(bucket).or_default().push(record);
         Ok(())
     }
 
-    fn read_bucket(&mut self, bucket: BucketId) -> Result<Vec<Record>, StorageError> {
+    fn read_bucket(&self, bucket: BucketId) -> Result<Vec<Record>, StorageError> {
         let recs = self
             .buckets
             .get(&bucket)
             .ok_or(StorageError::UnknownBucket(bucket))?;
-        self.stats.records_read += recs.len() as u64;
+        self.records_read
+            .fetch_add(recs.len() as u64, Ordering::Relaxed);
         Ok(recs.clone())
     }
 
-    fn bucket_len(&mut self, bucket: BucketId) -> usize {
+    fn bucket_len(&self, bucket: BucketId) -> usize {
         self.buckets.get(&bucket).map_or(0, Vec::len)
     }
 
@@ -66,7 +73,11 @@ impl BucketStore for MemoryStore {
     }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        IoStats {
+            records_appended: self.records_appended,
+            records_read: self.records_read.load(Ordering::Relaxed),
+            ..IoStats::default()
+        }
     }
 
     fn backend_name(&self) -> &'static str {
@@ -97,7 +108,7 @@ mod tests {
 
     #[test]
     fn unknown_bucket_is_error() {
-        let mut s = MemoryStore::new();
+        let s = MemoryStore::new();
         assert!(matches!(
             s.read_bucket(BucketId(9)),
             Err(StorageError::UnknownBucket(BucketId(9)))
@@ -135,5 +146,25 @@ mod tests {
         s.append(BucketId(2), rec(2, 5)).unwrap();
         assert_eq!(s.payload_bytes(), 15);
         assert_eq!(s.backend_name(), "Memory storage");
+    }
+
+    #[test]
+    fn concurrent_reads_count_all_records() {
+        let mut s = MemoryStore::new();
+        for i in 0..10 {
+            s.append(BucketId(1), rec(i, 1)).unwrap();
+        }
+        let s = std::sync::Arc::new(s);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        assert_eq!(s.read_bucket(BucketId(1)).unwrap().len(), 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.stats().records_read, 4 * 5 * 10);
     }
 }

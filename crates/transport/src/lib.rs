@@ -8,6 +8,10 @@
 //!
 //! * [`RequestHandler`] — the server side as a byte-level request→response
 //!   function (the protocol crates encode messages on top);
+//! * [`SharedRequestHandler`] — the `&self` variant for servers whose read
+//!   path is lock-free; [`serve_tcp_shared`] serves one instance to any
+//!   number of concurrent connections, and [`Shared`] adapts it back to the
+//!   `&mut self` world;
 //! * [`InProcessTransport`] — calls the handler directly; communication
 //!   *time* is computed from exact byte counts through a configurable
 //!   [`NetworkModel`] (default calibrated to a loopback interface), while
@@ -32,8 +36,10 @@ pub mod transport;
 
 pub use stats::TransportStats;
 pub use stopwatch::Stopwatch;
-pub use tcp::{serve_tcp, TcpTransport};
-pub use transport::{InProcessTransport, NetworkModel, RequestHandler, Transport};
+pub use tcp::{serve_tcp, serve_tcp_shared, TcpTransport};
+pub use transport::{
+    InProcessTransport, NetworkModel, RequestHandler, Shared, SharedRequestHandler, Transport,
+};
 
 /// Transport-level errors.
 #[derive(Debug)]

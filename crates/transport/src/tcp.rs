@@ -4,10 +4,16 @@
 //! TCP/IP" on one machine (§4.4). [`serve_tcp`] spawns a server thread that
 //! owns a [`RequestHandler`]; [`TcpTransport`] is the client side.
 //!
-//! Each accepted connection is served by its own worker thread; the handler
-//! is shared behind a mutex (requests are serialized, matching the paper's
-//! single-threaded evaluation client, but a stuck or open connection can
-//! never block `shutdown`).
+//! Each accepted connection is served by its own worker thread. Two serving
+//! modes exist:
+//!
+//! * [`serve_tcp`] — the handler is shared behind a mutex: requests across
+//!   connections are serialized (the paper's single-threaded prototype, and
+//!   the right mode for `&mut self` handlers);
+//! * [`serve_tcp_shared`] — the handler implements
+//!   [`SharedRequestHandler`] and is shared behind an `Arc` with **no
+//!   lock**: connections are served fully concurrently, which is how the
+//!   shared-read `CloudServer` scales query throughput with client count.
 //!
 //! Wire format per message: `u32 LE payload length || payload`. Responses
 //! additionally carry a leading `u64 LE` with the server's measured
@@ -24,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::transport::{RequestHandler, Transport, FRAME_HEADER};
+use crate::transport::{RequestHandler, SharedRequestHandler, Transport, FRAME_HEADER};
 use crate::{TransportError, TransportStats};
 
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
@@ -100,11 +106,40 @@ impl Drop for TcpServerHandle {
 /// serialized through a mutex around the handler (the M-Index server is a
 /// single-writer structure, as in the paper's prototype).
 pub fn serve_tcp<H: RequestHandler + 'static>(handler: H) -> std::io::Result<TcpServerHandle> {
+    let handler = Arc::new(Mutex::new(handler));
+    serve_with(move |stream| {
+        let handler = Arc::clone(&handler);
+        serve_connection(stream, move |req| handler.lock().handle(req))
+    })
+}
+
+/// Starts a TCP server on `127.0.0.1` (ephemeral port) serving a *shared*
+/// handler with **no lock**: every accepted connection gets a worker thread
+/// that calls `handler.handle_shared` directly, so independent clients'
+/// requests are processed concurrently.
+///
+/// The caller keeps a clone of the `Arc` for server-side inspection
+/// (statistics, index shape) while the server runs.
+pub fn serve_tcp_shared<H: SharedRequestHandler + 'static>(
+    handler: Arc<H>,
+) -> std::io::Result<TcpServerHandle> {
+    serve_with(move |stream| {
+        let handler = Arc::clone(&handler);
+        serve_connection(stream, move |req| handler.handle_shared(req))
+    })
+}
+
+/// Shared accept loop: binds, then spawns a detached worker thread per
+/// accepted connection; `serve_conn` runs inside the worker until the
+/// client disconnects.
+fn serve_with<F>(serve_conn: F) -> std::io::Result<TcpServerHandle>
+where
+    F: Fn(TcpStream) + Send + Clone + 'static,
+{
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
-    let handler = Arc::new(Mutex::new(handler));
     let join = std::thread::Builder::new()
         .name("simcloud-tcp-accept".into())
         .spawn(move || {
@@ -115,11 +150,11 @@ pub fn serve_tcp<H: RequestHandler + 'static>(handler: H) -> std::io::Result<Tcp
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
-                let handler = Arc::clone(&handler);
+                let worker = serve_conn.clone();
                 // Detached worker: exits when the client disconnects.
                 let _ = std::thread::Builder::new()
                     .name("simcloud-tcp-conn".into())
-                    .spawn(move || serve_connection(stream, handler));
+                    .spawn(move || worker(stream));
             }
         })?;
     Ok(TcpServerHandle {
@@ -129,7 +164,7 @@ pub fn serve_tcp<H: RequestHandler + 'static>(handler: H) -> std::io::Result<Tcp
     })
 }
 
-fn serve_connection<H: RequestHandler>(mut stream: TcpStream, handler: Arc<Mutex<H>>) {
+fn serve_connection(mut stream: TcpStream, mut handle: impl FnMut(&[u8]) -> Vec<u8>) {
     stream.set_nodelay(true).ok();
     loop {
         let request = match read_frame(&mut stream) {
@@ -137,7 +172,7 @@ fn serve_connection<H: RequestHandler>(mut stream: TcpStream, handler: Arc<Mutex
             Err(_) => break, // client done or connection broken
         };
         let start = Instant::now();
-        let response = handler.lock().handle(&request);
+        let response = handle(&request);
         let server_ns = start.elapsed().as_nanos() as u64;
         let mut framed = Vec::with_capacity(8 + response.len());
         framed.extend_from_slice(&server_ns.to_le_bytes());
@@ -290,6 +325,64 @@ mod tests {
         drop(c1);
         drop(c2);
         server.shutdown();
+    }
+
+    #[test]
+    fn tcp_shared_handler_serves_concurrent_clients_without_lock() {
+        use std::sync::atomic::AtomicU64;
+
+        // A shared handler that records the number of requests in flight at
+        // once; with serve_tcp_shared two stalled requests must overlap.
+        struct SlowCounter {
+            in_flight: AtomicU64,
+            max_in_flight: AtomicU64,
+            served: AtomicU64,
+        }
+        impl SharedRequestHandler for SlowCounter {
+            fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.max_in_flight.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.served.fetch_add(1, Ordering::SeqCst);
+                request.to_vec()
+            }
+        }
+
+        let handler = Arc::new(SlowCounter {
+            in_flight: AtomicU64::new(0),
+            max_in_flight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        });
+        let server = serve_tcp_shared(Arc::clone(&handler)).unwrap();
+        let addr = server.addr();
+        std::thread::scope(|s| {
+            for i in 0u8..3 {
+                s.spawn(move || {
+                    let mut client = TcpTransport::connect(addr).unwrap();
+                    assert_eq!(client.round_trip(&[i]).unwrap(), vec![i]);
+                });
+            }
+        });
+        assert_eq!(handler.served.load(Ordering::SeqCst), 3);
+        assert!(
+            handler.max_in_flight.load(Ordering::SeqCst) >= 2,
+            "shared serving must overlap requests, max in flight was {}",
+            handler.max_in_flight.load(Ordering::SeqCst)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_adapter_drives_request_handler_apis() {
+        struct Echo;
+        impl SharedRequestHandler for Echo {
+            fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+                request.to_vec()
+            }
+        }
+        let mut t = crate::InProcessTransport::new(crate::Shared(Arc::new(Echo)));
+        assert_eq!(t.round_trip(b"hi").unwrap(), b"hi");
     }
 
     #[test]

@@ -26,6 +26,36 @@ impl<F: FnMut(&[u8]) -> Vec<u8> + Send> RequestHandler for F {
     }
 }
 
+/// The *shared-read* server side: a handler whose request processing needs
+/// only `&self`, so one instance behind an [`std::sync::Arc`] can serve any
+/// number of connections/threads concurrently (cf. [`crate::tcp::serve_tcp_shared`]).
+///
+/// This is the trait a scalable similarity-cloud server implements; the
+/// classic [`RequestHandler`] remains for single-threaded deployments and
+/// stateful test doubles. Wrap a shared handler in [`Shared`] where a
+/// `&mut self` [`RequestHandler`] is expected.
+pub trait SharedRequestHandler: Send + Sync {
+    /// Handles one request without exclusive access.
+    fn handle_shared(&self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<H: SharedRequestHandler + ?Sized> SharedRequestHandler for std::sync::Arc<H> {
+    fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        (**self).handle_shared(request)
+    }
+}
+
+/// Blanket `&mut self` adapter: lets any [`SharedRequestHandler`] (including
+/// `Arc<H>`) drive APIs written against [`RequestHandler`], e.g.
+/// [`InProcessTransport`] clients sharing one server.
+pub struct Shared<H>(pub H);
+
+impl<H: SharedRequestHandler> RequestHandler for Shared<H> {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self.0.handle_shared(request)
+    }
+}
+
 /// Client side: a byte-level request/response channel with cost accounting.
 pub trait Transport {
     /// Sends a request and waits for the response.

@@ -1,8 +1,12 @@
 //! Two-process deployment over real TCP — the paper's prototype setup
 //! (§4.4: "Both client and server are … processes communicating via
-//! TCP/IP"; §5.1: both on one machine, loopback interface).
+//! TCP/IP"; §5.1: both on one machine, loopback interface) — extended with
+//! the concurrent serving mode: one shared `CloudServer` accepts any number
+//! of connections and processes their requests in parallel (searches share
+//! the index read lock), and the batch API ships many k-NN queries in one
+//! round trip.
 //!
-//! The server thread owns the M-Index and no key material; the client owns
+//! The server thread owns the M-Index and no key material; the clients own
 //! the secret key. Costs are attributed from measured wall time: the server
 //! stamps its processing time into each response, the client assigns the
 //! rest of the round trip to communication.
@@ -11,6 +15,9 @@
 //! cargo run --release --example tcp_deployment
 //! ```
 
+use std::sync::Arc;
+
+use simcloud::core::{connect_tcp, serve_tcp_concurrent, CloudServer};
 use simcloud::prelude::*;
 use simcloud::transport::Transport;
 
@@ -21,12 +28,20 @@ fn main() {
     let mut cfg = MIndexConfig::yeast();
     cfg.num_pivots = 30;
 
-    // Server thread + connected client.
-    let (mut cloud, server) =
-        simcloud::core::over_tcp(key, L1, cfg, MemoryStore::new(), ClientConfig::distances())
-            .expect("tcp deployment");
-    println!("similarity cloud listening on {}", server.addr());
+    // Concurrent serving mode: the server is shared, the accept loop puts
+    // no lock around it — request processing from different connections
+    // overlaps.
+    let server = Arc::new(CloudServer::new(cfg, MemoryStore::new()).expect("valid config"));
+    let handle = serve_tcp_concurrent(Arc::clone(&server)).expect("tcp server");
+    println!(
+        "similarity cloud listening on {} (concurrent mode)",
+        handle.addr()
+    );
 
+    // Data owner connection: outsource the collection.
+    let mut owner = connect_tcp(key.clone(), L1, handle.addr(), ClientConfig::distances())
+        .expect("connect")
+        .with_rng_seed(4);
     let objects: Vec<(ObjectId, Vector)> = data
         .iter()
         .cloned()
@@ -35,25 +50,53 @@ fn main() {
         .collect();
     let mut build = CostReport::default();
     for chunk in objects.chunks(1000) {
-        build.merge(&cloud.insert_bulk(chunk).expect("insert"));
+        build.merge(&owner.insert_bulk(chunk).expect("insert"));
     }
     println!("\n— construction over TCP ({} objects) —", objects.len());
     println!("{build}");
 
-    println!("\n— 20 queries, approximate 30-NN, CandSize 600 —");
-    let mut total = CostReport::default();
-    for qi in 0..20 {
-        let (_, costs) = cloud
-            .knn_approx(&data[qi * 31 % data.len()], 30, 600)
-            .expect("knn");
-        total.merge(&costs);
-    }
-    let avg = total.averaged(20);
-    println!("{avg}");
+    // Three authorized clients query concurrently, each over its own
+    // connection — the paper's "independent clients" setting.
+    println!("\n— 3 concurrent clients × 10 queries, approximate 30-NN, CandSize 600 —");
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        for c in 0..3usize {
+            let key = key.clone();
+            scope.spawn(move || {
+                let mut client = connect_tcp(key, L1, addr, ClientConfig::distances())
+                    .expect("connect")
+                    .with_rng_seed(5 + c as u64);
+                let mut total = CostReport::default();
+                for qi in 0..10 {
+                    let (_, costs) = client
+                        .knn_approx(&data[(c * 409 + qi * 31) % data.len()], 30, 600)
+                        .expect("knn");
+                    total.merge(&costs);
+                }
+                println!("client {c}: {}", total.averaged(10));
+            });
+        }
+    });
     println!(
-        "\nround trips: {} | measured comm time is real socket time here,\nnot a model — compare with the in-process numbers from `quickstart`",
-        cloud.transport().stats().requests
+        "server processed {} candidates across all connections",
+        server.total_search_stats().candidates
     );
-    drop(cloud);
-    server.shutdown();
+
+    // Batch API: the same 10 queries in ONE round trip — per-message
+    // latency is paid once instead of ten times.
+    println!("\n— batch API: 10 queries in one round trip —");
+    let queries: Vec<Vector> = (0..10)
+        .map(|qi| data[qi * 31 % data.len()].clone())
+        .collect();
+    let before = owner.transport().stats().requests;
+    let (answers, costs) = owner.knn_approx_batch(&queries, 30, 600).expect("batch");
+    println!(
+        "{} answers in {} round trip(s); avg per query: {}",
+        answers.len(),
+        owner.transport().stats().requests - before,
+        costs.averaged(answers.len() as u32)
+    );
+
+    drop(owner);
+    handle.shutdown();
 }
