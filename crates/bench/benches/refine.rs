@@ -1,0 +1,107 @@
+//! Lazy (decrypt-on-demand) vs eager candidate refinement — the
+//! encrypted-search-gap bench behind `BENCH_refine.json`.
+//!
+//! Same steady-state YEAST 30-NN workload as `--bench steady` (index built
+//! once outside the timed region, member queries driven against it), run
+//! twice over identical server state: once with `LazyRefine::Off` (the
+//! paper's eager Alg. 2 loop, decrypting every candidate) and once with the
+//! default sound early exit. Reported per configuration: queries/s, the
+//! speedup, and mean candidates decrypted vs received — the early-exit rate
+//! the paper tables cite.
+//!
+//! ```text
+//! cargo bench -p simcloud-bench --bench refine            # full scale
+//! cargo bench -p simcloud-bench --bench refine -- --quick # CI scale
+//! ```
+
+use simcloud_bench::{prebuild, steady_state_encrypted_with, SteadyState, Which};
+use simcloud_core::{ClientConfig, LazyRefine};
+
+struct Config {
+    n: usize,
+    queries: usize,
+    rounds: usize,
+    cands: &'static [usize],
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Config {
+            n: 600,
+            queries: 10,
+            rounds: 2,
+            cands: &[150],
+        }
+    } else {
+        Config {
+            n: 1500,
+            queries: 30,
+            rounds: 4,
+            cands: &[150, 600],
+        }
+    };
+    let k = 30;
+
+    println!(
+        "lazy vs eager refinement, encrypted {k}-NN, YEAST n={}, {} queries x {} rounds",
+        cfg.n, cfg.queries, cfg.rounds
+    );
+    let pre = prebuild(Which::Yeast.dataset(cfg.n, 11), cfg.queries, 3);
+
+    let mut json = String::from("{\n");
+    for &cand in cfg.cands {
+        let eager: SteadyState = steady_state_encrypted_with(
+            &pre,
+            &ClientConfig::distances().with_lazy_refine(LazyRefine::Off),
+            cand,
+            k,
+            1,
+            cfg.rounds,
+            7,
+        );
+        let lazy: SteadyState = steady_state_encrypted_with(
+            &pre,
+            &ClientConfig::distances(),
+            cand,
+            k,
+            1,
+            cfg.rounds,
+            7,
+        );
+        let speedup = lazy.queries_per_second() / eager.queries_per_second();
+        println!(
+            "  cand={cand:<4} eager {:>8.1} queries/s  (decrypts {:.0}/query)",
+            eager.queries_per_second(),
+            eager.mean_decrypted()
+        );
+        println!(
+            "  cand={cand:<4} lazy  {:>8.1} queries/s  (decrypts {:.1} of {:.0}/query, {speedup:.2}x)",
+            lazy.queries_per_second(),
+            lazy.mean_decrypted(),
+            lazy.mean_candidates()
+        );
+        json.push_str(&format!(
+            "  \"refine_yeast_30nn/cand{cand}/eager\": {{ \"queries_per_s\": {:.1}, \"mean_decrypted\": {:.1}, \"mean_candidates\": {:.1} }},\n",
+            eager.queries_per_second(),
+            eager.mean_decrypted(),
+            eager.mean_candidates(),
+        ));
+        json.push_str(&format!(
+            "  \"refine_yeast_30nn/cand{cand}/lazy\": {{ \"queries_per_s\": {:.1}, \"mean_decrypted\": {:.1}, \"mean_candidates\": {:.1}, \"speedup_vs_eager\": {speedup:.2} }},\n",
+            lazy.queries_per_second(),
+            lazy.mean_decrypted(),
+            lazy.mean_candidates(),
+        ));
+        assert!(
+            lazy.decrypted < lazy.candidates,
+            "lazy refinement never exited early (decrypted {} of {})",
+            lazy.decrypted,
+            lazy.candidates
+        );
+    }
+    json.push_str("  \"scale\": \"");
+    json.push_str(if quick { "quick" } else { "full" });
+    json.push_str("\"\n}");
+    println!("\nJSON summary:\n{json}");
+}

@@ -23,5 +23,8 @@ pub mod tables;
 
 pub use experiments::*;
 pub use scale::Scale;
-pub use steady::{prebuild, steady_state_batch, steady_state_encrypted, PreBuilt, SteadyState};
+pub use steady::{
+    prebuild, steady_state_batch, steady_state_encrypted, steady_state_encrypted_with, PreBuilt,
+    SteadyState,
+};
 pub use tables::Table;

@@ -34,12 +34,27 @@ pub struct SteadyState {
     pub queries: u64,
     /// Wall-clock time of the query phase (construction excluded).
     pub elapsed: Duration,
+    /// Candidates received across all queries.
+    pub candidates: u64,
+    /// Candidates actually unsealed — `< candidates` whenever the lazy
+    /// refinement's early exit fired.
+    pub decrypted: u64,
 }
 
 impl SteadyState {
     /// Aggregate throughput in queries per second.
     pub fn queries_per_second(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean candidates decrypted per query.
+    pub fn mean_decrypted(&self) -> f64 {
+        self.decrypted as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean candidates received per query.
+    pub fn mean_candidates(&self) -> f64 {
+        self.candidates as f64 / self.queries.max(1) as f64
     }
 }
 
@@ -103,35 +118,65 @@ pub fn steady_state_encrypted(
     rounds: usize,
     seed: u64,
 ) -> SteadyState {
+    steady_state_encrypted_with(
+        pre,
+        &ClientConfig::distances(),
+        cand_size,
+        k,
+        threads,
+        rounds,
+        seed,
+    )
+}
+
+/// [`steady_state_encrypted`] with an explicit client configuration — the
+/// refine bench uses this to pit lazy (decrypt-on-demand) against eager
+/// refinement over identical server state.
+#[allow(clippy::too_many_arguments)]
+pub fn steady_state_encrypted_with(
+    pre: &PreBuilt,
+    config: &ClientConfig,
+    cand_size: usize,
+    k: usize,
+    threads: usize,
+    rounds: usize,
+    seed: u64,
+) -> SteadyState {
     let start = Instant::now();
     let per_thread: u64 = (rounds * pre.workload.len()) as u64;
-    std::thread::scope(|scope| {
+    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let server = Arc::clone(&pre.server);
                 let key = pre.key.clone();
                 let metric = pre.dataset.metric.clone();
                 let workload = &pre.workload;
+                let config = config.clone();
                 scope.spawn(move || {
-                    let mut client = client_for(key, metric, server, ClientConfig::distances())
-                        .with_rng_seed(seed ^ t as u64);
+                    let mut client =
+                        client_for(key, metric, server, config).with_rng_seed(seed ^ t as u64);
                     for _ in 0..rounds {
                         for q in &workload.queries {
                             let (res, _) = client.knn_approx(q, k, cand_size).expect("search");
                             std::hint::black_box(res);
                         }
                     }
+                    let costs = client.total_costs();
+                    (costs.candidates, costs.decrypted)
                 })
             })
             .collect();
-        for h in handles {
-            h.join().expect("query thread");
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread"))
+            .collect()
     });
     SteadyState {
         threads,
         queries: per_thread * threads as u64,
         elapsed: start.elapsed(),
+        candidates: totals.iter().map(|(c, _)| c).sum(),
+        decrypted: totals.iter().map(|(_, d)| d).sum(),
     }
 }
 
@@ -161,10 +206,14 @@ pub fn steady_state_batch(
             std::hint::black_box(res);
         }
     }
+    let elapsed = start.elapsed();
+    let costs = client.total_costs();
     SteadyState {
         threads: 1,
         queries: (rounds * pre.workload.len()) as u64,
-        elapsed: start.elapsed(),
+        elapsed,
+        candidates: costs.candidates,
+        decrypted: costs.decrypted,
     }
 }
 

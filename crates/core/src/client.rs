@@ -5,6 +5,7 @@
 //! together with a [`CostReport`] whose components correspond one-to-one to
 //! the rows of the paper's evaluation tables.
 
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -84,6 +85,31 @@ impl From<SealError> for ClientError {
     }
 }
 
+/// Candidate-refinement policy: when may the client stop unsealing?
+///
+/// Candidate sets arrive sorted by a server-computed lower bound. Under the
+/// **distances** strategy the bound is a sound metric lower bound on
+/// `d(q, o)` (wire-safe: the `f32` quantization of stored distances is
+/// already subtracted server-side), so stopping once the k-th true distance
+/// beats every remaining bound provably returns the same neighbors as
+/// decrypting everything. Under the **permutation** strategy the server has
+/// no distances — the "bound" is the cell-promise penalty, a heuristic —
+/// so a sound early exit is impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LazyRefine {
+    /// Decrypt every candidate (the paper's eager Alg. 2 loop).
+    Off,
+    /// Decrypt on demand, early-exiting only when the wire bounds are sound
+    /// (distance routing); permutation candidate sets are refined eagerly.
+    /// Results are identical to [`LazyRefine::Off`] in both cases.
+    #[default]
+    Sound,
+    /// Also early-exit under permutation routing, treating the promise
+    /// penalty as if it were a distance bound — faster, but the answer may
+    /// differ from eager refinement.
+    Heuristic,
+}
+
 /// Client configuration: routing strategy and optional extensions.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
@@ -97,6 +123,8 @@ pub struct ClientConfig {
     /// Level-4 privacy extension (paper §6 future work): monotone keyed
     /// transformation of all distances shipped to the server.
     pub transform: Option<DistanceTransform>,
+    /// Decrypt-on-demand refinement policy (default: sound early exit).
+    pub lazy_refine: LazyRefine,
 }
 
 impl ClientConfig {
@@ -106,6 +134,7 @@ impl ClientConfig {
             strategy: RoutingStrategy::Distances,
             permutation_prefix: None,
             transform: None,
+            lazy_refine: LazyRefine::Sound,
         }
     }
 
@@ -115,6 +144,7 @@ impl ClientConfig {
             strategy: RoutingStrategy::Permutation,
             permutation_prefix: None,
             transform: None,
+            lazy_refine: LazyRefine::Sound,
         }
     }
 
@@ -122,6 +152,42 @@ impl ClientConfig {
     pub fn with_transform(mut self, t: DistanceTransform) -> Self {
         self.transform = Some(t);
         self
+    }
+
+    /// Overrides the refinement policy (eager, sound-lazy, heuristic-lazy).
+    pub fn with_lazy_refine(mut self, lazy: LazyRefine) -> Self {
+        self.lazy_refine = lazy;
+        self
+    }
+}
+
+/// What a refinement pass is asked to produce.
+#[derive(Debug, Clone, Copy)]
+enum RefineGoal {
+    /// The best `k` neighbors of the candidate set.
+    TopK(usize),
+    /// All candidates within `radius`; `wire_radius` is the same threshold
+    /// in the wire-bound space (transformed + inflated when the level-4
+    /// transform is active) for comparisons against candidate bounds.
+    Within { radius: f64, wire_radius: f64 },
+}
+
+/// Max-heap entry ordered by (true distance, id) — its maximum is the
+/// *worst* member of the current best-k, i.e. the running k-th neighbor.
+#[derive(Debug, PartialEq)]
+struct WorstNeighbor(f64, u64);
+
+impl Eq for WorstNeighbor {}
+
+impl PartialOrd for WorstNeighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstNeighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 
@@ -278,39 +344,167 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         self.insert_bulk(std::slice::from_ref(&(id, object.clone())))
     }
 
+    /// True when the wire lower bounds of the next candidate set are sound
+    /// metric bounds the client may exit on (distance routing only; the
+    /// promise penalty shipped under permutation routing is a heuristic).
+    fn lazy_enabled(&self) -> bool {
+        match self.config.lazy_refine {
+            LazyRefine::Off => false,
+            LazyRefine::Sound => self.config.strategy == RoutingStrategy::Distances,
+            LazyRefine::Heuristic => true,
+        }
+    }
+
+    /// Maps a true client-side distance into the wire-bound space for
+    /// comparisons against server lower bounds. Without a transform this is
+    /// the identity. With the level-4 transform the server's bounds live in
+    /// `T`-space where `|T(x) − T(y)| ≤ s_max·|x − y| ≤ s_max·d(q, o)`, so
+    /// `s_max·d` (exactly [`DistanceTransform::server_radius`]) is the
+    /// sound comparison value — the same inflation the range query ships.
+    fn to_wire_distance(&self, d: f64) -> f64 {
+        match &self.config.transform {
+            Some(t) => t.server_radius(d),
+            None => d,
+        }
+    }
+
+    /// Candidate refinement (Alg. 2 lines 12–15), decrypt-on-demand.
+    ///
+    /// Candidates are processed in wire order. When lazy refinement is
+    /// enabled the loop stops as soon as the *minimum remaining* lower
+    /// bound (a suffix-min pre-pass, so a mis-sorted or malicious server
+    /// can cost performance but never correctness) proves that no further
+    /// candidate can enter the result:
+    ///
+    /// * k-NN: the k-th true distance found so far is strictly below every
+    ///   remaining bound (strict, so ties at the k-th distance are still
+    ///   resolved exactly as eager refinement resolves them);
+    /// * range: every remaining bound exceeds the (wire-space) radius.
+    ///
+    /// Undecodable candidates (valid MAC, garbage object — a buggy
+    /// authorized writer) are skipped and recorded in the [`CostReport`];
+    /// the query fails only if the damage is visible in the answer (fewer
+    /// than `k` neighbors, or any bad candidate on the range path, where a
+    /// lost candidate could silently drop a true result). Authentication
+    /// failures still abort immediately: they are active tampering, and
+    /// skipping would let a malicious server censor chosen neighbors
+    /// undetected.
+    ///
+    /// The whole loop is timed as one phase into `costs.decryption` — the
+    /// previous per-candidate stopwatches cost two clock reads per
+    /// candidate, a measurable slice of a sub-2µs unseal.
     fn refine(
         &mut self,
         q: &Vector,
         candidates: Vec<Candidate>,
         costs: &mut CostReport,
-        keep: impl Fn(f64) -> bool,
-        limit: Option<usize>,
+        goal: RefineGoal,
     ) -> Result<Vec<Neighbor>, ClientError> {
-        let mut dec = Stopwatch::new();
-        let mut dist = Stopwatch::new();
+        let refine_start = Instant::now();
         costs.candidates += candidates.len() as u64;
-        let mut result = Vec::new();
-        for c in candidates {
-            // Alg. 2 line 13: decrypt.
-            let plain = dec.time(|| self.key.cipher().unseal(&c.payload))?;
-            let (o, _) = Vector::decode(&plain).map_err(|_| ClientError::BadObject(c.id))?;
+        let lazy = self.lazy_enabled();
+        // Minimum lower bound over candidates[i..] — the value any sound
+        // early exit must beat, whatever order the server sent. Non-finite
+        // bounds collapse to 0.0: `f64::min` would silently *ignore* a NaN
+        // operand, letting a malicious server defeat the pre-pass with NaN
+        // bounds and skip true results; 0.0 instead forces decryption.
+        let suffix_min: Vec<f64> = if lazy {
+            let mut m = vec![f64::INFINITY; candidates.len() + 1];
+            for (i, c) in candidates.iter().enumerate().rev() {
+                let lb = if c.lower_bound.is_finite() {
+                    c.lower_bound
+                } else {
+                    0.0
+                };
+                m[i] = m[i + 1].min(lb);
+            }
+            m
+        } else {
+            Vec::new()
+        };
+
+        // Worst-of-the-best-k ordering matches the eager sort exactly:
+        // by true distance, ties by id.
+        let mut heap: BinaryHeap<WorstNeighbor> = BinaryHeap::new();
+        let mut decrypted = 0u64;
+        let mut bad = 0u64;
+        let mut first_bad: Option<ClientError> = None;
+
+        for (i, c) in candidates.iter().enumerate() {
+            if lazy {
+                let remaining = suffix_min[i];
+                let done = match goal {
+                    // lb > τ ⇒ every remaining true distance exceeds the
+                    // radius; `>` keeps exact-boundary objects.
+                    RefineGoal::Within { wire_radius, .. } => remaining > wire_radius,
+                    // Strict `<`: a remaining candidate can then only have
+                    // d > d_k, so it can neither enter the top-k nor tie.
+                    RefineGoal::TopK(k) => {
+                        k == 0
+                            || (heap.len() == k
+                                && self.to_wire_distance(heap.peek().expect("k > 0").0) < remaining)
+                    }
+                };
+                if done {
+                    break;
+                }
+            }
+            // Alg. 2 line 13: decrypt. An authentication failure is active
+            // tampering (or a key mismatch) — that aborts immediately, as
+            // silently dropping a tampered-with candidate would let a
+            // malicious server censor specific neighbors undetected. Only
+            // *decode* failures below (a buggy authorized writer) are
+            // skip-and-record.
+            decrypted += 1;
+            let plain = self.key.cipher().unseal(&c.payload)?;
+            let Ok((o, _)) = Vector::decode(&plain) else {
+                bad += 1;
+                first_bad.get_or_insert(ClientError::BadObject(c.id));
+                continue;
+            };
             // Alg. 2 line 14: true distance. A non-finite distance means the
             // payload decoded to garbage (e.g. NaN coordinates) — reject it
-            // instead of letting it poison the sort.
-            let d = dist.time(|| self.metric.distance(q, &o));
+            // instead of letting it poison the order.
+            let d = self.metric.distance(q, &o);
             if !d.is_finite() {
-                return Err(ClientError::BadObject(c.id));
+                bad += 1;
+                first_bad.get_or_insert(ClientError::BadObject(c.id));
+                continue;
             }
-            if keep(d) {
-                result.push((ObjectId(c.id), d));
+            match goal {
+                RefineGoal::Within { radius, .. } => {
+                    if d <= radius {
+                        heap.push(WorstNeighbor(d, c.id));
+                    }
+                }
+                RefineGoal::TopK(k) => {
+                    if k > 0 {
+                        heap.push(WorstNeighbor(d, c.id));
+                        if heap.len() > k {
+                            heap.pop();
+                        }
+                    }
+                }
             }
         }
-        result.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        if let Some(k) = limit {
-            result.truncate(k);
+        let result: Vec<Neighbor> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|WorstNeighbor(d, id)| (ObjectId(id), d))
+            .collect();
+        costs.decrypted += decrypted;
+        costs.bad_candidates += bad;
+        costs.decryption += refine_start.elapsed();
+        if let Some(e) = first_bad {
+            let damaging = match goal {
+                // A skipped range candidate could have been a true result.
+                RefineGoal::Within { .. } => true,
+                RefineGoal::TopK(k) => result.len() < k,
+            };
+            if damaging {
+                return Err(e);
+            }
         }
-        costs.decryption += dec.total();
-        costs.distance += dist.total();
         Ok(result)
     }
 
@@ -348,7 +542,15 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         };
         costs.distance = dist.total();
-        let result = self.refine(q, candidates, &mut costs, |d| d <= radius, None)?;
+        let result = self.refine(
+            q,
+            candidates,
+            &mut costs,
+            RefineGoal::Within {
+                radius,
+                wire_radius,
+            },
+        )?;
         costs.distance_computations = self.metric.count() - before_dc;
         costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
         self.total.merge(&costs);
@@ -382,7 +584,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         };
         costs.distance = dist.total();
-        let result = self.refine(q, candidates, &mut costs, |_| true, Some(k))?;
+        let result = self.refine(q, candidates, &mut costs, RefineGoal::TopK(k))?;
         costs.distance_computations = self.metric.count() - before_dc;
         costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
         self.total.merge(&costs);
@@ -435,11 +637,12 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
             };
             for (q, candidates) in chunk.iter().zip(sets) {
-                results.push(self.refine(q, candidates, &mut costs, |_| true, Some(k))?);
+                results.push(self.refine(q, candidates, &mut costs, RefineGoal::TopK(k))?);
             }
         }
-        // refine() accumulated its own distance time into `costs`; add the
-        // pivot-distance stopwatch on top rather than overwriting it.
+        // `costs.distance` covers only the query–pivot phase; refine()'s
+        // loop time (including its metric evaluations) lands in
+        // `costs.decryption` as one phase.
         costs.distance += dist.total();
         costs.distance_computations = self.metric.count() - before_dc;
         costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
@@ -488,6 +691,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         };
         let mut dec = Stopwatch::new();
         costs.candidates = candidates.len() as u64;
+        costs.decrypted = candidates.len() as u64;
         let mut out = Vec::with_capacity(candidates.len());
         for c in candidates {
             let plain = dec.time(|| self.key.cipher().unseal(&c.payload))?;

@@ -17,11 +17,16 @@ pub struct CostReport {
     pub client: Duration,
     /// Time sealing objects (construction) — subset of `client`.
     pub encryption: Duration,
-    /// Time unsealing + deserializing candidates (search) — subset of
-    /// `client` ("decryption time").
+    /// Time of the whole candidate-refinement loop: unsealing,
+    /// deserializing and the per-candidate metric evaluations (search) —
+    /// subset of `client` ("decryption time"). The loop is timed as one
+    /// phase: with decrypt-on-demand refinement, per-candidate stopwatches
+    /// would cost a measurable fraction of the work they measure.
     pub decryption: Duration,
-    /// Time computing metric distances on the client — subset of `client`
-    /// ("dist. comp. time").
+    /// Time computing query–pivot distances on the client — subset of
+    /// `client` ("dist. comp. time"). Refinement-loop metric evaluations
+    /// are timed inside `decryption` (see above) but *counted* exactly in
+    /// `distance_computations`.
     pub distance: Duration,
     /// Server-side processing time.
     pub server: Duration,
@@ -35,6 +40,16 @@ pub struct CostReport {
     pub distance_computations: u64,
     /// Candidates received (search ops).
     pub candidates: u64,
+    /// Candidates actually unsealed during refinement. Eager refinement
+    /// decrypts everything (`decrypted == candidates`); lazy decrypt-on-
+    /// demand refinement stops early, so `1 − decrypted/candidates` is the
+    /// early-exit rate.
+    pub decrypted: u64,
+    /// Candidates that authenticated but decoded to garbage (a buggy
+    /// authorized writer) and were skipped by refinement instead of
+    /// aborting the query. Authentication (MAC) failures are *not* counted
+    /// here — they are active tampering and abort the query immediately.
+    pub bad_candidates: u64,
 }
 
 impl CostReport {
@@ -60,6 +75,8 @@ impl CostReport {
         self.bytes_received += other.bytes_received;
         self.distance_computations += other.distance_computations;
         self.candidates += other.candidates;
+        self.decrypted += other.decrypted;
+        self.bad_candidates += other.bad_candidates;
     }
 
     /// Divides all components by `n` (average over a query batch — the
@@ -77,6 +94,8 @@ impl CostReport {
             bytes_received: self.bytes_received / n as u64,
             distance_computations: self.distance_computations / n as u64,
             candidates: self.candidates / n as u64,
+            decrypted: self.decrypted / n as u64,
+            bad_candidates: self.bad_candidates / n as u64,
         }
     }
 }
@@ -122,6 +141,15 @@ impl std::fmt::Display for CostReport {
             "Overall time [s]       {:>10.4}",
             self.overall().as_secs_f64()
         )?;
+        if self.candidates > 0 {
+            writeln!(
+                f,
+                "Candidates decrypted   {:>7} of {} ({:.1}% early-exit)",
+                self.decrypted,
+                self.candidates,
+                100.0 * (1.0 - self.decrypted as f64 / self.candidates as f64)
+            )?;
+        }
         write!(
             f,
             "Communication cost [kB] {:>9.3}",
@@ -146,6 +174,8 @@ mod tests {
             bytes_received: 3000,
             distance_computations: 42,
             candidates: 10,
+            decrypted: 6,
+            bad_candidates: 2,
         }
     }
 
@@ -177,6 +207,7 @@ mod tests {
             "Server time [s]",
             "Communication time [s]",
             "Overall time [s]",
+            "Candidates decrypted",
             "Communication cost [kB]",
         ] {
             assert!(s.contains(label), "missing {label} in:\n{s}");
@@ -187,5 +218,19 @@ mod tests {
     #[should_panic]
     fn average_by_zero_panics() {
         let _ = sample().averaged(0);
+    }
+
+    /// The early-exit rate is derived from `decrypted` vs `candidates` and
+    /// shown in every table; a report with no candidates omits the line.
+    #[test]
+    fn display_shows_early_exit_rate() {
+        let s = sample().to_string();
+        assert!(s.contains("6 of 10"), "missing decrypted counts:\n{s}");
+        assert!(s.contains("40.0% early-exit"), "missing rate:\n{s}");
+        let quiet = CostReport::default().to_string();
+        assert!(
+            !quiet.contains("Candidates decrypted"),
+            "no-candidate report must omit the line:\n{quiet}"
+        );
     }
 }

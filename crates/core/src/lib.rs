@@ -49,7 +49,7 @@ pub mod protocol;
 pub mod server;
 pub mod transform;
 
-pub use client::{ClientConfig, ClientError, EncryptedClient, Neighbor};
+pub use client::{ClientConfig, ClientError, EncryptedClient, LazyRefine, Neighbor};
 pub use cloud::{
     client_for, client_for_with_model, connect_tcp, in_process, in_process_with_model, over_tcp,
     serve_tcp_concurrent, InProcessCloud, SharedCloud,

@@ -15,7 +15,8 @@
 //!           | 0x05                                      export all
 //!           | 0x06 u16 n { routing; u32 cand_size }*n   batched approx k-NN
 //! response := 0x01 u32 inserted_count
-//!           | 0x02 u32 n { u64 id; u32 len; bytes }*n   candidate set
+//!           | 0x02 u32 n { u64 id; f64 lb;
+//!                          u32 len; bytes }*n           candidate set
 //!           | 0x03 u16 len utf8                         error
 //!           | 0x04 u64 entries; u32 leaves; u32 depth   info
 //!           | 0x05 u16 n { candidate set }*n            batched candidate sets
@@ -26,6 +27,12 @@
 //! the client's refinement both compute in `f64`, and a narrower wire type
 //! would let boundary objects (distance exactly `radius`) be pruned
 //! server-side, breaking the precise range guarantee.
+//!
+//! Every candidate carries its server-computed **lower bound** `lb` and
+//! candidate sets travel sorted by it ascending, enabling the client's
+//! decrypt-on-demand refinement (stop unsealing once the bound alone rules
+//! the rest out). The bound is derived from routing information the server
+//! already holds, so shipping it leaks nothing new.
 
 use simcloud_mindex::{IndexEntry, Routing};
 
@@ -75,13 +82,18 @@ pub struct KnnQuery {
     pub cand_size: u32,
 }
 
-/// One candidate in a response: the id and the sealed object — no routing
-/// info travels back (the client recomputes true distances after
-/// decryption).
+/// One candidate in a response: the id, the server's lower bound on the
+/// query–object distance, and the sealed object — no routing info travels
+/// back (the client recomputes true distances after decryption).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// External object id.
     pub id: u64,
+    /// Server-computed lower bound on `d(q, o)` in the wire distance space
+    /// (a sound pivot-filtering bound under distance routing; the heuristic
+    /// cell-promise penalty under permutation routing). Candidate sets are
+    /// sorted by this value ascending.
+    pub lower_bound: f64,
     /// Sealed (encrypted) object bytes.
     pub payload: Vec<u8>,
 }
@@ -133,12 +145,13 @@ fn err(msg: &str) -> CodecError {
     CodecError(msg.into())
 }
 
-/// Appends `u32 n { u64 id; u32 len; bytes }*n` (the candidate-list layout
-/// shared by [`Response::Candidates`] and [`Response::CandidateSets`]).
+/// Appends `u32 n { u64 id; f64 lb; u32 len; bytes }*n` (the candidate-list
+/// layout shared by [`Response::Candidates`] and [`Response::CandidateSets`]).
 fn encode_candidates(out: &mut Vec<u8>, cands: &[Candidate]) {
     out.extend_from_slice(&(cands.len() as u32).to_le_bytes());
     for c in cands {
         out.extend_from_slice(&c.id.to_le_bytes());
+        out.extend_from_slice(&c.lower_bound.to_le_bytes());
         out.extend_from_slice(&(c.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&c.payload);
     }
@@ -154,17 +167,19 @@ fn decode_candidates(buf: &[u8], mut off: usize) -> Result<(Vec<Candidate>, usiz
     off += 4;
     let mut cands = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
-        if buf.len() < off + 12 {
+        if buf.len() < off + 20 {
             return Err(err("candidate header truncated"));
         }
         let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-        let len = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
-        off += 12;
+        let lower_bound = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[off + 16..off + 20].try_into().unwrap()) as usize;
+        off += 20;
         if buf.len() < off + len {
             return Err(err("candidate payload truncated"));
         }
         cands.push(Candidate {
             id,
+            lower_bound,
             payload: buf[off..off + len].to_vec(),
         });
         off += len;
@@ -520,16 +535,19 @@ mod tests {
             vec![
                 Candidate {
                     id: 1,
+                    lower_bound: 0.25,
                     payload: vec![1, 2],
                 },
                 Candidate {
                     id: 2,
+                    lower_bound: 1.5,
                     payload: vec![],
                 },
             ],
             vec![],
             vec![Candidate {
                 id: 9,
+                lower_bound: f64::MAX,
                 payload: vec![9; 17],
             }],
         ]);
@@ -549,6 +567,54 @@ mod tests {
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         let bytes = resp.encode();
         for cut in [1, 5, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    /// Lower bounds drive the client's sound early exit, so they must
+    /// survive the wire bit-exactly — a rounded bound could be pushed above
+    /// a true distance and change answers.
+    #[test]
+    fn candidate_lower_bounds_survive_wire_bit_exactly() {
+        let bounds = [0.0f64, 1e-300, 0.1 + 0.2, 1.0 - 1e-9, 16777217.0];
+        let resp = Response::Candidates(
+            bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &lb)| Candidate {
+                    id: i as u64,
+                    lower_bound: lb,
+                    payload: vec![i as u8],
+                })
+                .collect(),
+        );
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Candidates(c) => {
+                for (sent, got) in bounds.iter().zip(&c) {
+                    assert_eq!(
+                        sent.to_bits(),
+                        got.lower_bound.to_bits(),
+                        "{sent} mangled to {}",
+                        got.lower_bound
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Truncation inside the new 8-byte bound field is rejected like any
+    /// other cut.
+    #[test]
+    fn truncation_inside_lower_bound_rejected() {
+        let resp = Response::Candidates(vec![Candidate {
+            id: 3,
+            lower_bound: 2.5,
+            payload: vec![1, 2, 3],
+        }]);
+        let bytes = resp.encode();
+        // 1 tag + 4 count + 8 id = 13; cuts at 14..=20 land inside lb/len.
+        for cut in 13..21 {
             assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
     }
@@ -599,10 +665,12 @@ mod tests {
             Response::Candidates(vec![
                 Candidate {
                     id: 7,
+                    lower_bound: 0.125,
                     payload: vec![1, 2, 3],
                 },
                 Candidate {
                     id: 8,
+                    lower_bound: 2.0,
                     payload: vec![],
                 },
             ]),
@@ -621,6 +689,7 @@ mod tests {
         }
         let resp = Response::Candidates(vec![Candidate {
             id: 1,
+            lower_bound: 0.0,
             payload: vec![9; 4],
         }]);
         let bytes = resp.encode();

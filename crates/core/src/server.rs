@@ -64,7 +64,7 @@ impl<S: BucketStore> CloudServer<S> {
 
     fn candidates_response(
         &self,
-        result: Result<(Vec<IndexEntry>, SearchStats), MIndexError>,
+        result: Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError>,
     ) -> Response {
         match result {
             Ok((entries, stats)) => {
@@ -152,16 +152,21 @@ impl<S: BucketStore> CloudServer<S> {
                 }
             }
             Request::ExportAll => match self.index.read().all_entries() {
-                Ok(entries) => Response::Candidates(entries.into_iter().map(candidate).collect()),
+                // An export has no query, hence no bounds: every candidate
+                // ships a trivial lower bound of zero ("could be anywhere").
+                Ok(entries) => {
+                    Response::Candidates(entries.into_iter().map(|e| candidate((e, 0.0))).collect())
+                }
                 Err(e) => Response::Error(e.to_string()),
             },
         }
     }
 }
 
-fn candidate(e: IndexEntry) -> Candidate {
+fn candidate((e, lower_bound): (IndexEntry, f64)) -> Candidate {
     Candidate {
         id: e.id,
+        lower_bound,
         payload: e.payload,
     }
 }
@@ -310,6 +315,35 @@ mod tests {
         assert!(matches!(bad_insert, Response::InsertError { .. }));
         // and the knn above returned an empty candidate set, not an error
         assert!(matches!(resp, Response::Candidates(_)));
+    }
+
+    /// Candidate sets leave the server sorted by their wire lower bound
+    /// with the bounds attached — the contract the lazy client exits on.
+    #[test]
+    fn knn_response_carries_ascending_lower_bounds() {
+        let s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.4, 0.6, 0.7]),
+            entry(3, &[0.9, 0.1, 0.2]),
+            entry(4, &[0.11, 0.52, 0.9]),
+        ]));
+        let resp = s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: 4,
+        });
+        match resp {
+            Response::Candidates(c) => {
+                assert_eq!(c.len(), 4);
+                assert!(
+                    c.windows(2).all(|w| w[0].lower_bound <= w[1].lower_bound),
+                    "bounds not ascending: {:?}",
+                    c.iter().map(|x| x.lower_bound).collect::<Vec<_>>()
+                );
+                assert!(c[0].lower_bound < c[3].lower_bound, "bounds all equal");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -305,8 +305,10 @@ fn range_radius_exactly_at_object_distance() {
 }
 
 /// A correctly-sealed payload that decodes to a NaN vector (a buggy or
-/// malicious *authorized* writer) must surface as `BadObject`, not a client
-/// panic in the refinement sort.
+/// malicious *authorized* writer) must never panic the refinement sort.
+/// Since the decrypt-on-demand refactor it must not abort the query either:
+/// the bad candidate is skipped and recorded in the `CostReport`, and the
+/// query only fails when the answer itself is short of `k`.
 #[test]
 fn nan_distance_candidate_rejected_not_panicking() {
     let clean = random_data(64, 2, 31);
@@ -347,9 +349,26 @@ fn nan_distance_candidate_rejected_not_panicking() {
     good.remove(1); // id 1 is the poisoned entry
     client.insert_bulk(&good).unwrap();
 
+    // Plenty of good candidates: the poisoned entry is skipped, recorded,
+    // and the k good neighbors survive instead of being thrown away.
     match client.knn_approx(&clean[1], 3, 64) {
+        Ok((res, costs)) => {
+            assert_eq!(res.len(), 3);
+            assert!(
+                res.iter().all(|(id, _)| *id != ObjectId(1)),
+                "poisoned candidate must not appear in the answer: {res:?}"
+            );
+            assert_eq!(costs.bad_candidates, 1, "the skip must be accounted");
+        }
+        Err(e) => panic!("one bad candidate must not abort the query: {e}"),
+    }
+
+    // But when the damage is visible — more neighbors requested than good
+    // candidates exist — the query must fail loudly, not return quietly
+    // short.
+    match client.knn_approx(&clean[1], 64, 64) {
         Err(ClientError::BadObject(id)) => assert_eq!(id, 1),
-        Ok(_) => panic!("NaN candidate must be rejected"),
+        Ok((res, _)) => panic!("short answer ({} of 64) must error", res.len()),
         Err(other) => panic!("wrong error: {other}"),
     }
 }

@@ -1,0 +1,376 @@
+//! Lazy (decrypt-on-demand) refinement must be **invisible in the answers**:
+//! for the distances strategy the early exit is proven sound by the wire
+//! lower bounds, so every query — k-NN, batch, range, transformed — returns
+//! byte-identical results to eager refinement, including ties at the k-th
+//! distance. These tests drive lazy and eager clients against the *same*
+//! shared server state and compare exactly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcloud_core::{
+    client_for, ClientConfig, CloudServer, LazyRefine, Neighbor, SecretKey, SharedCloud,
+};
+use simcloud_metric::{ObjectId, PivotSelection, Vector, L2};
+use simcloud_mindex::{MIndexConfig, RoutingStrategy};
+use simcloud_storage::MemoryStore;
+
+/// Random data with deliberate duplicates: every fourth point is a copy of
+/// an earlier one, so k-th-distance ties are common, exercising the strict
+/// early-exit comparison.
+fn data_with_ties(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Vector> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 4 == 3 {
+            let j = rng.gen_range(0..out.len());
+            out.push(out[j].clone());
+        } else {
+            out.push(Vector::new(
+                (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect(),
+            ));
+        }
+    }
+    out
+}
+
+struct Deployment {
+    server: Arc<CloudServer<MemoryStore>>,
+    key: SecretKey,
+    data: Vec<Vector>,
+}
+
+fn build(n: usize, dim: usize, pivots: usize, seed: u64, strategy: RoutingStrategy) -> Deployment {
+    let data = data_with_ties(n, dim, seed);
+    let (key, _) = SecretKey::generate(&data, pivots, &L2, PivotSelection::Random, seed ^ 0xfeed);
+    let server = Arc::new(
+        CloudServer::new(
+            MIndexConfig {
+                num_pivots: pivots,
+                max_level: 2.min(pivots),
+                bucket_capacity: 16,
+                strategy,
+            },
+            MemoryStore::new(),
+        )
+        .unwrap(),
+    );
+    let base = match strategy {
+        RoutingStrategy::Distances => ClientConfig::distances(),
+        RoutingStrategy::Permutation => ClientConfig::permutations(),
+    };
+    let mut owner = client_for(key.clone(), L2, Arc::clone(&server), base).with_rng_seed(seed ^ 1);
+    let objects: Vec<(ObjectId, Vector)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (ObjectId(i as u64), v.clone()))
+        .collect();
+    owner.insert_bulk(&objects).unwrap();
+    Deployment { server, key, data }
+}
+
+fn client(dep: &Deployment, config: ClientConfig, seed: u64) -> SharedCloud<L2, MemoryStore> {
+    client_for(dep.key.clone(), L2, Arc::clone(&dep.server), config).with_rng_seed(seed)
+}
+
+/// Bit-exact comparison: same ids in the same order, same distance bits.
+fn assert_identical(lazy: &[Neighbor], eager: &[Neighbor]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(lazy.len(), eager.len());
+    for ((li, ld), (ei, ed)) in lazy.iter().zip(eager) {
+        prop_assert_eq!(li, ei);
+        prop_assert_eq!(ld.to_bits(), ed.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// k-NN: lazy refinement returns byte-identical neighbors to full
+    /// refinement across random datasets, k and cand_size — ties included.
+    #[test]
+    fn lazy_knn_equals_eager_knn(
+        seed in 0u64..10_000,
+        n in 24usize..160,
+        dim in 1usize..5,
+        pivots in 2usize..9,
+        k in 1usize..24,
+        cand_frac in 1usize..5,
+    ) {
+        let dep = build(n, dim, pivots.min(n), seed, RoutingStrategy::Distances);
+        let cand_size = (n * cand_frac / 4).max(1);
+        let mut lazy = client(&dep, ClientConfig::distances(), seed ^ 2);
+        let mut eager = client(
+            &dep,
+            ClientConfig::distances().with_lazy_refine(LazyRefine::Off),
+            seed ^ 3,
+        );
+        for qi in [0usize, n / 3, n - 1] {
+            let q = &dep.data[qi];
+            let (lr, lc) = lazy.knn_approx(q, k, cand_size).unwrap();
+            let (er, ec) = eager.knn_approx(q, k, cand_size).unwrap();
+            assert_identical(&lr, &er)?;
+            prop_assert_eq!(ec.decrypted, ec.candidates);
+            prop_assert!(lc.decrypted <= lc.candidates);
+        }
+    }
+
+    /// Range: the lazy skip (bounds beyond the radius) never loses a result,
+    /// including objects at exactly the boundary distance.
+    #[test]
+    fn lazy_range_equals_eager_range(
+        seed in 0u64..10_000,
+        n in 24usize..120,
+        radius in 0.0f64..6.0,
+    ) {
+        let dep = build(n, 3, 5, seed, RoutingStrategy::Distances);
+        let mut lazy = client(&dep, ClientConfig::distances(), seed ^ 2);
+        let mut eager = client(
+            &dep,
+            ClientConfig::distances().with_lazy_refine(LazyRefine::Off),
+            seed ^ 3,
+        );
+        let q = &dep.data[seed as usize % n];
+        let (lr, _) = lazy.range(q, radius).unwrap();
+        let (er, _) = eager.range(q, radius).unwrap();
+        assert_identical(&lr, &er)?;
+    }
+}
+
+/// The early exit must actually fire: a member query over a sizable
+/// candidate set finds its k neighbors long before the bound-sorted tail.
+#[test]
+fn early_exit_fires_on_member_queries() {
+    let dep = build(400, 4, 8, 77, RoutingStrategy::Distances);
+    let mut lazy = client(&dep, ClientConfig::distances(), 78);
+    let (res, costs) = lazy.knn_approx(&dep.data[10], 10, 400).unwrap();
+    assert_eq!(res.len(), 10);
+    assert!(
+        costs.decrypted < costs.candidates,
+        "no early exit: decrypted {} of {}",
+        costs.decrypted,
+        costs.candidates
+    );
+}
+
+/// The level-4 distance transform moves the wire bounds into `T`-space;
+/// the client compares through `s_max·d`, so lazy results stay identical.
+#[test]
+fn lazy_is_exact_under_distance_transform() {
+    use simcloud_core::DistanceTransform;
+    let dep = build(200, 3, 6, 99, RoutingStrategy::Distances);
+    let transform = DistanceTransform::from_seed(5, 40.0, 6);
+    let mut lazy = client(
+        &dep,
+        ClientConfig::distances().with_transform(transform.clone()),
+        100,
+    );
+    let mut eager = client(
+        &dep,
+        ClientConfig::distances()
+            .with_transform(transform)
+            .with_lazy_refine(LazyRefine::Off),
+        101,
+    );
+    for qi in [0usize, 50, 199] {
+        let q = &dep.data[qi];
+        let (lr, _) = lazy.knn_approx(q, 8, 120).unwrap();
+        let (er, _) = eager.knn_approx(q, 8, 120).unwrap();
+        assert_eq!(lr, er, "transform + lazy diverged on query {qi}");
+    }
+}
+
+/// Under permutation routing the wire "bound" is a heuristic penalty, so
+/// `Sound` must refuse to early-exit (decrypting everything, results equal
+/// eager); `Heuristic` may stop early but still returns k valid neighbors.
+#[test]
+fn permutation_strategy_gates_lazy_mode() {
+    let dep = build(160, 3, 6, 123, RoutingStrategy::Permutation);
+    let mut sound = client(&dep, ClientConfig::permutations(), 124);
+    let mut eager = client(
+        &dep,
+        ClientConfig::permutations().with_lazy_refine(LazyRefine::Off),
+        125,
+    );
+    let mut heuristic = client(
+        &dep,
+        ClientConfig::permutations().with_lazy_refine(LazyRefine::Heuristic),
+        126,
+    );
+    let q = &dep.data[7];
+    let (sr, sc) = sound.knn_approx(q, 5, 80).unwrap();
+    let (er, _) = eager.knn_approx(q, 5, 80).unwrap();
+    assert_eq!(sr, er, "Sound must fall back to full refinement");
+    assert_eq!(
+        sc.decrypted, sc.candidates,
+        "no early exit without sound bounds"
+    );
+    let (hr, hc) = heuristic.knn_approx(q, 5, 80).unwrap();
+    assert_eq!(hr.len(), 5);
+    assert!(hc.decrypted <= hc.candidates);
+}
+
+/// A server that mis-orders the candidate set (here: worst bounds first)
+/// may cost the lazy client its early exit but never its answer — the
+/// suffix-minimum pre-pass re-establishes soundness for any order.
+#[test]
+fn missorted_candidates_cost_speed_not_correctness() {
+    use simcloud_core::protocol::Response;
+    use simcloud_core::EncryptedClient;
+    use simcloud_transport::{InProcessTransport, RequestHandler};
+
+    struct Reverser<H>(H);
+    impl<H: RequestHandler> RequestHandler for Reverser<H> {
+        fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+            let resp = self.0.handle(request);
+            match Response::decode(&resp) {
+                Ok(Response::Candidates(mut cands)) => {
+                    cands.reverse();
+                    Response::Candidates(cands).encode()
+                }
+                _ => resp,
+            }
+        }
+    }
+
+    let data = data_with_ties(200, 3, 31);
+    let (key, _) = SecretKey::generate(&data, 6, &L2, PivotSelection::Random, 32);
+    let cfg = MIndexConfig {
+        num_pivots: 6,
+        max_level: 2,
+        bucket_capacity: 16,
+        strategy: RoutingStrategy::Distances,
+    };
+    let make = |lazy: LazyRefine, seed: u64| {
+        let server = CloudServer::new(cfg, MemoryStore::new()).unwrap();
+        let transport = InProcessTransport::new(Reverser(server));
+        let mut c = EncryptedClient::new(
+            key.clone(),
+            L2,
+            transport,
+            ClientConfig::distances().with_lazy_refine(lazy),
+        )
+        .with_rng_seed(seed);
+        let objects: Vec<(ObjectId, Vector)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ObjectId(i as u64), v.clone()))
+            .collect();
+        c.insert_bulk(&objects).unwrap();
+        c
+    };
+    let mut lazy = make(LazyRefine::Sound, 33);
+    let mut eager = make(LazyRefine::Off, 34);
+    for qi in [0usize, 42, 199] {
+        let q = &data[qi];
+        let (lr, _) = lazy.knn_approx(q, 7, 100).unwrap();
+        let (er, _) = eager.knn_approx(q, 7, 100).unwrap();
+        assert_eq!(lr, er, "reversed candidate order changed the answer");
+    }
+}
+
+/// NaN wire bounds must not defeat the suffix-minimum pre-pass:
+/// `f64::min` ignores NaN operands, so without sanitization a malicious
+/// server could ship NaN bounds, leave the suffix minima at +∞ and trick
+/// the client into skipping true neighbors. Non-finite bounds collapse to
+/// 0.0 (forced decryption) instead — answers stay identical to eager.
+#[test]
+fn nan_bounds_force_decryption_not_wrong_answers() {
+    use simcloud_core::protocol::Response;
+    use simcloud_core::EncryptedClient;
+    use simcloud_transport::{InProcessTransport, RequestHandler};
+
+    struct NanBounds<H>(H);
+    impl<H: RequestHandler> RequestHandler for NanBounds<H> {
+        fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+            let resp = self.0.handle(request);
+            match Response::decode(&resp) {
+                Ok(Response::Candidates(mut cands)) => {
+                    for c in &mut cands {
+                        c.lower_bound = f64::NAN;
+                    }
+                    Response::Candidates(cands).encode()
+                }
+                _ => resp,
+            }
+        }
+    }
+
+    let data = data_with_ties(120, 3, 71);
+    let (key, _) = SecretKey::generate(&data, 5, &L2, PivotSelection::Random, 72);
+    let cfg = MIndexConfig {
+        num_pivots: 5,
+        max_level: 2,
+        bucket_capacity: 16,
+        strategy: RoutingStrategy::Distances,
+    };
+    let server = CloudServer::new(cfg, MemoryStore::new()).unwrap();
+    let mut lazy = EncryptedClient::new(
+        key.clone(),
+        L2,
+        InProcessTransport::new(NanBounds(server)),
+        ClientConfig::distances(),
+    )
+    .with_rng_seed(73);
+    let objects: Vec<(ObjectId, Vector)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (ObjectId(i as u64), v.clone()))
+        .collect();
+    lazy.insert_bulk(&objects).unwrap();
+
+    // Honest deployment for the expected answers.
+    let honest = CloudServer::new(cfg, MemoryStore::new()).unwrap();
+    let mut eager = EncryptedClient::new(
+        key.clone(),
+        L2,
+        InProcessTransport::new(honest),
+        ClientConfig::distances().with_lazy_refine(LazyRefine::Off),
+    )
+    .with_rng_seed(74);
+    eager.insert_bulk(&objects).unwrap();
+    for qi in [0usize, 30, 119] {
+        let q = &data[qi];
+        let (lr, lc) = lazy.knn_approx(q, 6, 60).unwrap();
+        let (er, _) = eager.knn_approx(q, 6, 60).unwrap();
+        assert_eq!(lr, er, "NaN bounds changed the answer for query {qi}");
+        assert_eq!(
+            lc.decrypted, lc.candidates,
+            "NaN bounds must disable the early exit, not trigger it"
+        );
+        let (lrange, _) = lazy.range(q, 3.0).unwrap();
+        let (erange, _) = eager.range(q, 3.0).unwrap();
+        assert_eq!(lrange, erange, "NaN bounds broke the range query {qi}");
+    }
+}
+
+/// Batch queries refine lazily too, one early exit per query.
+#[test]
+fn batch_lazy_equals_batch_eager() {
+    let dep = build(240, 3, 6, 55, RoutingStrategy::Distances);
+    let mut lazy = client(&dep, ClientConfig::distances(), 56);
+    let mut eager = client(
+        &dep,
+        ClientConfig::distances().with_lazy_refine(LazyRefine::Off),
+        57,
+    );
+    let queries: Vec<Vector> = (0..12).map(|i| dep.data[i * 17].clone()).collect();
+    let (lr, lc) = lazy.knn_approx_batch(&queries, 10, 120).unwrap();
+    let (er, ec) = eager.knn_approx_batch(&queries, 10, 120).unwrap();
+    assert_eq!(lr, er);
+    assert!(lc.decrypted < ec.decrypted, "batch path must exit early");
+    assert_eq!(ec.decrypted, ec.candidates);
+}
+
+/// k = 0 is a degenerate but legal request: the lazy path decrypts nothing.
+#[test]
+fn zero_k_decrypts_nothing() {
+    let dep = build(80, 2, 4, 11, RoutingStrategy::Distances);
+    let mut lazy = client(&dep, ClientConfig::distances(), 12);
+    let (res, costs) = lazy.knn_approx(&dep.data[0], 0, 40).unwrap();
+    assert!(res.is_empty());
+    assert_eq!(costs.decrypted, 0, "k = 0 needs no decryption at all");
+    assert!(costs.candidates > 0);
+}

@@ -62,8 +62,8 @@ proptest! {
     #[test]
     fn candidates_response_round_trips(
         cands in proptest::collection::vec(
-            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
-                .prop_map(|(id, payload)| Candidate { id, payload }),
+            (any::<u64>(), 0.0f64..1e12, proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(id, lower_bound, payload)| Candidate { id, lower_bound, payload }),
             0..16,
         )
     ) {

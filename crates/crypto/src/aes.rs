@@ -1,8 +1,18 @@
 //! AES block cipher (FIPS-197) — 128/192/256-bit keys.
 //!
-//! Byte-oriented implementation: SubBytes via the standard S-box, ShiftRows,
-//! MixColumns over GF(2^8), AddRoundKey, and the textbook key expansion. The
-//! inverse S-box and inverse MixColumns implement decryption.
+//! The hot path is a 32-bit **T-table** implementation: one 256-entry table
+//! per direction fuses SubBytes, ShiftRows and MixColumns into four XORs of
+//! rotated table words per column per round (the `rijndael-alg-fst`
+//! formulation; the other three tables of the classic four-table layout are
+//! byte rotations of the first, so they are derived with `rotate_right` at
+//! use). Decryption runs the *equivalent inverse cipher*: the decryption
+//! key schedule applies InvMixColumns to the inner round keys once at key
+//! expansion, so rounds stay table-driven.
+//!
+//! Both tables are derived from [`SBOX`] at first use (same pattern as
+//! [`inv_sbox`] — no second hand-typed constant as a source of error), and
+//! the textbook byte-oriented implementation is kept as the reference the
+//! T-table path is property-tested against on random keys and blocks.
 //!
 //! Correctness is anchored to the FIPS-197 Appendix C known-answer tests and
 //! a pair of NIST AESAVS vectors (see the test module).
@@ -100,10 +110,52 @@ impl KeySize {
     }
 }
 
+/// Fused SubBytes+ShiftRows+MixColumns tables, derived from [`SBOX`] at
+/// first use. `te[x]` packs `(02·S[x], S[x], S[x], 03·S[x])` big-endian;
+/// `td[x]` packs `(0e·Si[x], 09·Si[x], 0d·Si[x], 0b·Si[x])`. The classic
+/// Te1–Te3 / Td1–Td3 tables are byte rotations of these.
+fn ttables() -> &'static ([u32; 256], [u32; 256]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([u32; 256], [u32; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let inv = inv_sbox();
+        let mut te = [0u32; 256];
+        let mut td = [0u32; 256];
+        for x in 0..256 {
+            let s = SBOX[x];
+            te[x] = u32::from_be_bytes([gmul(s, 0x02), s, s, gmul(s, 0x03)]);
+            let si = inv[x];
+            td[x] = u32::from_be_bytes([
+                gmul(si, 0x0e),
+                gmul(si, 0x09),
+                gmul(si, 0x0d),
+                gmul(si, 0x0b),
+            ]);
+        }
+        (te, td)
+    })
+}
+
+/// InvMixColumns of one big-endian column word, via the decryption table:
+/// `td[x]` is InvMixColumns of the word `Si[x]·e_row`, so composing with
+/// the forward S-box cancels the substitution.
+#[inline]
+fn inv_mix_word(td: &[u32; 256], w: u32) -> u32 {
+    td[SBOX[(w >> 24) as usize] as usize]
+        ^ td[SBOX[((w >> 16) & 0xff) as usize] as usize].rotate_right(8)
+        ^ td[SBOX[((w >> 8) & 0xff) as usize] as usize].rotate_right(16)
+        ^ td[SBOX[(w & 0xff) as usize] as usize].rotate_right(24)
+}
+
 /// An expanded AES key ready for block operations.
 #[derive(Clone)]
 pub struct Aes {
-    round_keys: Vec<[u8; 16]>, // rounds + 1 entries
+    // rounds + 1 entries; feeds the byte-oriented reference path, which
+    // only compiles under test.
+    #[cfg_attr(not(test), allow(dead_code))]
+    round_keys: Vec<[u8; 16]>,
+    enc_keys: Vec<[u32; 4]>, // same schedule as big-endian column words
+    dec_keys: Vec<[u32; 4]>, // equivalent-inverse-cipher schedule
     rounds: usize,
 }
 
@@ -143,14 +195,37 @@ impl Aes {
             }
         }
         let mut round_keys = Vec::with_capacity(rounds + 1);
+        let mut enc_keys = Vec::with_capacity(rounds + 1);
         for r in 0..=rounds {
             let mut rk = [0u8; 16];
+            let mut ek = [0u32; 4];
             for c in 0..4 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                ek[c] = u32::from_be_bytes(w[4 * r + c]);
             }
             round_keys.push(rk);
+            enc_keys.push(ek);
         }
-        Some(Self { round_keys, rounds })
+        // Equivalent inverse cipher: reverse the schedule and push the inner
+        // round keys through InvMixColumns once, so decryption rounds can be
+        // table-driven just like encryption rounds.
+        let (_, td) = ttables();
+        let mut dec_keys = Vec::with_capacity(rounds + 1);
+        dec_keys.push(enc_keys[rounds]);
+        for r in (1..rounds).rev() {
+            let mut dk = [0u32; 4];
+            for c in 0..4 {
+                dk[c] = inv_mix_word(td, enc_keys[r][c]);
+            }
+            dec_keys.push(dk);
+        }
+        dec_keys.push(enc_keys[0]);
+        Some(Self {
+            round_keys,
+            enc_keys,
+            dec_keys,
+            rounds,
+        })
     }
 
     /// Number of rounds (10/12/14).
@@ -158,8 +233,75 @@ impl Aes {
         self.rounds
     }
 
-    /// Encrypts one 16-byte block in place.
+    /// Encrypts one 16-byte block in place (T-table path).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let (te, _) = ttables();
+        let rk = &self.enc_keys;
+        let mut s = [0u32; 4];
+        for c in 0..4 {
+            s[c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[0][c];
+        }
+        for r in 1..self.rounds {
+            let mut t = [0u32; 4];
+            for c in 0..4 {
+                // ShiftRows: row i of the output column comes from input
+                // column c+i (mod 4); the rotations select Te1–Te3.
+                t[c] = te[(s[c] >> 24) as usize]
+                    ^ te[((s[(c + 1) & 3] >> 16) & 0xff) as usize].rotate_right(8)
+                    ^ te[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
+                    ^ te[(s[(c + 3) & 3] & 0xff) as usize].rotate_right(24)
+                    ^ rk[r][c];
+            }
+            s = t;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        for c in 0..4 {
+            let w = u32::from_be_bytes([
+                SBOX[(s[c] >> 24) as usize],
+                SBOX[((s[(c + 1) & 3] >> 16) & 0xff) as usize],
+                SBOX[((s[(c + 2) & 3] >> 8) & 0xff) as usize],
+                SBOX[(s[(c + 3) & 3] & 0xff) as usize],
+            ]) ^ rk[self.rounds][c];
+            block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+
+    /// Decrypts one 16-byte block in place (equivalent inverse cipher).
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let (_, td) = ttables();
+        let inv = inv_sbox();
+        let rk = &self.dec_keys;
+        let mut s = [0u32; 4];
+        for c in 0..4 {
+            s[c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[0][c];
+        }
+        for r in 1..self.rounds {
+            let mut t = [0u32; 4];
+            for c in 0..4 {
+                // InvShiftRows: row i comes from input column c−i (mod 4).
+                t[c] = td[(s[c] >> 24) as usize]
+                    ^ td[((s[(c + 3) & 3] >> 16) & 0xff) as usize].rotate_right(8)
+                    ^ td[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
+                    ^ td[(s[(c + 1) & 3] & 0xff) as usize].rotate_right(24)
+                    ^ rk[r][c];
+            }
+            s = t;
+        }
+        for c in 0..4 {
+            let w = u32::from_be_bytes([
+                inv[(s[c] >> 24) as usize],
+                inv[((s[(c + 3) & 3] >> 16) & 0xff) as usize],
+                inv[((s[(c + 2) & 3] >> 8) & 0xff) as usize],
+                inv[(s[(c + 1) & 3] & 0xff) as usize],
+            ]) ^ rk[self.rounds][c];
+            block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+
+    /// Byte-oriented reference encryption (the FIPS-197 pseudocode) — kept
+    /// as the oracle the T-table path is property-tested against.
+    #[cfg(test)]
+    fn encrypt_block_bytewise(&self, block: &mut [u8; 16]) {
         add_round_key(block, &self.round_keys[0]);
         for r in 1..self.rounds {
             sub_bytes(block);
@@ -172,8 +314,10 @@ impl Aes {
         add_round_key(block, &self.round_keys[self.rounds]);
     }
 
-    /// Decrypts one 16-byte block in place.
-    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+    /// Byte-oriented reference decryption (see
+    /// [`Self::encrypt_block_bytewise`]).
+    #[cfg(test)]
+    fn decrypt_block_bytewise(&self, block: &mut [u8; 16]) {
         add_round_key(block, &self.round_keys[self.rounds]);
         inv_shift_rows(block);
         inv_sub_bytes(block);
@@ -190,21 +334,21 @@ impl Aes {
 // State layout: block[4*c + r] = state row r, column c (column-major, as in
 // FIPS-197 input mapping).
 
-#[inline]
+#[cfg(test)]
 fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
     for i in 0..16 {
         state[i] ^= rk[i];
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
         *b = SBOX[*b as usize];
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn inv_sub_bytes(state: &mut [u8; 16]) {
     let inv = inv_sbox();
     for b in state.iter_mut() {
@@ -212,7 +356,7 @@ fn inv_sub_bytes(state: &mut [u8; 16]) {
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn shift_rows(state: &mut [u8; 16]) {
     // row r (r = 1..3) rotates left by r; elements of row r are at indices
     // r, r+4, r+8, r+12.
@@ -224,7 +368,7 @@ fn shift_rows(state: &mut [u8; 16]) {
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn inv_shift_rows(state: &mut [u8; 16]) {
     let s = *state;
     for r in 1..4 {
@@ -234,7 +378,7 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [
@@ -250,7 +394,7 @@ fn mix_columns(state: &mut [u8; 16]) {
     }
 }
 
-#[inline]
+#[cfg(test)]
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [
@@ -393,11 +537,66 @@ mod tests {
         assert_eq!(xtime(0xae), 0x47);
     }
 
+    /// `inv_mix_word` (used to build the equivalent-inverse-cipher key
+    /// schedule) must invert the byte-oriented MixColumns on every column.
+    #[test]
+    fn inv_mix_word_inverts_mix_columns() {
+        let (_, td) = ttables();
+        for seed in 0..256u32 {
+            let mut state = [0u8; 16];
+            for (i, b) in state.iter_mut().enumerate() {
+                *b = (seed.wrapping_mul(31).wrapping_add(i as u32 * 97) & 0xff) as u8;
+            }
+            let mut mixed = state;
+            mix_columns(&mut mixed);
+            for c in 0..4 {
+                let w = u32::from_be_bytes(mixed[4 * c..4 * c + 4].try_into().unwrap());
+                let back = inv_mix_word(td, w).to_be_bytes();
+                assert_eq!(back, state[4 * c..4 * c + 4], "column {c} seed {seed}");
+            }
+        }
+    }
+
     #[test]
     fn inverse_sbox_is_consistent() {
         let inv = inv_sbox();
         for i in 0..=255u8 {
             assert_eq!(inv[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    mod ttable_properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// The T-table fast path computes exactly the byte-oriented
+            /// FIPS-197 transform, for every key size on random blocks.
+            #[test]
+            fn ttable_matches_bytewise(
+                key in proptest::collection::vec(any::<u8>(), 32),
+                block in proptest::collection::vec(any::<u8>(), 16),
+                size in 0usize..3,
+            ) {
+                let key_len = [16, 24, 32][size];
+                let aes = Aes::new(&key[..key_len]).unwrap();
+                let orig: [u8; 16] = block.clone().try_into().unwrap();
+
+                let mut fast = orig;
+                aes.encrypt_block(&mut fast);
+                let mut slow = orig;
+                aes.encrypt_block_bytewise(&mut slow);
+                prop_assert_eq!(fast, slow);
+
+                let mut fast_dec = fast;
+                aes.decrypt_block(&mut fast_dec);
+                let mut slow_dec = slow;
+                aes.decrypt_block_bytewise(&mut slow_dec);
+                prop_assert_eq!(fast_dec, slow_dec);
+                prop_assert_eq!(fast_dec, orig);
+            }
         }
     }
 }

@@ -82,10 +82,18 @@ impl std::error::Error for SealError {}
 
 /// Symmetric key material for sealing MS objects: an AES-128 key and an
 /// independent MAC key, both derived from a master secret.
+///
+/// Both the AES key schedule and the HMAC pad state are expanded **once**
+/// here and reused by every `seal`/`unseal` — the search hot path unseals
+/// hundreds of candidates per query, so per-candidate re-derivation (one
+/// extra SHA-256 compression per MAC, a full key expansion per cipher)
+/// would be pure waste.
 #[derive(Clone)]
 pub struct CipherKey {
     enc: Aes,
-    mac_key: [u8; 32],
+    /// HMAC context with the inner (ipad) block already absorbed; cloned
+    /// per MAC instead of re-hashing the padded key every time.
+    mac: HmacSha256,
     fingerprint: [u8; 8],
 }
 
@@ -109,13 +117,11 @@ impl CipherKey {
         let enc_bytes = pbkdf2_hmac_sha256(master, b"simcloud/enc/v1", 64, 16);
         let mac_bytes = pbkdf2_hmac_sha256(master, b"simcloud/mac/v1", 64, 32);
         let fp_bytes = pbkdf2_hmac_sha256(master, b"simcloud/fp/v1", 64, 8);
-        let mut mac_key = [0u8; 32];
-        mac_key.copy_from_slice(&mac_bytes);
         let mut fingerprint = [0u8; 8];
         fingerprint.copy_from_slice(&fp_bytes);
         Self {
             enc: Aes::new(&enc_bytes).expect("16-byte key"),
-            mac_key,
+            mac: HmacSha256::new(&mac_bytes),
             fingerprint,
         }
     }
@@ -155,7 +161,7 @@ impl CipherKey {
         out.extend_from_slice(iv);
         out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
         out.extend_from_slice(&ciphertext);
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.clone();
         mac.update(&out);
         out.extend_from_slice(&mac.finalize());
         out
@@ -183,7 +189,7 @@ impl CipherKey {
             return Err(SealError::Malformed);
         }
         let (body, tag) = sealed.split_at(body_end);
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.clone();
         mac.update(body);
         if !ct_eq(&mac.finalize(), tag) {
             return Err(SealError::IntegrityFailure);
@@ -293,6 +299,26 @@ mod tests {
         let k2 = CipherKey::derive_from_master(&master);
         let sealed = k.seal_with_iv(b"hello", EnvelopeMode::Cbc, &[1u8; 16]);
         assert_eq!(k2.unseal(&sealed).unwrap(), b"hello");
+    }
+
+    /// The cached HMAC ipad state must behave exactly like a fresh MAC on
+    /// every clone: sealing on a clone and unsealing on the original (and
+    /// vice versa) round-trips, and repeated unseals of one key see no
+    /// state bleed-through.
+    #[test]
+    fn cached_mac_state_is_reusable_across_clones_and_calls() {
+        let k = key();
+        let k2 = k.clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = k.seal(b"first", EnvelopeMode::Ctr, &mut rng);
+        let b = k2.seal(b"second", EnvelopeMode::Cbc, &mut rng);
+        // interleaved unseals, both directions, twice each
+        for _ in 0..2 {
+            assert_eq!(k2.unseal(&a).unwrap(), b"first");
+            assert_eq!(k.unseal(&b).unwrap(), b"second");
+            assert_eq!(k.unseal(&a).unwrap(), b"first");
+            assert_eq!(k2.unseal(&b).unwrap(), b"second");
+        }
     }
 
     #[test]

@@ -239,11 +239,16 @@ impl<S: BucketStore> MIndex<S> {
     /// candidates still require client-side refinement — the server cannot
     /// compute `d(q, o)` — but are guaranteed to contain every true result
     /// (safety comes from the triangle inequality; see `tests/`).
+    ///
+    /// Each candidate ships with its **wire-safe pivot-filtering lower
+    /// bound** on `d(q, o)` and the set is sorted by it ascending, so a
+    /// refining client can stop decrypting as soon as the remaining bounds
+    /// exceed the radius.
     pub fn range_candidates(
         &self,
         query_distances: &[f64],
         radius: f64,
-    ) -> Result<(Vec<IndexEntry>, SearchStats), MIndexError> {
+    ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
         if self.config.strategy != RoutingStrategy::Distances {
             return Err(MIndexError::WrongStrategy {
                 required: RoutingStrategy::Distances,
@@ -321,19 +326,24 @@ impl<S: BucketStore> MIndex<S> {
                             IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
                                 MIndexError::Corrupt(format!("record {} undecodable", rec.id))
                             })?;
-                        let keep = match entry.routing.distances() {
-                            Some(ds) => pivot_filter_keep(query_distances, ds, radius),
-                            None => true,
-                        };
-                        if keep {
-                            candidates.push(entry);
-                        } else {
-                            stats.entries_filtered += 1;
+                        match entry.routing.distances() {
+                            Some(ds) if !pivot_filter_keep(query_distances, ds, radius) => {
+                                stats.entries_filtered += 1;
+                            }
+                            Some(ds) => {
+                                let lb = crate::pruning::pivot_filter_safe_lower_bound(
+                                    query_distances,
+                                    ds,
+                                );
+                                candidates.push((entry, lb));
+                            }
+                            None => candidates.push((entry, 0.0)),
                         }
                     }
                 }
             }
         }
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
         stats.candidates = candidates.len() as u64;
         Ok((candidates, stats))
     }
@@ -341,10 +351,14 @@ impl<S: BucketStore> MIndex<S> {
     /// Approximate k-NN candidates (paper Alg. 4): enumerates Voronoi cells
     /// in promise order until `cand_size` entries are gathered, then trims.
     ///
-    /// The candidate set is *pre-ranked*: cells arrive in promise order and,
-    /// when both query and entries carry distances, entries within the
-    /// result are ordered by their pivot-filtering lower bound, so a client
-    /// that stops refining early (paper §4.2) keeps the most promising part.
+    /// The candidate set is **ranked and the rank travels with it**: every
+    /// entry is returned as `(entry, lower_bound)` and the set is sorted by
+    /// the bound ascending. When query and entries both carry distances the
+    /// bound is the *wire-safe* pivot-filtering lower bound on `d(q, o)`
+    /// (never exceeds the true distance, so a client may soundly stop
+    /// refining the moment its k-th true distance beats every remaining
+    /// bound). Under permutation routing no metric bound exists; the value
+    /// is the cell-promise penalty — a heuristic ordering only.
     ///
     /// `cand_size == FIRST_CELL_ONLY (0)` reproduces the paper's §5.4
     /// setting: "the server-side M-Index was limited to access only one
@@ -354,9 +368,9 @@ impl<S: BucketStore> MIndex<S> {
         &self,
         evaluator: &PromiseEvaluator,
         cand_size: usize,
-    ) -> Result<(Vec<IndexEntry>, SearchStats), MIndexError> {
+    ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
         let mut stats = SearchStats::default();
-        let mut candidates: Vec<(f64, IndexEntry)> = Vec::with_capacity(cand_size);
+        let mut candidates: Vec<(IndexEntry, f64)> = Vec::with_capacity(cand_size);
         let tree = &self.tree;
         let store = &self.store;
 
@@ -424,16 +438,17 @@ impl<S: BucketStore> MIndex<S> {
                             IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
                                 MIndexError::Corrupt(format!("record {} undecodable", rec.id))
                             })?;
-                        // Within-cell rank: pivot-filter lower bound when
-                        // distances are available on both sides.
+                        // Rank = wire-safe pivot-filter lower bound when
+                        // distances are available on both sides; the cell
+                        // penalty (heuristic) otherwise.
                         let rank = match (&entry.routing, evaluator) {
                             (
                                 Routing::Distances(ds),
                                 PromiseEvaluator::Distances { distances, .. },
-                            ) => crate::pruning::pivot_filter_lower_bound(distances, ds),
+                            ) => crate::pruning::pivot_filter_safe_lower_bound(distances, ds),
                             _ => item.penalty,
                         };
-                        candidates.push((rank, entry));
+                        candidates.push((entry, rank));
                     }
                     gathered += leaf.count;
                     if first_cell_only || gathered >= cand_size {
@@ -443,12 +458,12 @@ impl<S: BucketStore> MIndex<S> {
             }
         }
         // Pre-rank and trim to the requested size (Alg. 4 line 5).
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
         if !first_cell_only {
             candidates.truncate(cand_size);
         }
         stats.candidates = candidates.len() as u64;
-        Ok((candidates.into_iter().map(|(_, e)| e).collect(), stats))
+        Ok((candidates, stats))
     }
 
     /// Reads all entries (diagnostics / the trivial baseline's "download
@@ -598,7 +613,7 @@ mod tests {
         }
         // query at x=2 (distances 2, 8), radius 1.5 → true matches x ∈ {1,2,3}
         let (cands, stats) = idx.range_candidates(&[2.0, 8.0], 1.5).unwrap();
-        let ids: Vec<u64> = cands.iter().map(|e| e.id).collect();
+        let ids: Vec<u64> = cands.iter().map(|(e, _)| e.id).collect();
         for want in [1, 2, 3] {
             assert!(ids.contains(&want), "missing {want} in {ids:?}");
         }
@@ -620,7 +635,11 @@ mod tests {
         assert_eq!(cands.len(), 5);
         assert_eq!(stats.candidates, 5);
         // The best candidate should be the exact point x=2.
-        assert_eq!(cands[0].id, 2);
+        assert_eq!(cands[0].0.id, 2);
+        assert!(
+            cands.windows(2).all(|w| w[0].1 <= w[1].1),
+            "candidates must arrive sorted by lower bound"
+        );
     }
 
     #[test]
@@ -651,7 +670,7 @@ mod tests {
         let ev = PromiseEvaluator::from_permutation(q);
         let (cands, _) = idx.knn_candidates(&ev, 2).unwrap();
         assert_eq!(cands.len(), 2);
-        let ids: Vec<u64> = cands.iter().map(|e| e.id).collect();
+        let ids: Vec<u64> = cands.iter().map(|(e, _)| e.id).collect();
         assert!(ids.contains(&0) && ids.contains(&1), "{ids:?}");
     }
 
@@ -669,7 +688,48 @@ mod tests {
         let (cands, stats) = idx.knn_candidates(&ev, FIRST_CELL_ONLY).unwrap();
         assert_eq!(cands.len(), 5, "whole first cell, no trim");
         assert_eq!(stats.cells_visited, 1);
-        assert!(cands.iter().all(|e| e.id < 5));
+        assert!(cands.iter().all(|(e, _)| e.id < 5));
+    }
+
+    /// In the 1-D line world the pivot-filtering bound is exact, so the
+    /// returned bounds must (a) arrive ascending and (b) never exceed the
+    /// true query–object distance.
+    #[test]
+    fn knn_candidate_bounds_are_sorted_and_sound() {
+        let mut idx = MIndex::new(cfg(2, 1, 100), MemoryStore::new()).unwrap();
+        for x in 0..=10u64 {
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64]))
+                .unwrap();
+        }
+        let ev = PromiseEvaluator::from_distances(vec![3.0, 7.0]); // query at x=3
+        let (cands, _) = idx.knn_candidates(&ev, 11).unwrap();
+        assert_eq!(cands.len(), 11);
+        assert!(cands.windows(2).all(|w| w[0].1 <= w[1].1), "not ascending");
+        for (e, lb) in &cands {
+            let true_d = (e.id as f64 - 3.0).abs();
+            assert!(
+                *lb <= true_d,
+                "bound {lb} exceeds true distance {true_d} for id {}",
+                e.id
+            );
+        }
+    }
+
+    /// Range candidates carry the same sorted, sound bounds.
+    #[test]
+    fn range_candidate_bounds_are_sorted_and_sound() {
+        let mut idx = MIndex::new(cfg(2, 1, 100), MemoryStore::new()).unwrap();
+        for x in 0..=10u64 {
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64]))
+                .unwrap();
+        }
+        let (cands, _) = idx.range_candidates(&[5.0, 5.0], 2.0).unwrap();
+        assert!(!cands.is_empty());
+        assert!(cands.windows(2).all(|w| w[0].1 <= w[1].1), "not ascending");
+        for (e, lb) in &cands {
+            let true_d = (e.id as f64 - 5.0).abs();
+            assert!(*lb <= true_d, "bound {lb} > true {true_d} for {}", e.id);
+        }
     }
 
     #[test]
@@ -693,6 +753,6 @@ mod tests {
         }
         let (cands, _) = idx.range_candidates(&[7.0, 3.0], 0.0).unwrap();
         assert_eq!(cands.len(), 1);
-        assert_eq!(cands[0].id, 7);
+        assert_eq!(cands[0].0.id, 7);
     }
 }

@@ -116,7 +116,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
         let qd = self.pivot_distances(q);
         let (cands, stats) = self.index.range_candidates(&qd, radius)?;
         let mut result = Vec::new();
-        for entry in &cands {
+        for (entry, _) in &cands {
             let v = Self::decode(entry)?;
             let d = self.metric.distance(q, &v);
             if d <= radius {
@@ -139,7 +139,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
         let ev = PromiseEvaluator::from_distances(qd);
         let (cands, stats) = self.index.knn_candidates(&ev, cand_size)?;
         let mut scored = Vec::with_capacity(cands.len());
-        for entry in &cands {
+        for (entry, _) in &cands {
             let v = Self::decode(entry)?;
             scored.push((ObjectId(entry.id), self.metric.distance(q, &v)));
         }

@@ -74,6 +74,26 @@ pub fn pivot_filter_lower_bound(query_ds: &[f64], object_ds: &[f32]) -> f64 {
     lb
 }
 
+/// Wire-safe variant of [`pivot_filter_lower_bound`]: each coordinate's
+/// contribution is reduced by the `f32` quantization slack of the *stored*
+/// distance, so the result is guaranteed `≤ d(q, o)` even though the stored
+/// `d(o, p_i)` were rounded. This is the bound the server may ship to
+/// clients that stop refining once the bound alone proves an object cannot
+/// enter the result (lazy decrypt-on-demand refinement): an unsafe bound
+/// there would not merely cost recall, it would *change answers*.
+#[inline]
+pub fn pivot_filter_safe_lower_bound(query_ds: &[f64], object_ds: &[f32]) -> f64 {
+    let mut lb = 0.0f64;
+    for (q, o) in query_ds.iter().zip(object_ds) {
+        let o = *o as f64;
+        let diff = (q - o).abs() - f32_slack(q.abs().max(o.abs()));
+        if diff > lb {
+            lb = diff;
+        }
+    }
+    lb
+}
+
 /// Convenience: should the object be kept (lower bound within radius)?
 ///
 /// The slack absorbs the f32 quantization of *stored* distances and must
@@ -144,5 +164,48 @@ mod tests {
         let q = [4.0, 2.0];
         let o = [4.0f32, 2.0];
         assert!(pivot_filter_keep(&q, &o, 0.0));
+    }
+
+    /// The wire-safe bound must stay below the *true* (pre-quantization)
+    /// pivot difference, which itself lower-bounds `d(q, o)` — across
+    /// magnitudes where `f32` rounding error is both absolute- and
+    /// relative-dominated.
+    #[test]
+    fn safe_lower_bound_is_safe_under_f32_quantization() {
+        let mut worst = 0.0f64;
+        for i in 0..10_000u64 {
+            // deterministic pseudo-random magnitudes over 8 decades
+            let x = (i as f64 * 0.7391 + 0.13).fract();
+            let scale = 10f64.powi((i % 8) as i32 - 2);
+            let true_obj = (1.0 + x) * scale;
+            let q = true_obj + (x - 0.5) * scale; // query distance nearby
+            let stored = true_obj as f32; // what the server kept
+            let safe = pivot_filter_safe_lower_bound(&[q], &[stored]);
+            let true_diff = (q - true_obj).abs();
+            assert!(
+                safe <= true_diff + 1e-12,
+                "unsafe bound {safe} > true diff {true_diff} at magnitude {scale}"
+            );
+            worst = worst.max(safe - true_diff);
+        }
+        assert!(worst <= 0.0, "bound exceeded a true difference by {worst}");
+        // and it is not uselessly loose: far objects keep a positive bound
+        assert!(pivot_filter_safe_lower_bound(&[10.0], &[2.0f32]) > 7.9);
+    }
+
+    /// The safe bound is the raw bound minus slack — never larger, never
+    /// negative.
+    #[test]
+    fn safe_lower_bound_below_raw_bound() {
+        for (q, o) in [
+            (vec![1.0, 5.0, 3.0], vec![2.0f32, 5.0, 0.5]),
+            (vec![0.0, 0.0], vec![0.0f32, 0.0]),
+            (vec![1e6, 2.0], vec![1e6f32, 2.5]),
+        ] {
+            let raw = pivot_filter_lower_bound(&q, &o);
+            let safe = pivot_filter_safe_lower_bound(&q, &o);
+            assert!(safe <= raw, "safe {safe} > raw {raw}");
+            assert!(safe >= 0.0);
+        }
     }
 }
