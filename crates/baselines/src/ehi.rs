@@ -432,7 +432,8 @@ mod tests {
     fn ehi_handles_duplicates() {
         let v = Vector::new(vec![1.0, 1.0]);
         let d: Vec<(ObjectId, Vector)> = (0..50).map(|i| (ObjectId(i), v.clone())).collect();
-        let (key, _) = SecretKey::generate(&[v.clone()], 1, &L2, PivotSelection::Random, 1);
+        let (key, _) =
+            SecretKey::generate(std::slice::from_ref(&v), 1, &L2, PivotSelection::Random, 1);
         let mut scheme = EhiScheme::new(key, L2, EhiConfig::default(), 2);
         scheme.build(&d).unwrap();
         let (got, _) = scheme.knn(&v, 10).unwrap();

@@ -24,7 +24,7 @@ pub mod tables;
 pub use experiments::*;
 pub use scale::Scale;
 pub use steady::{
-    prebuild, steady_state_batch, steady_state_encrypted, steady_state_encrypted_with, PreBuilt,
-    SteadyState,
+    prebuild, prebuild_with, steady_state_batch, steady_state_encrypted,
+    steady_state_encrypted_tcp, steady_state_encrypted_with, PreBuilt, SteadyState,
 };
 pub use tables::Table;

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use simcloud_core::{client_for, ClientConfig, CloudServer, SecretKey};
+use simcloud_core::{client_for, connect_tcp, ClientConfig, CloudServer, SecretKey, ServerConfig};
 use simcloud_datasets::{Dataset, QueryWorkload};
 use simcloud_metric::{ObjectId, PivotSelection};
 use simcloud_storage::MemoryStore;
@@ -26,7 +26,7 @@ use simcloud_storage::MemoryStore;
 use crate::experiments::BULK;
 
 /// Result of one steady-state run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SteadyState {
     /// Query threads driving the shared server.
     pub threads: usize,
@@ -39,6 +39,15 @@ pub struct SteadyState {
     /// Candidates actually unsealed — `< candidates` whenever the lazy
     /// refinement's early exit fired.
     pub decrypted: u64,
+    /// Bytes sent client → server across all queries (incl. frame headers).
+    pub bytes_sent: u64,
+    /// Bytes received server → client across all queries — the wire-cost
+    /// side of the two-phase fetch trade-off.
+    pub bytes_received: u64,
+    /// Sealed objects pulled in phase-2 `FetchObjects` round trips.
+    pub fetched: u64,
+    /// Phase-2 round trips issued.
+    pub fetch_requests: u64,
 }
 
 impl SteadyState {
@@ -56,6 +65,37 @@ impl SteadyState {
     pub fn mean_candidates(&self) -> f64 {
         self.candidates as f64 / self.queries.max(1) as f64
     }
+
+    /// Mean response bytes per query — the number the two-phase wire is
+    /// judged on.
+    pub fn bytes_received_per_query(&self) -> f64 {
+        self.bytes_received as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean request bytes per query.
+    pub fn bytes_sent_per_query(&self) -> f64 {
+        self.bytes_sent as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean phase-2 objects fetched per query.
+    pub fn mean_fetched(&self) -> f64 {
+        self.fetched as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean phase-2 round trips per query.
+    pub fn mean_fetch_requests(&self) -> f64 {
+        self.fetch_requests as f64 / self.queries.max(1) as f64
+    }
+
+    /// Folds one client's accumulated costs into this run's totals.
+    fn absorb(&mut self, costs: &simcloud_core::CostReport) {
+        self.candidates += costs.candidates;
+        self.decrypted += costs.decrypted;
+        self.bytes_sent += costs.bytes_sent;
+        self.bytes_received += costs.bytes_received;
+        self.fetched += costs.fetched;
+        self.fetch_requests += costs.fetch_requests;
+    }
 }
 
 /// A pre-built encrypted deployment: shared server + the key/workload
@@ -71,8 +111,20 @@ pub struct PreBuilt {
     pub dataset: Dataset,
 }
 
-/// Builds the index once (outside any timed region).
+/// Builds the index once (outside any timed region) with the default
+/// server configuration (everything inlined — single-phase responses).
 pub fn prebuild(ds: Dataset, queries: usize, seed: u64) -> PreBuilt {
+    prebuild_with(ds, queries, seed, ServerConfig::default())
+}
+
+/// [`prebuild`] with an explicit [`ServerConfig`] — the wire bench uses a
+/// byte-budgeted server to measure the two-phase candidate fetch.
+pub fn prebuild_with(
+    ds: Dataset,
+    queries: usize,
+    seed: u64,
+    server_config: ServerConfig,
+) -> PreBuilt {
     let cfg = crate::experiments::dataset_config(&ds);
     let (key, _) = SecretKey::generate(
         &ds.vectors,
@@ -81,7 +133,9 @@ pub fn prebuild(ds: Dataset, queries: usize, seed: u64) -> PreBuilt {
         PivotSelection::Random,
         seed,
     );
-    let server = Arc::new(CloudServer::new(cfg, MemoryStore::new()).expect("valid config"));
+    let server = Arc::new(
+        CloudServer::with_config(cfg, server_config, MemoryStore::new()).expect("valid config"),
+    );
     let mut owner = client_for(
         key.clone(),
         ds.metric.clone(),
@@ -144,7 +198,7 @@ pub fn steady_state_encrypted_with(
 ) -> SteadyState {
     let start = Instant::now();
     let per_thread: u64 = (rounds * pre.workload.len()) as u64;
-    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+    let totals: Vec<simcloud_core::CostReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let server = Arc::clone(&pre.server);
@@ -161,8 +215,7 @@ pub fn steady_state_encrypted_with(
                             std::hint::black_box(res);
                         }
                     }
-                    let costs = client.total_costs();
-                    (costs.candidates, costs.decrypted)
+                    client.total_costs()
                 })
             })
             .collect();
@@ -171,13 +224,56 @@ pub fn steady_state_encrypted_with(
             .map(|h| h.join().expect("query thread"))
             .collect()
     });
-    SteadyState {
+    let mut out = SteadyState {
         threads,
         queries: per_thread * threads as u64,
         elapsed: start.elapsed(),
-        candidates: totals.iter().map(|(c, _)| c).sum(),
-        decrypted: totals.iter().map(|(_, d)| d).sum(),
+        ..SteadyState::default()
+    };
+    for costs in &totals {
+        out.absorb(costs);
     }
+    out
+}
+
+/// Single-threaded steady state over a **real TCP loopback socket**: the
+/// shared server is exposed with `serve_tcp_concurrent` and one TCP client
+/// drives the workload — every phase-1 answer and phase-2 fetch is a real
+/// socket round trip, so the q/s cost of the extra fetch hops (and the
+/// byte savings) are measured, not modelled.
+pub fn steady_state_encrypted_tcp(
+    pre: &PreBuilt,
+    config: &ClientConfig,
+    cand_size: usize,
+    k: usize,
+    rounds: usize,
+) -> SteadyState {
+    let handle = simcloud_core::serve_tcp_concurrent(Arc::clone(&pre.server)).expect("tcp server");
+    let mut client = connect_tcp(
+        pre.key.clone(),
+        pre.dataset.metric.clone(),
+        handle.addr(),
+        config.clone(),
+    )
+    .expect("tcp client");
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &pre.workload.queries {
+            let (res, _) = client.knn_approx(q, k, cand_size).expect("tcp search");
+            std::hint::black_box(res);
+        }
+    }
+    let elapsed = start.elapsed();
+    let mut out = SteadyState {
+        threads: 1,
+        queries: (rounds * pre.workload.len()) as u64,
+        elapsed,
+        ..SteadyState::default()
+    };
+    out.absorb(&client.total_costs());
+    drop(client);
+    handle.shutdown();
+    out
 }
 
 /// Single-threaded batch-API variant: the whole workload travels in
@@ -203,18 +299,20 @@ pub fn steady_state_batch(
             let (res, _) = client
                 .knn_approx_batch(chunk, k, cand_size)
                 .expect("batch search");
-            std::hint::black_box(res);
+            for per_query in res {
+                std::hint::black_box(per_query.expect("batch query"));
+            }
         }
     }
     let elapsed = start.elapsed();
-    let costs = client.total_costs();
-    SteadyState {
+    let mut out = SteadyState {
         threads: 1,
         queries: (rounds * pre.workload.len()) as u64,
         elapsed,
-        candidates: costs.candidates,
-        decrypted: costs.decrypted,
-    }
+        ..SteadyState::default()
+    };
+    out.absorb(&client.total_costs());
+    out
 }
 
 #[cfg(test)]

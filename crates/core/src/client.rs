@@ -16,7 +16,7 @@ use simcloud_transport::{Stopwatch, Transport, TransportError};
 
 use crate::costs::CostReport;
 use crate::key::SecretKey;
-use crate::protocol::{Candidate, Request, Response};
+use crate::protocol::{CandidateHeader, CandidateList, Request, Response};
 use crate::transform::DistanceTransform;
 
 /// A search answer: object id and true distance to the query.
@@ -47,6 +47,12 @@ pub enum ClientError {
     BadObject(u64),
     /// Operation requires the distance routing strategy.
     NeedsDistances,
+    /// A phase-2 fetch answer deviated from the request: wrong count,
+    /// reordered, duplicated, or never-requested ids. Any deviation is
+    /// treated as an attack and aborts the query — sealed payloads are
+    /// additionally MAC-bound to their ids, so a *content* swap behind
+    /// correct-looking ids is caught at unseal time as [`ClientError::Seal`].
+    FetchMismatch(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -67,6 +73,7 @@ impl std::fmt::Display for ClientError {
                     "precise range queries require the distance routing strategy"
                 )
             }
+            ClientError::FetchMismatch(m) => write!(f, "fetched objects mismatch request: {m}"),
         }
     }
 }
@@ -125,6 +132,16 @@ pub struct ClientConfig {
     pub transform: Option<DistanceTransform>,
     /// Decrypt-on-demand refinement policy (default: sound early exit).
     pub lazy_refine: LazyRefine,
+    /// Phase-2 fetch sizing, `α`: when a budgeted server ships fewer
+    /// payloads than refinement consumes, the first explicit fetch asks for
+    /// `α·k` candidates (the early exit usually lands within a small
+    /// multiple of `k`); every further fetch doubles. Default 4.
+    pub fetch_alpha: usize,
+    /// Floor for phase-2 fetch batches — keeps tiny `k` from degenerating
+    /// into per-candidate round trips while the top-k heap fills. (Range
+    /// queries never use it: their fetches are always bound-guided by the
+    /// wire radius.) Default 32.
+    pub fetch_min_batch: usize,
 }
 
 impl ClientConfig {
@@ -135,6 +152,8 @@ impl ClientConfig {
             permutation_prefix: None,
             transform: None,
             lazy_refine: LazyRefine::Sound,
+            fetch_alpha: 4,
+            fetch_min_batch: 32,
         }
     }
 
@@ -145,6 +164,8 @@ impl ClientConfig {
             permutation_prefix: None,
             transform: None,
             lazy_refine: LazyRefine::Sound,
+            fetch_alpha: 4,
+            fetch_min_batch: 32,
         }
     }
 
@@ -157,6 +178,15 @@ impl ClientConfig {
     /// Overrides the refinement policy (eager, sound-lazy, heuristic-lazy).
     pub fn with_lazy_refine(mut self, lazy: LazyRefine) -> Self {
         self.lazy_refine = lazy;
+        self
+    }
+
+    /// Overrides phase-2 fetch sizing: first explicit fetch ≈ `alpha·k`
+    /// with a floor of `min_batch`, doubling afterwards. Tests pin these to
+    /// 1 to exercise exact batch boundaries.
+    pub fn with_fetch_batching(mut self, alpha: usize, min_batch: usize) -> Self {
+        self.fetch_alpha = alpha;
+        self.fetch_min_batch = min_batch;
         self
     }
 }
@@ -307,13 +337,18 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             let ds = dist.time(|| self.key.pivot_distances(self.metric.as_ref(), o));
             // Alg. 1 lines 3-7: routing info per strategy.
             let routing = self.routing_for(&ds);
-            // Alg. 1 line 8: encrypt the object.
+            // Alg. 1 line 8: encrypt the object, MAC-bound to its id so an
+            // untrusted server cannot later answer a fetch for one id with
+            // another id's (individually valid) sealed payload.
             let sealed = enc.time(|| {
                 let mut plain = Vec::with_capacity(o.encoded_len());
                 o.encode(&mut plain);
-                self.key
-                    .cipher()
-                    .seal(&plain, self.key.mode(), &mut self.rng)
+                self.key.cipher().seal_with_aad(
+                    &plain,
+                    &id.0.to_le_bytes(),
+                    self.key.mode(),
+                    &mut self.rng,
+                )
             });
             entries.push(IndexEntry::new(id.0, routing, sealed));
         }
@@ -368,18 +403,139 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         }
     }
 
-    /// Candidate refinement (Alg. 2 lines 12–15), decrypt-on-demand.
+    /// Fetches the sealed payloads of up to `limit` still-missing
+    /// candidates starting at header position `from` — one phase-2
+    /// [`Request::FetchObjects`] round trip. The answer must mirror the
+    /// request exactly: same ids, same order, same count. Any deviation
+    /// (duplicates, never-requested ids, drops, reorders) is a
+    /// [`ClientError::FetchMismatch`]; payload *content* swaps behind
+    /// correct ids are caught later by the id-bound MAC.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_payloads(
+        &mut self,
+        headers: &[CandidateHeader],
+        payloads: &mut [Option<Vec<u8>>],
+        from: usize,
+        limit: usize,
+        costs: &mut CostReport,
+        rt_elapsed: &mut std::time::Duration,
+    ) -> Result<(), ClientError> {
+        let limit = limit.max(1);
+        let mut ids = Vec::with_capacity(limit);
+        let mut slots = Vec::with_capacity(limit);
+        for (i, p) in payloads.iter().enumerate().skip(from) {
+            if p.is_none() {
+                ids.push(headers[i].id);
+                slots.push(i);
+                if ids.len() == limit {
+                    break;
+                }
+            }
+        }
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let resp = self.exchange(
+            &Request::FetchObjects { ids: ids.clone() },
+            costs,
+            rt_elapsed,
+        )?;
+        let objects = match resp {
+            Response::Objects(o) => o,
+            other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        };
+        if objects.len() != ids.len() {
+            return Err(ClientError::FetchMismatch(format!(
+                "{} objects for {} requested ids",
+                objects.len(),
+                ids.len()
+            )));
+        }
+        for ((obj, &want), &slot) in objects.into_iter().zip(&ids).zip(&slots) {
+            if obj.id != want {
+                return Err(ClientError::FetchMismatch(format!(
+                    "server answered id {} where {want} was requested",
+                    obj.id
+                )));
+            }
+            payloads[slot] = Some(obj.payload);
+        }
+        costs.fetched += ids.len() as u64;
+        costs.fetch_requests += 1;
+        Ok(())
+    }
+
+    /// Phase-2 batch size at a stall on candidate position `stall`.
     ///
-    /// Candidates are processed in wire order. When lazy refinement is
-    /// enabled the loop stops as soon as the *minimum remaining* lower
-    /// bound (a suffix-min pre-pass, so a mis-sorted or malicious server
-    /// can cost performance but never correctness) proves that no further
-    /// candidate can enter the result:
+    /// Two regimes:
+    ///
+    /// * **Bound-guided** (`threshold = Some(τ)` — the current k-th wire
+    ///   distance once the top-k heap is full, or the wire radius of a
+    ///   range query): every candidate the query can still need lies in
+    ///   the prefix where `suffix_min ≤ τ`, because τ only shrinks as more
+    ///   candidates are processed. Fetch exactly up to its end: over-fetch
+    ///   is bounded by how much τ still moves, and when the loop reaches
+    ///   the end of the fetched prefix the (now smaller) τ is guaranteed
+    ///   to fire the early exit — so the heap-full phase costs **one**
+    ///   round trip.
+    /// * **Heuristic** (no τ yet — top-k heap still filling): stage up to
+    ///   `α·k` candidates total (minus the `stall` already staged), with
+    ///   the configured floor; `grown` doubles on every such fetch.
+    fn fetch_batch_size(
+        &self,
+        goal: RefineGoal,
+        stall: usize,
+        threshold: Option<f64>,
+        suffix_min: &[f64],
+        grown: &mut usize,
+    ) -> usize {
+        if let Some(tau) = threshold {
+            // suffix_min is non-decreasing, so the needed prefix ends at
+            // the first position whose remaining minimum exceeds τ.
+            let end =
+                suffix_min[stall..suffix_min.len() - 1].partition_point(|&m| m <= tau) + stall;
+            return (end - stall).max(1);
+        }
+        let target = match goal {
+            RefineGoal::TopK(k) => self.config.fetch_alpha.saturating_mul(k),
+            // A range stall always carries its threshold (the wire
+            // radius), so it never reaches the heuristic regime; the
+            // floor below is the defensive fallback if that invariant
+            // ever changes.
+            RefineGoal::Within { .. } => 0,
+        };
+        let batch = target
+            .saturating_sub(stall)
+            .max(self.config.fetch_min_batch)
+            .max(*grown)
+            .max(1);
+        *grown = batch.saturating_mul(2);
+        batch
+    }
+
+    /// Candidate refinement (Alg. 2 lines 12–15), decrypt-on-demand over a
+    /// two-phase candidate list.
+    ///
+    /// Candidates are processed in wire order; payloads beyond the inlined
+    /// phase-1 prefix are pulled with [`Request::FetchObjects`] in adaptive
+    /// batches (heuristic `α·k` + geometric growth while the top-k heap
+    /// fills, then bound-guided — see [`Self::fetch_batch_size`]) **inside**
+    /// the same loop, so phase 2 only ever runs when the early exit has not
+    /// fired.
+    /// When lazy refinement is enabled the loop stops as soon as the
+    /// *minimum remaining* lower bound (a suffix-min pre-pass, so a
+    /// mis-sorted or malicious server can cost performance but never
+    /// correctness) proves that no further candidate can enter the result:
     ///
     /// * k-NN: the k-th true distance found so far is strictly below every
     ///   remaining bound (strict, so ties at the k-th distance are still
     ///   resolved exactly as eager refinement resolves them);
     /// * range: every remaining bound exceeds the (wire-space) radius.
+    ///
+    /// The exit condition never looks at *which* payloads are present, and
+    /// the decision to fetch happens strictly after the exit check for the
+    /// same position — so answers (and the decrypted count) are
+    /// byte-identical whatever prefix the server inlined.
     ///
     /// Undecodable candidates (valid MAC, garbage object — a buggy
     /// authorized writer) are skipped and recorded in the [`CostReport`];
@@ -388,31 +544,39 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
     /// lost candidate could silently drop a true result). Authentication
     /// failures still abort immediately: they are active tampering, and
     /// skipping would let a malicious server censor chosen neighbors
-    /// undetected.
+    /// undetected. Every unseal verifies the payload against its candidate
+    /// id (MAC associated data), so payloads swapped between ids abort too.
     ///
-    /// The whole loop is timed as one phase into `costs.decryption` — the
-    /// previous per-candidate stopwatches cost two clock reads per
-    /// candidate, a measurable slice of a sub-2µs unseal.
+    /// The loop is timed as one phase into `costs.decryption`, with the
+    /// wall time spent inside phase-2 round trips subtracted — transport
+    /// time is accounted where it always was, in `server`/`communication`
+    /// via the exchange deltas.
     fn refine(
         &mut self,
         q: &Vector,
-        candidates: Vec<Candidate>,
+        list: CandidateList,
         costs: &mut CostReport,
         goal: RefineGoal,
+        rt_elapsed: &mut std::time::Duration,
     ) -> Result<Vec<Neighbor>, ClientError> {
         let refine_start = Instant::now();
-        costs.candidates += candidates.len() as u64;
+        let mut fetch_elapsed = std::time::Duration::ZERO;
+        let CandidateList { headers, payloads } = list;
+        costs.candidates += headers.len() as u64;
+        let mut payloads: Vec<Option<Vec<u8>>> = payloads.into_iter().map(Some).collect();
+        // The codec guarantees payloads.len() <= headers.len().
+        payloads.resize_with(headers.len(), || None);
         let lazy = self.lazy_enabled();
-        // Minimum lower bound over candidates[i..] — the value any sound
+        // Minimum lower bound over headers[i..] — the value any sound
         // early exit must beat, whatever order the server sent. Non-finite
         // bounds collapse to 0.0: `f64::min` would silently *ignore* a NaN
         // operand, letting a malicious server defeat the pre-pass with NaN
         // bounds and skip true results; 0.0 instead forces decryption.
         let suffix_min: Vec<f64> = if lazy {
-            let mut m = vec![f64::INFINITY; candidates.len() + 1];
-            for (i, c) in candidates.iter().enumerate().rev() {
-                let lb = if c.lower_bound.is_finite() {
-                    c.lower_bound
+            let mut m = vec![f64::INFINITY; headers.len() + 1];
+            for (i, h) in headers.iter().enumerate().rev() {
+                let lb = if h.lower_bound.is_finite() {
+                    h.lower_bound
                 } else {
                     0.0
                 };
@@ -422,6 +586,22 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         } else {
             Vec::new()
         };
+        if !lazy {
+            // Eager refinement decrypts everything, so stage the whole
+            // remainder in one phase-2 round trip instead of adaptive
+            // batches.
+            let fetch_start = Instant::now();
+            self.fetch_payloads(
+                &headers,
+                &mut payloads,
+                0,
+                headers.len().max(1),
+                costs,
+                rt_elapsed,
+            )?;
+            fetch_elapsed += fetch_start.elapsed();
+        }
+        let mut grown = 0usize;
 
         // Worst-of-the-best-k ordering matches the eager sort exactly:
         // by true distance, ties by id.
@@ -430,7 +610,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         let mut bad = 0u64;
         let mut first_bad: Option<ClientError> = None;
 
-        for (i, c) in candidates.iter().enumerate() {
+        for i in 0..headers.len() {
             if lazy {
                 let remaining = suffix_min[i];
                 let done = match goal {
@@ -449,6 +629,25 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                     break;
                 }
             }
+            if payloads[i].is_none() {
+                // Phase 2: this candidate survived the exit check, so its
+                // payload — and, speculatively, its batch's — is really
+                // needed. The threshold the exit compares against also
+                // tells us how far the need can possibly extend.
+                let threshold = match goal {
+                    RefineGoal::Within { wire_radius, .. } => Some(wire_radius),
+                    RefineGoal::TopK(k) if k > 0 && heap.len() == k => {
+                        Some(self.to_wire_distance(heap.peek().expect("heap full").0))
+                    }
+                    RefineGoal::TopK(_) => None,
+                };
+                let batch = self.fetch_batch_size(goal, i, threshold, &suffix_min, &mut grown);
+                let fetch_start = Instant::now();
+                self.fetch_payloads(&headers, &mut payloads, i, batch, costs, rt_elapsed)?;
+                fetch_elapsed += fetch_start.elapsed();
+            }
+            let id = headers[i].id;
+            let payload = payloads[i].take().expect("payload just fetched");
             // Alg. 2 line 13: decrypt. An authentication failure is active
             // tampering (or a key mismatch) — that aborts immediately, as
             // silently dropping a tampered-with candidate would let a
@@ -456,10 +655,13 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             // *decode* failures below (a buggy authorized writer) are
             // skip-and-record.
             decrypted += 1;
-            let plain = self.key.cipher().unseal(&c.payload)?;
+            let plain = self
+                .key
+                .cipher()
+                .unseal_with_aad(&payload, &id.to_le_bytes())?;
             let Ok((o, _)) = Vector::decode(&plain) else {
                 bad += 1;
-                first_bad.get_or_insert(ClientError::BadObject(c.id));
+                first_bad.get_or_insert(ClientError::BadObject(id));
                 continue;
             };
             // Alg. 2 line 14: true distance. A non-finite distance means the
@@ -468,18 +670,18 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             let d = self.metric.distance(q, &o);
             if !d.is_finite() {
                 bad += 1;
-                first_bad.get_or_insert(ClientError::BadObject(c.id));
+                first_bad.get_or_insert(ClientError::BadObject(id));
                 continue;
             }
             match goal {
                 RefineGoal::Within { radius, .. } => {
                     if d <= radius {
-                        heap.push(WorstNeighbor(d, c.id));
+                        heap.push(WorstNeighbor(d, id));
                     }
                 }
                 RefineGoal::TopK(k) => {
                     if k > 0 {
-                        heap.push(WorstNeighbor(d, c.id));
+                        heap.push(WorstNeighbor(d, id));
                         if heap.len() > k {
                             heap.pop();
                         }
@@ -494,7 +696,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             .collect();
         costs.decrypted += decrypted;
         costs.bad_candidates += bad;
-        costs.decryption += refine_start.elapsed();
+        costs.decryption += refine_start.elapsed().saturating_sub(fetch_elapsed);
         if let Some(e) = first_bad {
             let damaging = match goal {
                 // A skipped range candidate could have been a true result.
@@ -538,7 +740,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         };
         let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
         let candidates = match resp {
-            Response::Candidates(c) => c,
+            Response::CandidateList(list) => list,
             other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         };
         costs.distance = dist.total();
@@ -550,6 +752,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 radius,
                 wire_radius,
             },
+            &mut rt_elapsed,
         )?;
         costs.distance_computations = self.metric.count() - before_dc;
         costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
@@ -580,11 +783,17 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         };
         let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
         let candidates = match resp {
-            Response::Candidates(c) => c,
+            Response::CandidateList(list) => list,
             other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         };
         costs.distance = dist.total();
-        let result = self.refine(q, candidates, &mut costs, RefineGoal::TopK(k))?;
+        let result = self.refine(
+            q,
+            candidates,
+            &mut costs,
+            RefineGoal::TopK(k),
+            &mut rt_elapsed,
+        )?;
         costs.distance_computations = self.metric.count() - before_dc;
         costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
         self.total.merge(&costs);
@@ -598,14 +807,21 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
     /// per-query cost — and gives a concurrent server a whole batch to
     /// schedule at once.
     ///
+    /// The answer carries **one `Result` per query**: a query that fails on
+    /// the server (its own slot in the wire response) or during its own
+    /// refinement no longer discards its siblings' results. The outer
+    /// `Result` still covers batch-level failures — transport errors and
+    /// malformed responses.
+    ///
     /// The wire format carries at most `u16::MAX` queries per message;
     /// larger batches are transparently split into multiple round trips.
+    #[allow(clippy::type_complexity)]
     pub fn knn_approx_batch(
         &mut self,
         queries: &[Vector],
         k: usize,
         cand_size: usize,
-    ) -> Result<(Vec<Vec<Neighbor>>, CostReport), ClientError> {
+    ) -> Result<(Vec<Result<Vec<Neighbor>, ClientError>>, CostReport), ClientError> {
         let mut costs = CostReport::default();
         let mut rt_elapsed = std::time::Duration::ZERO;
         let op_start = Instant::now();
@@ -636,8 +852,13 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 }
                 other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
             };
-            for (q, candidates) in chunk.iter().zip(sets) {
-                results.push(self.refine(q, candidates, &mut costs, RefineGoal::TopK(k))?);
+            for (q, per_query) in chunk.iter().zip(sets) {
+                results.push(match per_query {
+                    Ok(list) => {
+                        self.refine(q, list, &mut costs, RefineGoal::TopK(k), &mut rt_elapsed)
+                    }
+                    Err(msg) => Err(ClientError::Server(msg)),
+                });
             }
         }
         // `costs.distance` covers only the query–pivot phase; refine()'s
@@ -694,7 +915,11 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         costs.decrypted = candidates.len() as u64;
         let mut out = Vec::with_capacity(candidates.len());
         for c in candidates {
-            let plain = dec.time(|| self.key.cipher().unseal(&c.payload))?;
+            let plain = dec.time(|| {
+                self.key
+                    .cipher()
+                    .unseal_with_aad(&c.payload, &c.id.to_le_bytes())
+            })?;
             let (o, _) = Vector::decode(&plain).map_err(|_| ClientError::BadObject(c.id))?;
             out.push((ObjectId(c.id), o));
         }

@@ -50,6 +50,14 @@ pub struct CostReport {
     /// aborting the query. Authentication (MAC) failures are *not* counted
     /// here — they are active tampering and abort the query immediately.
     pub bad_candidates: u64,
+    /// Sealed objects pulled in phase-2 `FetchObjects` round trips (the
+    /// two-phase wire). Candidates inlined in the phase-1 answer are *not*
+    /// counted: `candidates − fetched` payload transfers were saved
+    /// relative to the eager single-phase wire, minus the over-fetch
+    /// `fetched − (decrypted − inlined)` the adaptive batching cost.
+    pub fetched: u64,
+    /// Phase-2 round trips issued (`FetchObjects` exchanges).
+    pub fetch_requests: u64,
 }
 
 impl CostReport {
@@ -77,6 +85,8 @@ impl CostReport {
         self.candidates += other.candidates;
         self.decrypted += other.decrypted;
         self.bad_candidates += other.bad_candidates;
+        self.fetched += other.fetched;
+        self.fetch_requests += other.fetch_requests;
     }
 
     /// Divides all components by `n` (average over a query batch — the
@@ -96,6 +106,8 @@ impl CostReport {
             candidates: self.candidates / n as u64,
             decrypted: self.decrypted / n as u64,
             bad_candidates: self.bad_candidates / n as u64,
+            fetched: self.fetched / n as u64,
+            fetch_requests: self.fetch_requests / n as u64,
         }
     }
 }
@@ -150,6 +162,13 @@ impl std::fmt::Display for CostReport {
                 100.0 * (1.0 - self.decrypted as f64 / self.candidates as f64)
             )?;
         }
+        if self.fetch_requests > 0 {
+            writeln!(
+                f,
+                "Phase-2 fetches        {:>7} objects in {} round trips",
+                self.fetched, self.fetch_requests
+            )?;
+        }
         write!(
             f,
             "Communication cost [kB] {:>9.3}",
@@ -176,6 +195,8 @@ mod tests {
             candidates: 10,
             decrypted: 6,
             bad_candidates: 2,
+            fetched: 4,
+            fetch_requests: 2,
         }
     }
 
@@ -208,6 +229,7 @@ mod tests {
             "Communication time [s]",
             "Overall time [s]",
             "Candidates decrypted",
+            "Phase-2 fetches",
             "Communication cost [kB]",
         ] {
             assert!(s.contains(label), "missing {label} in:\n{s}");

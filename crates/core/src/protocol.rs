@@ -14,13 +14,21 @@
 //!           | 0x04                                      server info
 //!           | 0x05                                      export all
 //!           | 0x06 u16 n { routing; u32 cand_size }*n   batched approx k-NN
+//!           | 0x07 u32 n { u64 id }*n                   fetch objects (phase 2)
 //! response := 0x01 u32 inserted_count
 //!           | 0x02 u32 n { u64 id; f64 lb;
-//!                          u32 len; bytes }*n           candidate set
+//!                          u32 len; bytes }*n           full candidate set (export)
 //!           | 0x03 u16 len utf8                         error
 //!           | 0x04 u64 entries; u32 leaves; u32 depth   info
-//!           | 0x05 u16 n { candidate set }*n            batched candidate sets
+//!           | 0x05 u16 n { u8 tag;
+//!                          tag=1: candidate list
+//!                        | tag=0: u16 len utf8 }*n      batched per-query results
 //!           | 0x06 u32 inserted; u16 len utf8           partial-insert error
+//!           | 0x07 candidate list                       search answer (phase 1)
+//!           | 0x08 u32 n { u64 id; u32 len; bytes }*n   fetched objects (phase 2)
+//!
+//! candidate list := u32 n { u64 id; f64 lb }*n          headers, all candidates
+//!                   u32 m { u32 len; bytes }*m          inline payload prefix, m <= n
 //! ```
 //!
 //! Range query distances travel as `f64`: the server's pruning rules and
@@ -28,11 +36,25 @@
 //! would let boundary objects (distance exactly `radius`) be pruned
 //! server-side, breaking the precise range guarantee.
 //!
-//! Every candidate carries its server-computed **lower bound** `lb` and
-//! candidate sets travel sorted by it ascending, enabling the client's
-//! decrypt-on-demand refinement (stop unsealing once the bound alone rules
-//! the rest out). The bound is derived from routing information the server
-//! already holds, so shipping it leaks nothing new.
+//! ## Two-phase candidate fetch
+//!
+//! Search responses are **headers first, sealed objects on demand**. Phase
+//! 1 ([`Response::CandidateList`]) ships one compact 16-byte header
+//! `(id, lower_bound)` per candidate, sorted by the server-computed lower
+//! bound ascending, plus sealed payloads for the *first `m` headers only*
+//! (`m` is capped by the server's inline-byte budget — a generous budget
+//! inlines everything and phase 2 never happens). The refining client
+//! decrypts in bound order and stops at the sound early exit; when it runs
+//! past the inlined prefix it issues [`Request::FetchObjects`] with the
+//! next batch of candidate ids and receives the sealed payloads in
+//! [`Response::Objects`], in request order. The server re-reads them by id
+//! — phase 2 is stateless, nothing is pinned between the round trips.
+//!
+//! The bound is derived from routing information the server already holds,
+//! so shipping it leaks nothing new; a fetch request names ids the server
+//! itself chose for the candidate set, so phase 2 leaks at most the point
+//! at which the client stopped — the same information the eager protocol's
+//! `decrypted` accounting reveals in timing.
 
 use simcloud_mindex::{IndexEntry, Routing};
 
@@ -70,6 +92,14 @@ pub enum Request {
     /// The wire count is `u16`, so one message carries at most `u16::MAX`
     /// queries; `EncryptedClient::knn_approx_batch` chunks larger batches.
     BatchKnn(Vec<KnnQuery>),
+    /// Phase 2 of the two-phase candidate fetch: the client asks for the
+    /// sealed payloads of specific candidate ids it learned from a phase-1
+    /// header list. Stateless on the server — payloads are re-read by id.
+    FetchObjects {
+        /// Candidate ids to fetch, typically an adaptive-batch slice of a
+        /// phase-1 header list.
+        ids: Vec<u64>,
+    },
 }
 
 /// One query of a [`Request::BatchKnn`] batch — same fields as
@@ -98,12 +128,65 @@ pub struct Candidate {
     pub payload: Vec<u8>,
 }
 
+/// Phase-1 candidate header: 16 bytes on the wire, no payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateHeader {
+    /// External object id.
+    pub id: u64,
+    /// Server-computed lower bound on `d(q, o)` (see [`Candidate`]);
+    /// header lists travel sorted by it ascending.
+    pub lower_bound: f64,
+}
+
+/// A phase-1 search answer: headers for **every** candidate plus sealed
+/// payloads inlined for the first `payloads.len()` headers (positional —
+/// `payloads[i]` belongs to `headers[i]`). The inline prefix is bounded by
+/// the server's response-byte budget; the client fetches the rest on
+/// demand with [`Request::FetchObjects`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CandidateList {
+    /// One header per candidate, sorted by lower bound ascending.
+    pub headers: Vec<CandidateHeader>,
+    /// Sealed payloads for the first `payloads.len()` headers
+    /// (`payloads.len() <= headers.len()`, enforced by the codec).
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl CandidateList {
+    /// Builds a fully-inlined list (every payload present) from eager
+    /// candidates — what a server with an unlimited budget ships.
+    pub fn from_candidates(cands: Vec<Candidate>) -> Self {
+        let mut headers = Vec::with_capacity(cands.len());
+        let mut payloads = Vec::with_capacity(cands.len());
+        for c in cands {
+            headers.push(CandidateHeader {
+                id: c.id,
+                lower_bound: c.lower_bound,
+            });
+            payloads.push(c.payload);
+        }
+        Self { headers, payloads }
+    }
+}
+
+/// One sealed object of a phase-2 [`Response::Objects`] answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedObject {
+    /// External object id — must match the requested id at this position.
+    pub id: u64,
+    /// Sealed (encrypted) object bytes.
+    pub payload: Vec<u8>,
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Insert acknowledgement with the number of stored entries.
     Inserted(u32),
-    /// Pre-ranked candidate set `S_C`.
+    /// A fully-materialized candidate set (every payload present). Since
+    /// the two-phase wire this is only the [`Request::ExportAll`] answer —
+    /// an export has no refinement to exit early from, so headers-first
+    /// staging would only add a round trip.
     Candidates(Vec<Candidate>),
     /// Server-side failure (storage, malformed request, …).
     Error(String),
@@ -116,8 +199,10 @@ pub enum Response {
         /// Maximum tree depth.
         depth: u32,
     },
-    /// One candidate set per query of a [`Request::BatchKnn`], in order.
-    CandidateSets(Vec<Vec<Candidate>>),
+    /// One **per-query result** per query of a [`Request::BatchKnn`], in
+    /// order: a failing query ships its error message in its own slot and
+    /// no longer discards its siblings' candidate sets.
+    CandidateSets(Vec<Result<CandidateList, String>>),
     /// A bulk insert failed mid-batch: `inserted` entries of the batch
     /// prefix **are stored** — the client needs this count to know what
     /// landed (bulk inserts are not atomic).
@@ -127,6 +212,15 @@ pub enum Response {
         /// Failure description.
         message: String,
     },
+    /// Phase-1 search answer: all candidate headers, payloads inlined for
+    /// a budget-bounded prefix (see [`CandidateList`]).
+    CandidateList(CandidateList),
+    /// Phase-2 answer to [`Request::FetchObjects`]: the sealed payloads of
+    /// the requested ids, **in request order**. The client rejects any
+    /// deviation (missing, extra, duplicated or reordered ids) and the MAC
+    /// binds each payload to its id, so a malicious server cannot
+    /// substitute objects undetected.
+    Objects(Vec<FetchedObject>),
 }
 
 /// Protocol decode errors.
@@ -145,8 +239,8 @@ fn err(msg: &str) -> CodecError {
     CodecError(msg.into())
 }
 
-/// Appends `u32 n { u64 id; f64 lb; u32 len; bytes }*n` (the candidate-list
-/// layout shared by [`Response::Candidates`] and [`Response::CandidateSets`]).
+/// Appends `u32 n { u64 id; f64 lb; u32 len; bytes }*n` (the
+/// fully-materialized layout of [`Response::Candidates`]).
 fn encode_candidates(out: &mut Vec<u8>, cands: &[Candidate]) {
     out.extend_from_slice(&(cands.len() as u32).to_le_bytes());
     for c in cands {
@@ -187,12 +281,85 @@ fn decode_candidates(buf: &[u8], mut off: usize) -> Result<(Vec<Candidate>, usiz
     Ok((cands, off))
 }
 
+/// Appends one candidate list: `u32 n { u64 id; f64 lb }*n` headers, then
+/// `u32 m { u32 len; bytes }*m` inline payloads for the first `m` headers.
+fn encode_candidate_list(out: &mut Vec<u8>, list: &CandidateList) {
+    debug_assert!(list.payloads.len() <= list.headers.len());
+    out.extend_from_slice(&(list.headers.len() as u32).to_le_bytes());
+    for h in &list.headers {
+        out.extend_from_slice(&h.id.to_le_bytes());
+        out.extend_from_slice(&h.lower_bound.to_le_bytes());
+    }
+    out.extend_from_slice(&(list.payloads.len() as u32).to_le_bytes());
+    for p in &list.payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+}
+
+/// Decodes one candidate list starting at `buf[off]`; returns the list and
+/// the offset just past it. Rejects more inline payloads than headers.
+fn decode_candidate_list(buf: &[u8], mut off: usize) -> Result<(CandidateList, usize), CodecError> {
+    if buf.len() < off + 4 {
+        return Err(err("candidate list header count truncated"));
+    }
+    let n = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+    off += 4;
+    if buf.len().saturating_sub(off) < n.saturating_mul(16) {
+        return Err(err("candidate list headers truncated"));
+    }
+    let mut headers = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let lower_bound = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+        off += 16;
+        headers.push(CandidateHeader { id, lower_bound });
+    }
+    if buf.len() < off + 4 {
+        return Err(err("candidate list payload count truncated"));
+    }
+    let m = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+    off += 4;
+    if m > n {
+        return Err(err("more inline payloads than candidate headers"));
+    }
+    let mut payloads = Vec::with_capacity(m.min(1 << 16));
+    for _ in 0..m {
+        if buf.len() < off + 4 {
+            return Err(err("inline payload length truncated"));
+        }
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if buf.len() < off + len {
+            return Err(err("inline payload truncated"));
+        }
+        payloads.push(buf[off..off + len].to_vec());
+        off += len;
+    }
+    Ok((CandidateList { headers, payloads }, off))
+}
+
 /// Appends `u16 len || utf8` (truncating over-long messages).
 fn encode_message(out: &mut Vec<u8>, msg: &str) {
     let bytes = msg.as_bytes();
     let n = bytes.len().min(u16::MAX as usize);
     out.extend_from_slice(&(n as u16).to_le_bytes());
     out.extend_from_slice(&bytes[..n]);
+}
+
+/// Decodes `u16 len || utf8` starting at `buf[off]`; returns the message
+/// and the offset just past it.
+fn decode_message(buf: &[u8], mut off: usize) -> Result<(String, usize), CodecError> {
+    if buf.len() < off + 2 {
+        return Err(err("message length truncated"));
+    }
+    let n = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+    off += 2;
+    if buf.len() < off + n {
+        return Err(err("message body truncated"));
+    }
+    let msg = String::from_utf8_lossy(&buf[off..off + n]).into_owned();
+    Ok((msg, off + n))
 }
 
 impl Request {
@@ -232,6 +399,13 @@ impl Request {
                 for q in queries {
                     q.routing.encode(&mut out);
                     out.extend_from_slice(&q.cand_size.to_le_bytes());
+                }
+            }
+            Request::FetchObjects { ids } => {
+                out.push(0x07);
+                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
                 }
             }
         }
@@ -330,6 +504,22 @@ impl Request {
                 }
                 Ok(Request::BatchKnn(queries))
             }
+            0x07 => {
+                if buf.len() < 5 {
+                    return Err(err("fetch header truncated"));
+                }
+                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+                if buf.len() != 5 + 8 * n {
+                    return Err(err("fetch ids size mismatch"));
+                }
+                let ids = (0..n)
+                    .map(|i| {
+                        let off = 5 + 8 * i;
+                        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+                    })
+                    .collect();
+                Ok(Request::FetchObjects { ids })
+            }
             t => Err(err(&format!("unknown request tag {t}"))),
         }
     }
@@ -365,14 +555,36 @@ impl Response {
             Response::CandidateSets(sets) => {
                 out.push(0x05);
                 out.extend_from_slice(&(sets.len() as u16).to_le_bytes());
-                for cands in sets {
-                    encode_candidates(&mut out, cands);
+                for result in sets {
+                    match result {
+                        Ok(list) => {
+                            out.push(1);
+                            encode_candidate_list(&mut out, list);
+                        }
+                        Err(msg) => {
+                            out.push(0);
+                            encode_message(&mut out, msg);
+                        }
+                    }
                 }
             }
             Response::InsertError { inserted, message } => {
                 out.push(0x06);
                 out.extend_from_slice(&inserted.to_le_bytes());
                 encode_message(&mut out, message);
+            }
+            Response::CandidateList(list) => {
+                out.push(0x07);
+                encode_candidate_list(&mut out, list);
+            }
+            Response::Objects(objects) => {
+                out.push(0x08);
+                out.extend_from_slice(&(objects.len() as u32).to_le_bytes());
+                for o in objects {
+                    out.extend_from_slice(&o.id.to_le_bytes());
+                    out.extend_from_slice(&(o.payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&o.payload);
+                }
             }
         }
         out
@@ -426,9 +638,20 @@ impl Response {
                 let mut sets = Vec::with_capacity(n);
                 let mut off = 3;
                 for _ in 0..n {
-                    let (cands, next) = decode_candidates(buf, off)?;
-                    sets.push(cands);
-                    off = next;
+                    match buf.get(off) {
+                        Some(1) => {
+                            let (list, next) = decode_candidate_list(buf, off + 1)?;
+                            sets.push(Ok(list));
+                            off = next;
+                        }
+                        Some(0) => {
+                            let (msg, next) = decode_message(buf, off + 1)?;
+                            sets.push(Err(msg));
+                            off = next;
+                        }
+                        Some(t) => return Err(err(&format!("unknown per-query result tag {t}"))),
+                        None => return Err(err("per-query result tag truncated")),
+                    }
                 }
                 if off != buf.len() {
                     return Err(err("trailing bytes after candidate sets"));
@@ -448,6 +671,42 @@ impl Response {
                     inserted,
                     message: String::from_utf8_lossy(&buf[7..7 + n]).into_owned(),
                 })
+            }
+            0x07 => {
+                let (list, off) = decode_candidate_list(buf, 1)?;
+                if off != buf.len() {
+                    return Err(err("trailing bytes after candidate list"));
+                }
+                Ok(Response::CandidateList(list))
+            }
+            0x08 => {
+                if buf.len() < 5 {
+                    return Err(err("objects header truncated"));
+                }
+                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+                let mut objects = Vec::with_capacity(n.min(1 << 16));
+                let mut off = 5;
+                for _ in 0..n {
+                    if buf.len() < off + 12 {
+                        return Err(err("object header truncated"));
+                    }
+                    let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let len =
+                        u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+                    off += 12;
+                    if buf.len() < off + len {
+                        return Err(err("object payload truncated"));
+                    }
+                    objects.push(FetchedObject {
+                        id,
+                        payload: buf[off..off + len].to_vec(),
+                    });
+                    off += len;
+                }
+                if off != buf.len() {
+                    return Err(err("trailing bytes after objects"));
+                }
+                Ok(Response::Objects(objects))
             }
             t => Err(err(&format!("unknown response tag {t}"))),
         }
@@ -529,33 +788,150 @@ mod tests {
         assert!(Request::decode(&bytes).is_err(), "trailing bytes rejected");
     }
 
+    fn header(id: u64, lb: f64) -> CandidateHeader {
+        CandidateHeader {
+            id,
+            lower_bound: lb,
+        }
+    }
+
+    /// Batched responses carry one `Result` per query: candidate lists and
+    /// error slots round-trip side by side.
     #[test]
     fn candidate_sets_round_trip() {
         let resp = Response::CandidateSets(vec![
-            vec![
-                Candidate {
-                    id: 1,
-                    lower_bound: 0.25,
-                    payload: vec![1, 2],
-                },
-                Candidate {
-                    id: 2,
-                    lower_bound: 1.5,
-                    payload: vec![],
-                },
-            ],
-            vec![],
-            vec![Candidate {
-                id: 9,
-                lower_bound: f64::MAX,
-                payload: vec![9; 17],
-            }],
+            Ok(CandidateList {
+                headers: vec![header(1, 0.25), header(2, 1.5), header(3, 2.0)],
+                payloads: vec![vec![1, 2], vec![]],
+            }),
+            Err("dimension mismatch".into()),
+            Ok(CandidateList::default()),
+            Ok(CandidateList {
+                headers: vec![header(9, f64::MAX)],
+                payloads: vec![vec![9; 17]],
+            }),
         ]);
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         let bytes = resp.encode();
-        for cut in [1, 2, 4, bytes.len() - 1] {
+        for cut in [1, 2, 4, 10, bytes.len() - 1] {
             assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
+        // Unknown per-query tag rejected.
+        let mut bad = Response::CandidateSets(vec![Ok(CandidateList::default())]).encode();
+        bad[3] = 7;
+        assert!(Response::decode(&bad).is_err());
+    }
+
+    /// Phase-1 lists: headers for everything, payloads for a prefix only.
+    #[test]
+    fn candidate_list_round_trip() {
+        let full = CandidateList {
+            headers: vec![header(4, 0.5), header(2, 0.75), header(7, 0.75)],
+            payloads: vec![vec![0xaa; 9], vec![], vec![1]],
+        };
+        let partial = CandidateList {
+            headers: full.headers.clone(),
+            payloads: vec![vec![0xaa; 9]],
+        };
+        let headers_only = CandidateList {
+            headers: full.headers.clone(),
+            payloads: vec![],
+        };
+        for list in [full, partial, headers_only, CandidateList::default()] {
+            let resp = Response::CandidateList(list);
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+            }
+            let mut trailing = resp.encode();
+            trailing.push(0);
+            assert!(Response::decode(&trailing).is_err(), "trailing byte");
+        }
+    }
+
+    /// More inline payloads than headers is structurally invalid — a
+    /// malicious server cannot smuggle unrequested payloads past the codec.
+    #[test]
+    fn candidate_list_rejects_payload_overflow() {
+        let list = CandidateList {
+            headers: vec![header(1, 0.0)],
+            payloads: vec![vec![1], vec![2]],
+        };
+        let mut out = vec![0x07];
+        // Encode by hand: debug_assert in encode_candidate_list would trip.
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&0f64.to_le_bytes());
+        out.extend_from_slice(&2u32.to_le_bytes());
+        for p in &list.payloads {
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        assert!(Response::decode(&out).is_err());
+    }
+
+    #[test]
+    fn fetch_objects_round_trip() {
+        for ids in [vec![], vec![7u64], vec![3, 1, u64::MAX, 3]] {
+            let req = Request::FetchObjects { ids };
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        let mut bytes = Request::FetchObjects { ids: vec![1, 2] }.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err(), "trailing bytes rejected");
+        let short = &Request::FetchObjects { ids: vec![1, 2] }.encode()[..9];
+        assert!(Request::decode(short).is_err(), "truncated ids rejected");
+    }
+
+    #[test]
+    fn objects_round_trip() {
+        let resp = Response::Objects(vec![
+            FetchedObject {
+                id: 12,
+                payload: vec![1, 2, 3],
+            },
+            FetchedObject {
+                id: 0,
+                payload: vec![],
+            },
+        ]);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let bytes = resp.encode();
+        for cut in [1, 4, 6, 14, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let empty = Response::Objects(vec![]);
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    /// A phase-1 header costs 16 bytes; the same candidate fully inlined
+    /// costs 20 + payload. The header list layout must actually realize the
+    /// savings the two-phase fetch is built on.
+    #[test]
+    fn headers_only_list_is_smaller_than_materialized_set() {
+        let payload = vec![0u8; 89];
+        let n = 600;
+        let eager = Response::Candidates(
+            (0..n)
+                .map(|i| Candidate {
+                    id: i,
+                    lower_bound: i as f64,
+                    payload: payload.clone(),
+                })
+                .collect(),
+        );
+        let lazy = Response::CandidateList(CandidateList {
+            headers: (0..n).map(|i| header(i, i as f64)).collect(),
+            payloads: vec![],
+        });
+        let eager_len = eager.encode().len();
+        let lazy_len = lazy.encode().len();
+        assert_eq!(lazy_len, 1 + 4 + 16 * n as usize + 4);
+        assert!(
+            (lazy_len as f64) < 0.2 * eager_len as f64,
+            "headers-only {lazy_len} vs eager {eager_len}"
+        );
     }
 
     #[test]

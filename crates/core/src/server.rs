@@ -19,23 +19,79 @@ use simcloud_mindex::{
 use simcloud_storage::BucketStore;
 use simcloud_transport::{RequestHandler, SharedRequestHandler};
 
-use crate::protocol::{Candidate, Request, Response};
+use crate::protocol::{
+    Candidate, CandidateHeader, CandidateList, FetchedObject, Request, Response,
+};
+
+/// Server-side configuration beyond the index shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Byte budget for **one phase-1 candidate list**. Headers (16 bytes
+    /// per candidate) **always** ship — they are the answer — and sealed
+    /// payloads are inlined in bound order while the encoded list stays
+    /// within the budget, saving the client a [`Request::FetchObjects`]
+    /// round trip for the candidates it is most likely to decrypt. `None`
+    /// inlines every payload (the eager pre-two-phase wire behavior).
+    ///
+    /// The budget is **per candidate list**, not per response: a
+    /// [`Request::BatchKnn`] answer contains one list per query, so its
+    /// total size scales with the batch. The accounting mirrors the
+    /// single-response framing and is a few bytes approximate inside a
+    /// batch slot — it is an inlining dial, not a hard frame-size cap.
+    pub max_inline_response_bytes: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    /// Inline everything: existing single-phase deployments keep their
+    /// exact wire behavior unless a budget is configured.
+    fn default() -> Self {
+        Self {
+            max_inline_response_bytes: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A budgeted configuration (two-phase responses beyond `bytes`).
+    pub fn budgeted(bytes: usize) -> Self {
+        Self {
+            max_inline_response_bytes: Some(bytes),
+        }
+    }
+}
 
 /// Server half of the Encrypted M-Index.
 pub struct CloudServer<S: BucketStore> {
     index: RwLock<MIndex<S>>,
+    config: ServerConfig,
     last_search_stats: Mutex<SearchStats>,
     total_search_stats: SharedSearchStats,
 }
 
 impl<S: BucketStore> CloudServer<S> {
-    /// Creates a server with the given index configuration and store.
+    /// Creates a server with the given index configuration and store, and
+    /// the default [`ServerConfig`] (no inline budget).
     pub fn new(config: MIndexConfig, store: S) -> Result<Self, MIndexError> {
+        Self::with_config(config, ServerConfig::default(), store)
+    }
+
+    /// Creates a server with an explicit [`ServerConfig`].
+    pub fn with_config(
+        config: MIndexConfig,
+        server_config: ServerConfig,
+        store: S,
+    ) -> Result<Self, MIndexError> {
         Ok(Self {
             index: RwLock::new(MIndex::new(config, store)?),
+            config: server_config,
             last_search_stats: Mutex::new(SearchStats::default()),
             total_search_stats: SharedSearchStats::new(),
         })
+    }
+
+    /// The server configuration.
+    pub fn server_config(&self) -> ServerConfig {
+        self.config
     }
 
     /// Read access to the underlying index (shape and storage inspection).
@@ -62,6 +118,39 @@ impl<S: BucketStore> CloudServer<S> {
         self.total_search_stats.add(&stats);
     }
 
+    /// Stages a ranked candidate set for the phase-1 wire: **every** header
+    /// ships (they are the ranked answer), and sealed payloads are inlined
+    /// in bound order while the encoded response stays within the
+    /// configured budget — the client decrypts in exactly that order, so
+    /// the inlined prefix is the part it is most likely to need. Payload
+    /// inlining stops at the first candidate that would overflow the budget
+    /// (the wire carries a positional prefix, not a best-fit subset).
+    fn stage(&self, entries: Vec<(IndexEntry, f64)>) -> CandidateList {
+        // Encoded list size so far: tag + header count + 16 per header +
+        // payload count; each inline payload adds 4 + len.
+        let mut used = 1 + 4 + 16 * entries.len() + 4;
+        let budget = self.config.max_inline_response_bytes;
+        let mut headers = Vec::with_capacity(entries.len());
+        let mut payloads = Vec::new();
+        let mut inlining = true;
+        for (e, lower_bound) in entries {
+            headers.push(CandidateHeader {
+                id: e.id,
+                lower_bound,
+            });
+            if inlining {
+                match budget {
+                    Some(b) if used + 4 + e.payload.len() > b => inlining = false,
+                    _ => {
+                        used += 4 + e.payload.len();
+                        payloads.push(e.payload);
+                    }
+                }
+            }
+        }
+        CandidateList { headers, payloads }
+    }
+
     fn candidates_response(
         &self,
         result: Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError>,
@@ -69,7 +158,7 @@ impl<S: BucketStore> CloudServer<S> {
         match result {
             Ok((entries, stats)) => {
                 self.record_search(stats);
-                Response::Candidates(entries.into_iter().map(candidate).collect())
+                Response::CandidateList(self.stage(entries))
             }
             Err(e) => {
                 // A failed search did no accountable work: zero the
@@ -127,20 +216,40 @@ impl<S: BucketStore> CloudServer<S> {
                     match index.knn_candidates(&evaluator, q.cand_size as usize) {
                         Ok((entries, stats)) => {
                             batch_stats.merge(&stats);
-                            sets.push(entries.into_iter().map(candidate).collect());
+                            sets.push(Ok(self.stage(entries)));
                         }
-                        Err(e) => {
-                            // The completed sub-queries' work (bucket reads,
-                            // scans) really happened — keep it in the totals;
-                            // only the per-request stats are zeroed.
-                            self.total_search_stats.add(&batch_stats);
-                            *self.last_search_stats.lock() = SearchStats::default();
-                            return Response::Error(e.to_string());
-                        }
+                        // A failing query answers in its own slot; its
+                        // siblings' candidate sets still ship. The failed
+                        // query did no accountable work, so the batch stats
+                        // are exactly the successful queries' sum.
+                        Err(e) => sets.push(Err(e.to_string())),
                     }
                 }
                 self.record_search(batch_stats);
                 Response::CandidateSets(sets)
+            }
+            Request::FetchObjects { ids } => {
+                // Phase 2 of the two-phase fetch: stateless re-read by id
+                // through the same shared read lock as searches — nothing
+                // was pinned when phase 1 answered, so any number of
+                // interleaved fetches from concurrent connections are safe.
+                // Not a search: the search stats are left untouched.
+                match self.index.read().fetch_entries(&ids) {
+                    Ok(entries) => {
+                        let mut objects = Vec::with_capacity(ids.len());
+                        for (id, entry) in ids.iter().zip(entries) {
+                            match entry {
+                                Some(e) => objects.push(FetchedObject {
+                                    id: *id,
+                                    payload: e.payload,
+                                }),
+                                None => return Response::Error(format!("unknown object id {id}")),
+                            }
+                        }
+                        Response::Objects(objects)
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
             }
             Request::Info => {
                 let index = self.index.read();
@@ -254,10 +363,15 @@ mod tests {
             radius: 0.05,
         });
         match resp {
-            Response::Candidates(c) => {
-                let ids: Vec<u64> = c.iter().map(|x| x.id).collect();
+            Response::CandidateList(list) => {
+                let ids: Vec<u64> = list.headers.iter().map(|h| h.id).collect();
                 assert!(ids.contains(&1) && ids.contains(&2));
                 assert!(!ids.contains(&3), "far object filtered: {ids:?}");
+                assert_eq!(
+                    list.payloads.len(),
+                    list.headers.len(),
+                    "no budget: everything inlined"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -283,9 +397,12 @@ mod tests {
             .encode(),
         );
         match Response::decode(&resp_bytes).unwrap() {
-            Response::Candidates(c) => {
-                assert_eq!(c.len(), 2);
-                assert_eq!(c[0].id, 1, "query matches object 1's distances exactly");
+            Response::CandidateList(list) => {
+                assert_eq!(list.headers.len(), 2);
+                assert_eq!(
+                    list.headers[0].id, 1,
+                    "query matches object 1's distances exactly"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -314,7 +431,7 @@ mod tests {
         )]));
         assert!(matches!(bad_insert, Response::InsertError { .. }));
         // and the knn above returned an empty candidate set, not an error
-        assert!(matches!(resp, Response::Candidates(_)));
+        assert!(matches!(resp, Response::CandidateList(_)));
     }
 
     /// Candidate sets leave the server sorted by their wire lower bound
@@ -333,14 +450,15 @@ mod tests {
             cand_size: 4,
         });
         match resp {
-            Response::Candidates(c) => {
-                assert_eq!(c.len(), 4);
+            Response::CandidateList(list) => {
+                let h = &list.headers;
+                assert_eq!(h.len(), 4);
                 assert!(
-                    c.windows(2).all(|w| w[0].lower_bound <= w[1].lower_bound),
+                    h.windows(2).all(|w| w[0].lower_bound <= w[1].lower_bound),
                     "bounds not ascending: {:?}",
-                    c.iter().map(|x| x.lower_bound).collect::<Vec<_>>()
+                    h.iter().map(|x| x.lower_bound).collect::<Vec<_>>()
                 );
-                assert!(c[0].lower_bound < c[3].lower_bound, "bounds all equal");
+                assert!(h[0].lower_bound < h[3].lower_bound, "bounds all equal");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -396,7 +514,7 @@ mod tests {
             distances: vec![0.1, 0.5, 0.9],
             radius: 1.0,
         });
-        assert!(matches!(ok, Response::Candidates(_)));
+        assert!(matches!(ok, Response::CandidateList(_)));
         let before_total = s.total_search_stats();
         assert!(s.last_search_stats().entries_scanned > 0);
         // Dimension mismatch: the search fails before doing any work.
@@ -438,14 +556,153 @@ mod tests {
         match resp {
             Response::CandidateSets(sets) => {
                 assert_eq!(sets.len(), 2);
-                assert_eq!(sets[0][0].id, 1);
-                assert_eq!(sets[1][0].id, 3);
+                assert_eq!(sets[0].as_ref().unwrap().headers[0].id, 1);
+                assert_eq!(sets[1].as_ref().unwrap().headers[0].id, 3);
             }
             other => panic!("unexpected {other:?}"),
         }
         // The batch counts as one search request in the per-request stats
         // and its full volume lands in the totals.
         assert_eq!(s.last_search_stats().candidates, 3);
+        assert_eq!(s.total_search_stats().candidates, 3);
+    }
+
+    /// A budgeted server ships every header but only the payload prefix
+    /// that fits; an unlimited server inlines everything.
+    #[test]
+    fn inline_budget_bounds_payload_prefix() {
+        let s = CloudServer::with_config(
+            MIndexConfig {
+                num_pivots: 3,
+                max_level: 2,
+                bucket_capacity: 4,
+                strategy: RoutingStrategy::Distances,
+            },
+            // Fixed budget: headers (4 × 16 + 9 framing) + two 3-byte
+            // payloads (4 + 3 each) fit; the third does not.
+            ServerConfig::budgeted(1 + 4 + 16 * 4 + 4 + 2 * (4 + 3)),
+            MemoryStore::new(),
+        )
+        .unwrap();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.11, 0.51, 0.89]),
+            entry(3, &[0.4, 0.6, 0.7]),
+            entry(4, &[0.9, 0.1, 0.2]),
+        ]));
+        let resp = s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: 4,
+        });
+        match resp {
+            Response::CandidateList(list) => {
+                assert_eq!(list.headers.len(), 4, "headers always ship in full");
+                assert_eq!(list.payloads.len(), 2, "payload prefix capped by budget");
+                // The response encoding itself respects the budget.
+                assert!(
+                    Response::CandidateList(list).encode().len()
+                        <= s.server_config().max_inline_response_bytes.unwrap()
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// A budget too small for any payload still ships all headers.
+    #[test]
+    fn tiny_budget_ships_headers_only() {
+        let s = CloudServer::with_config(
+            MIndexConfig {
+                num_pivots: 3,
+                max_level: 2,
+                bucket_capacity: 4,
+                strategy: RoutingStrategy::Distances,
+            },
+            ServerConfig::budgeted(0),
+            MemoryStore::new(),
+        )
+        .unwrap();
+        s.process(Request::Insert(vec![entry(1, &[0.1, 0.5, 0.9])]));
+        match s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: 1,
+        }) {
+            Response::CandidateList(list) => {
+                assert_eq!(list.headers.len(), 1);
+                assert!(list.payloads.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Phase 2: fetches return payloads by id in request order, error on
+    /// unknown ids, and work through `&self` (stateless between phases).
+    #[test]
+    fn fetch_objects_by_id() {
+        let s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+            entry(3, &[0.9, 0.1, 0.2]),
+        ]));
+        match s.process(Request::FetchObjects { ids: vec![3, 1] }) {
+            Response::Objects(objs) => {
+                assert_eq!(objs.len(), 2);
+                assert_eq!(objs[0].id, 3);
+                assert_eq!(objs[0].payload, vec![3u8; 3]);
+                assert_eq!(objs[1].id, 1);
+                assert_eq!(objs[1].payload, vec![1u8; 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.process(Request::FetchObjects { ids: vec![1, 99] }) {
+            Response::Error(msg) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fetches are not searches: per-request search stats untouched.
+        assert_eq!(s.last_search_stats(), SearchStats::default());
+    }
+
+    /// One failing query in a batch answers in its own slot; its siblings'
+    /// candidate sets still ship, and the batch stats cover exactly the
+    /// successful queries.
+    #[test]
+    fn batch_query_failure_is_isolated_to_its_slot() {
+        let s = server();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        let resp = s.process(Request::BatchKnn(vec![
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 2,
+            },
+            KnnQuery {
+                // Dimension mismatch: this query fails on its own.
+                routing: Routing::from_distances(&[0.1, 0.5]),
+                cand_size: 2,
+            },
+            KnnQuery {
+                routing: Routing::from_distances(&[0.2, 0.6, 0.8]),
+                cand_size: 1,
+            },
+        ]));
+        match resp {
+            Response::CandidateSets(sets) => {
+                assert_eq!(sets.len(), 3);
+                assert_eq!(sets[0].as_ref().unwrap().headers.len(), 2);
+                let msg = sets[1].as_ref().unwrap_err();
+                assert!(msg.contains("pivot distances"), "{msg}");
+                assert_eq!(sets[2].as_ref().unwrap().headers.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            s.last_search_stats().candidates,
+            3,
+            "stats cover the successful queries only"
+        );
         assert_eq!(s.total_search_stats().candidates, 3);
     }
 
@@ -469,7 +726,7 @@ mod tests {
                             .encode(),
                         );
                         match Response::decode(&bytes).unwrap() {
-                            Response::Candidates(c) => assert_eq!(c.len(), 2),
+                            Response::CandidateList(list) => assert_eq!(list.headers.len(), 2),
                             other => panic!("unexpected {other:?}"),
                         }
                     }

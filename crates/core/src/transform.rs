@@ -155,7 +155,7 @@ mod tests {
         let t = DistanceTransform::from_seed(3, 20.0, 10);
         for (x, y) in [(0.0, 5.0), (1.0, 19.0), (7.3, 7.4), (15.0, 20.0)] {
             let lhs = (t.apply(x) - t.apply(y)).abs();
-            let rhs = t.server_radius((x - y as f64).abs());
+            let rhs = t.server_radius((x - y).abs());
             assert!(lhs <= rhs + 1e-9, "|T({x})-T({y})| = {lhs} exceeds {rhs}");
         }
     }

@@ -122,9 +122,9 @@ fn concurrent_queries_with_live_inserts() {
                         }
                         .encode();
                         match Response::decode(&server.handle_shared(&req)).unwrap() {
-                            Response::Candidates(c) => {
-                                assert!(!c.is_empty(), "index is non-empty");
-                                sum += c.len() as u64;
+                            Response::CandidateList(list) => {
+                                assert!(!list.headers.is_empty(), "index is non-empty");
+                                sum += list.headers.len() as u64;
                             }
                             other => panic!("unexpected {other:?}"),
                         }
@@ -228,6 +228,10 @@ fn batch_knn_matches_sequential_in_one_round_trip() {
         requests_before + 1,
         "a batch is ONE round trip"
     );
+    let batched: Vec<_> = batched
+        .into_iter()
+        .map(|r| r.expect("per-query result"))
+        .collect();
     assert_eq!(batched, sequential);
     assert_eq!(costs.candidates, 16 * 50);
 
@@ -268,9 +272,9 @@ fn range_boundary_object_survives_wire_precision() {
         radius: 0.15,
     });
     match resp {
-        Response::Candidates(c) => {
+        Response::CandidateList(list) => {
             assert_eq!(
-                c.iter().map(|x| x.id).collect::<Vec<_>>(),
+                list.headers.iter().map(|h| h.id).collect::<Vec<_>>(),
                 vec![42],
                 "boundary object pruned — wire precision regression"
             );
@@ -331,7 +335,10 @@ fn nan_distance_candidate_rejected_not_panicking() {
     let mut plain = Vec::new();
     poison.encode(&mut plain);
     let mut rng = StdRng::seed_from_u64(3333);
-    let sealed = key.cipher().seal(&plain, key.mode(), &mut rng);
+    // Sealed exactly as an authorized writer would: MAC-bound to its id.
+    let sealed = key
+        .cipher()
+        .seal_with_aad(&plain, &1u64.to_le_bytes(), key.mode(), &mut rng);
     let routing = Routing::from_distances(&key.pivot_distances(&L2, &clean[1]));
     match server.process(Request::Insert(vec![IndexEntry::new(1, routing, sealed)])) {
         Response::Inserted(1) => {}
@@ -467,8 +474,8 @@ fn batch_accepts_mixed_routing() {
     match resp {
         Response::CandidateSets(sets) => {
             assert_eq!(sets.len(), 2);
-            assert_eq!(sets[0].len(), 3);
-            assert!(!sets[1].is_empty());
+            assert_eq!(sets[0].as_ref().unwrap().headers.len(), 3);
+            assert!(!sets[1].as_ref().unwrap().headers.is_empty());
         }
         other => panic!("unexpected {other:?}"),
     }

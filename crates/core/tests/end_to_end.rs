@@ -327,7 +327,9 @@ fn unauthorized_client_gets_garbage() {
 
     let bytes = probe.handle(&all.encode());
     match Response::decode(&bytes).unwrap() {
-        Response::Candidates(c) => assert!(c.is_empty(), "probe server is empty"),
+        Response::CandidateList(list) => {
+            assert!(list.headers.is_empty(), "probe server is empty")
+        }
         Response::Error(_) => {}
         other => panic!("unexpected {other:?}"),
     }

@@ -4,7 +4,9 @@
 //! messages.
 
 use proptest::prelude::*;
-use simcloud_core::protocol::{Candidate, Request, Response};
+use simcloud_core::protocol::{
+    Candidate, CandidateHeader, CandidateList, FetchedObject, Request, Response,
+};
 use simcloud_mindex::{IndexEntry, Routing};
 
 fn arb_routing() -> impl Strategy<Value = Routing> {
@@ -68,6 +70,65 @@ proptest! {
         )
     ) {
         let resp = Response::Candidates(cands);
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn fetch_request_round_trips(ids in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let req = Request::FetchObjects { ids };
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn candidate_list_response_round_trips(
+        headers in proptest::collection::vec(
+            (any::<u64>(), 0.0f64..1e12)
+                .prop_map(|(id, lower_bound)| CandidateHeader { id, lower_bound }),
+            0..24,
+        ),
+        payload_seed in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 0..24),
+    ) {
+        // Inline prefix length clamped to the header count (wire invariant).
+        let m = payload_seed.len().min(headers.len());
+        let list = CandidateList { payloads: payload_seed[..m].to_vec(), headers };
+        let resp = Response::CandidateList(list);
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn candidate_sets_response_round_trips(
+        slots in proptest::collection::vec(
+            prop_oneof![
+                (proptest::collection::vec(
+                    (any::<u64>(), 0.0f64..1e9)
+                        .prop_map(|(id, lower_bound)| CandidateHeader { id, lower_bound }),
+                    0..8,
+                ), any::<bool>()).prop_map(|(headers, inline)| {
+                    let payloads = if inline {
+                        headers.iter().map(|h| vec![h.id as u8; 3]).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(CandidateList { headers, payloads })
+                }),
+                ".{0,80}".prop_map(Err),
+            ],
+            0..8,
+        )
+    ) {
+        let resp = Response::CandidateSets(slots);
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn objects_response_round_trips(
+        objects in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(id, payload)| FetchedObject { id, payload }),
+            0..16,
+        )
+    ) {
+        let resp = Response::Objects(objects);
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 

@@ -241,7 +241,7 @@ impl Aes {
         for c in 0..4 {
             s[c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[0][c];
         }
-        for r in 1..self.rounds {
+        for rk_r in &rk[1..self.rounds] {
             let mut t = [0u32; 4];
             for c in 0..4 {
                 // ShiftRows: row i of the output column comes from input
@@ -250,7 +250,7 @@ impl Aes {
                     ^ te[((s[(c + 1) & 3] >> 16) & 0xff) as usize].rotate_right(8)
                     ^ te[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
                     ^ te[(s[(c + 3) & 3] & 0xff) as usize].rotate_right(24)
-                    ^ rk[r][c];
+                    ^ rk_r[c];
             }
             s = t;
         }
@@ -275,7 +275,7 @@ impl Aes {
         for c in 0..4 {
             s[c] = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[0][c];
         }
-        for r in 1..self.rounds {
+        for rk_r in &rk[1..self.rounds] {
             let mut t = [0u32; 4];
             for c in 0..4 {
                 // InvShiftRows: row i comes from input column c−i (mod 4).
@@ -283,7 +283,7 @@ impl Aes {
                     ^ td[((s[(c + 3) & 3] >> 16) & 0xff) as usize].rotate_right(8)
                     ^ td[((s[(c + 2) & 3] >> 8) & 0xff) as usize].rotate_right(16)
                     ^ td[(s[(c + 1) & 3] & 0xff) as usize].rotate_right(24)
-                    ^ rk[r][c];
+                    ^ rk_r[c];
             }
             s = t;
         }

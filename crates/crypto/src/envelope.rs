@@ -9,8 +9,11 @@
 //! ```
 //!
 //! * encryption: AES-128 (CTR by default, CBC+PKCS7 optional),
-//! * integrity: HMAC-SHA-256 over `mode || iv || ct_len || ciphertext`
-//!   (encrypt-then-MAC), truncated to the full 32 bytes;
+//! * integrity: HMAC-SHA-256 over
+//!   `mode || iv || ct_len || ciphertext || aad_len || aad`
+//!   (encrypt-then-MAC), truncated to the full 32 bytes; the *associated
+//!   data* is authenticated but **never stored** — the verifier supplies it
+//!   (the index binds each sealed object to its external id this way);
 //! * keys: independent encryption and MAC keys derived from one master key
 //!   via PBKDF2 with domain-separating salts.
 //!
@@ -141,13 +144,41 @@ impl CipherKey {
 
     /// Seals `plaintext` with a random IV drawn from `rng`.
     pub fn seal(&self, plaintext: &[u8], mode: EnvelopeMode, rng: &mut dyn RngCore) -> Vec<u8> {
+        self.seal_with_aad(plaintext, &[], mode, rng)
+    }
+
+    /// Seals `plaintext` binding it to `aad` (associated data): the MAC
+    /// covers the associated data, but the data itself is **not stored** in
+    /// the envelope — the verifier must supply the same bytes to
+    /// [`CipherKey::unseal_with_aad`]. The Encrypted M-Index binds each
+    /// sealed object to its external id this way, so an untrusted server
+    /// cannot swap two (individually valid) sealed payloads between ids
+    /// without tripping the integrity check.
+    pub fn seal_with_aad(
+        &self,
+        plaintext: &[u8],
+        aad: &[u8],
+        mode: EnvelopeMode,
+        rng: &mut dyn RngCore,
+    ) -> Vec<u8> {
         let mut iv = [0u8; 16];
         rng.fill_bytes(&mut iv);
-        self.seal_with_iv(plaintext, mode, &iv)
+        self.seal_with_iv_aad(plaintext, aad, mode, &iv)
     }
 
     /// Seals with an explicit IV (tests and deterministic replay).
     pub fn seal_with_iv(&self, plaintext: &[u8], mode: EnvelopeMode, iv: &[u8; 16]) -> Vec<u8> {
+        self.seal_with_iv_aad(plaintext, &[], mode, iv)
+    }
+
+    /// [`CipherKey::seal_with_aad`] with an explicit IV.
+    pub fn seal_with_iv_aad(
+        &self,
+        plaintext: &[u8],
+        aad: &[u8],
+        mode: EnvelopeMode,
+        iv: &[u8; 16],
+    ) -> Vec<u8> {
         let ciphertext = match mode {
             EnvelopeMode::Ctr => {
                 let mut data = plaintext.to_vec();
@@ -161,10 +192,20 @@ impl CipherKey {
         out.extend_from_slice(iv);
         out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
         out.extend_from_slice(&ciphertext);
-        let mut mac = self.mac.clone();
-        mac.update(&out);
-        out.extend_from_slice(&mac.finalize());
+        out.extend_from_slice(&self.tag(&out, aad));
         out
+    }
+
+    /// MAC over `body || aad_len(u32 LE) || aad`. The explicit length makes
+    /// the (body, aad) split unambiguous even though both are
+    /// variable-length — without it, moving bytes between the ciphertext
+    /// tail and the aad head would forge a colliding input.
+    fn tag(&self, body: &[u8], aad: &[u8]) -> [u8; 32] {
+        let mut mac = self.mac.clone();
+        mac.update(body);
+        mac.update(&(aad.len() as u32).to_le_bytes());
+        mac.update(aad);
+        mac.finalize()
     }
 
     /// Size of the sealed form for a given plaintext length — used by the
@@ -179,6 +220,14 @@ impl CipherKey {
 
     /// Verifies integrity and decrypts.
     pub fn unseal(&self, sealed: &[u8]) -> Result<Vec<u8>, SealError> {
+        self.unseal_with_aad(sealed, &[])
+    }
+
+    /// Verifies integrity **including the associated data** and decrypts.
+    /// Fails with [`SealError::IntegrityFailure`] when `aad` differs from
+    /// the bytes the envelope was sealed with — the id-binding check the
+    /// two-phase candidate fetch relies on.
+    pub fn unseal_with_aad(&self, sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, SealError> {
         if sealed.len() < 1 + 16 + 4 + 32 {
             return Err(SealError::Malformed);
         }
@@ -189,9 +238,7 @@ impl CipherKey {
             return Err(SealError::Malformed);
         }
         let (body, tag) = sealed.split_at(body_end);
-        let mut mac = self.mac.clone();
-        mac.update(body);
-        if !ct_eq(&mac.finalize(), tag) {
+        if !ct_eq(&self.tag(body, aad), tag) {
             return Err(SealError::IntegrityFailure);
         }
         let mut iv = [0u8; 16];
@@ -319,6 +366,71 @@ mod tests {
             assert_eq!(k.unseal(&a).unwrap(), b"first");
             assert_eq!(k2.unseal(&b).unwrap(), b"second");
         }
+    }
+
+    /// Associated data binds the envelope to its context: unsealing with
+    /// different aad — or none — is an integrity failure, and two payloads
+    /// sealed under different aad cannot be swapped.
+    #[test]
+    fn aad_binds_envelope_to_context() {
+        let k = key();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sealed = k.seal_with_aad(
+            b"object 7",
+            &7u64.to_le_bytes(),
+            EnvelopeMode::Ctr,
+            &mut rng,
+        );
+        assert_eq!(
+            k.unseal_with_aad(&sealed, &7u64.to_le_bytes()).unwrap(),
+            b"object 7"
+        );
+        assert_eq!(
+            k.unseal_with_aad(&sealed, &8u64.to_le_bytes()),
+            Err(SealError::IntegrityFailure),
+            "wrong aad must fail"
+        );
+        assert_eq!(
+            k.unseal(&sealed),
+            Err(SealError::IntegrityFailure),
+            "dropping the aad must fail"
+        );
+        // Swap attack: a payload sealed for id 8 presented as id 7.
+        let other = k.seal_with_aad(
+            b"object 8",
+            &8u64.to_le_bytes(),
+            EnvelopeMode::Ctr,
+            &mut rng,
+        );
+        assert_eq!(
+            k.unseal_with_aad(&other, &7u64.to_le_bytes()),
+            Err(SealError::IntegrityFailure),
+            "swapped payloads must fail"
+        );
+    }
+
+    /// Empty aad is the plain seal/unseal path; the sealed length never
+    /// depends on the aad (it is not stored).
+    #[test]
+    fn empty_aad_equals_plain_path_and_aad_costs_no_bytes() {
+        let k = key();
+        let plain = k.seal_with_iv(b"x", EnvelopeMode::Ctr, &[3u8; 16]);
+        let empty = k.seal_with_iv_aad(b"x", &[], EnvelopeMode::Ctr, &[3u8; 16]);
+        assert_eq!(plain, empty);
+        let bound = k.seal_with_iv_aad(b"x", &[9u8; 64], EnvelopeMode::Ctr, &[3u8; 16]);
+        assert_eq!(bound.len(), plain.len(), "aad must not grow the envelope");
+        assert_eq!(k.unseal_with_aad(&bound, &[9u8; 64]).unwrap(), b"x");
+    }
+
+    /// The aad length is absorbed into the MAC, so shifting bytes between
+    /// the ciphertext tail and the aad head cannot collide.
+    #[test]
+    fn aad_boundary_is_unambiguous() {
+        let k = key();
+        let a = k.seal_with_iv_aad(b"ab", b"cd", EnvelopeMode::Ctr, &[5u8; 16]);
+        // Same concatenated suffix, different split: must not verify.
+        assert!(k.unseal_with_aad(&a, b"c").is_err());
+        assert!(k.unseal_with_aad(&a, b"cde").is_err());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use sha256::Sha256;
 /// Panics on invalid hex; intended for constants and diagnostics, not
 /// untrusted input.
 pub fn hex_decode(s: &str) -> Vec<u8> {
-    assert!(s.len() % 2 == 0, "odd-length hex string");
+    assert!(s.len().is_multiple_of(2), "odd-length hex string");
     (0..s.len() / 2)
         .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("invalid hex"))
         .collect()

@@ -34,7 +34,7 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
 /// integrity must verify a MAC before decrypting (see [`crate::envelope`]) —
 /// padding errors alone must not be used as an oracle.
 pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
-    if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
         return None;
     }
     let mut out = Vec::with_capacity(ciphertext.len());

@@ -168,7 +168,7 @@ mod tests {
         assert_eq!(ds.dim(), 282);
         for v in &ds.vectors[..10] {
             for &x in v.as_slice() {
-                assert!(x >= 0.0 && x <= 255.0);
+                assert!((0.0..=255.0).contains(&x));
                 assert_eq!(x.fract(), 0.0, "descriptor values are integers");
             }
         }

@@ -74,7 +74,7 @@ proptest! {
         let dba = m.distance(&b, &a);
         let dac = m.distance(&a, &c);
         let dcb = m.distance(&c, &b);
-        prop_assert!(dab >= 0.0 && dab <= std::f64::consts::PI + 1e-12);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&dab));
         prop_assert!((dab - dba).abs() <= 1e-9);
         prop_assert!(m.distance(&a, &a) <= 1e-4, "self distance {}", m.distance(&a, &a));
         prop_assert!(dab <= dac + dcb + 1e-7);

@@ -8,9 +8,9 @@
 //! the "payload" is just the un-encrypted vector) are built on it.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
-use simcloud_storage::{BucketStore, Record, StorageError};
+use simcloud_storage::{BucketId, BucketStore, Record, StorageError};
 
 use crate::config::{MIndexConfig, RoutingStrategy};
 use crate::entry::{IndexEntry, Routing};
@@ -34,6 +34,13 @@ pub enum MIndexError {
         /// Strategy the index is configured with.
         configured: RoutingStrategy,
     },
+    /// An entry with this external id is already indexed. Ids must be
+    /// unique: the two-phase fetch addresses sealed payloads by id, and
+    /// the client's envelope binds each payload's MAC to its id — with two
+    /// entries behind one id, a fetch could only answer with one of them
+    /// (undetectably, since both authenticate), silently diverging from
+    /// what a fully-inlined response would have shipped.
+    DuplicateId(u64),
     /// Routing information shorter than the tree's maximum level.
     PrefixTooShort {
         /// Entries must carry at least this many permutation positions.
@@ -57,6 +64,9 @@ impl std::fmt::Display for MIndexError {
         match self {
             MIndexError::Storage(e) => write!(f, "storage error: {e}"),
             MIndexError::Corrupt(s) => write!(f, "corrupt index data: {s}"),
+            MIndexError::DuplicateId(id) => {
+                write!(f, "object id {id} is already indexed (ids must be unique)")
+            }
             MIndexError::WrongStrategy {
                 required,
                 configured,
@@ -94,6 +104,11 @@ pub struct MIndex<S: BucketStore> {
     tree: CellTree,
     store: S,
     entries: u64,
+    /// External id → bucket currently holding the entry. Maintained by
+    /// insert/split so [`MIndex::fetch_entries`] (the two-phase fetch's
+    /// phase 2) re-reads exactly one bucket per distinct cell instead of
+    /// scanning the store. Re-inserting an id keeps the latest location.
+    id_map: HashMap<u64, BucketId>,
 }
 
 impl<S: BucketStore> std::fmt::Debug for MIndex<S> {
@@ -115,6 +130,7 @@ impl<S: BucketStore> MIndex<S> {
             tree: CellTree::new(),
             store,
             entries: 0,
+            id_map: HashMap::new(),
         })
     }
 
@@ -167,12 +183,8 @@ impl<S: BucketStore> MIndex<S> {
                 }
             }
             (_, configured) => {
-                let required = match configured {
-                    RoutingStrategy::Distances => RoutingStrategy::Distances,
-                    RoutingStrategy::Permutation => RoutingStrategy::Permutation,
-                };
                 return Err(MIndexError::WrongStrategy {
-                    required,
+                    required: configured,
                     configured,
                 });
             }
@@ -181,15 +193,21 @@ impl<S: BucketStore> MIndex<S> {
     }
 
     /// Inserts one entry (paper Alg. 1, server part: "locate node, store
-    /// encrypted object, split if necessary").
+    /// encrypted object, split if necessary"). External ids must be unique
+    /// (see [`MIndexError::DuplicateId`]); splits re-insert through the
+    /// unchecked path, so moving an entry between cells is unaffected.
     pub fn insert(&mut self, entry: IndexEntry) -> Result<(), MIndexError> {
         self.check_entry(&entry)?;
+        if self.id_map.contains_key(&entry.id) {
+            return Err(MIndexError::DuplicateId(entry.id));
+        }
         self.insert_unchecked(entry)
     }
 
     fn insert_unchecked(&mut self, entry: IndexEntry) -> Result<(), MIndexError> {
         let perm = entry.routing.permutation();
         let prefix: Vec<u16> = perm.prefix(self.config.max_level).to_vec();
+        let id = entry.id;
         let record = Record::new(entry.id, entry.encode_payload());
         let (level, count, needs_split) = {
             let leaf = self.tree.locate_mut(&prefix);
@@ -201,6 +219,7 @@ impl<S: BucketStore> MIndex<S> {
                 leaf.update_bounds(&pd);
             }
             self.store.append(leaf.bucket, record)?;
+            self.id_map.insert(id, leaf.bucket);
             leaf.count += 1;
             let needs_split =
                 leaf.count > self.config.bucket_capacity && leaf.level < self.config.max_level;
@@ -369,6 +388,19 @@ impl<S: BucketStore> MIndex<S> {
         evaluator: &PromiseEvaluator,
         cand_size: usize,
     ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        // A distance evaluator must cover every pivot: the tree may hold a
+        // root cell for any pivot index, and ranking it would read past the
+        // end of a short query vector (a remote caller could crash the
+        // server). Permutation evaluators are total by construction —
+        // missing pivots rank with maximal displacement.
+        if let PromiseEvaluator::Distances { distances, .. } = evaluator {
+            if distances.len() != self.config.num_pivots {
+                return Err(MIndexError::DimensionMismatch {
+                    expected: self.config.num_pivots,
+                    got: distances.len(),
+                });
+            }
+        }
         let mut stats = SearchStats::default();
         let mut candidates: Vec<(IndexEntry, f64)> = Vec::with_capacity(cand_size);
         let tree = &self.tree;
@@ -464,6 +496,53 @@ impl<S: BucketStore> MIndex<S> {
         }
         stats.candidates = candidates.len() as u64;
         Ok((candidates, stats))
+    }
+
+    /// Re-reads the stored entries with the given external ids — the server
+    /// side of the two-phase candidate fetch (phase 2). Returns one slot per
+    /// requested id, in request order; `None` marks ids the index does not
+    /// hold.
+    ///
+    /// Stateless and shared-read (`&self`): nothing is pinned per query —
+    /// the ids are resolved through the id→bucket map and each distinct
+    /// bucket is streamed **once** even when many requested ids share a
+    /// cell (candidate ids do: they come from few promising cells), so a
+    /// fetch costs `O(distinct cells)` bucket reads under the same read
+    /// lock discipline as a search.
+    pub fn fetch_entries(&self, ids: &[u64]) -> Result<Vec<Option<IndexEntry>>, MIndexError> {
+        let mut out: Vec<Option<IndexEntry>> = Vec::with_capacity(ids.len());
+        out.resize_with(ids.len(), || None);
+        // Group request positions by bucket so each bucket is read once.
+        let mut by_bucket: HashMap<BucketId, Vec<usize>> = HashMap::new();
+        for (pos, id) in ids.iter().enumerate() {
+            if let Some(&bucket) = self.id_map.get(id) {
+                by_bucket.entry(bucket).or_default().push(pos);
+            }
+        }
+        let mut wanted: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (bucket, positions) in by_bucket {
+            wanted.clear();
+            for &pos in &positions {
+                wanted.entry(ids[pos]).or_default().push(pos);
+            }
+            let records = self
+                .store
+                .read_matching(bucket, &|id| wanted.contains_key(&id))?;
+            for rec in records {
+                let Some(positions) = wanted.get(&rec.id) else {
+                    continue;
+                };
+                let entry = IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
+                    MIndexError::Corrupt(format!("record {} undecodable", rec.id))
+                })?;
+                for &pos in positions {
+                    if out[pos].is_none() {
+                        out[pos] = Some(entry.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Reads all entries (diagnostics / the trivial baseline's "download
@@ -577,6 +656,20 @@ mod tests {
         ));
         assert!(matches!(
             idx.range_candidates(&[0.1], 1.0),
+            Err(MIndexError::DimensionMismatch { .. })
+        ));
+    }
+
+    /// Regression: a k-NN query with too few distances must error, not
+    /// panic — with a root cell led by a high pivot index, ranking it would
+    /// index past the end of the short query vector.
+    #[test]
+    fn knn_short_distance_query_errors_instead_of_panicking() {
+        let mut idx = MIndex::new(cfg(3, 2, 2), MemoryStore::new()).unwrap();
+        idx.insert(entry_d(1, &[0.9, 0.5, 0.1])).unwrap(); // root pivot 2
+        let short = PromiseEvaluator::from_distances(vec![0.1, 0.2]);
+        assert!(matches!(
+            idx.knn_candidates(&short, 5),
             Err(MIndexError::DimensionMismatch { .. })
         ));
     }
@@ -742,6 +835,73 @@ mod tests {
         all.sort_by_key(|e| e.id);
         assert_eq!(all.len(), 6);
         assert_eq!(all[3].payload, vec![3u8]);
+    }
+
+    /// Phase-2 lookups return entries in request order, `None` for unknown
+    /// ids, and survive splits moving entries between buckets.
+    #[test]
+    fn fetch_entries_by_id_in_request_order() {
+        let mut idx = MIndex::new(cfg(2, 2, 2), MemoryStore::new()).unwrap();
+        // Small capacity forces splits, exercising id_map maintenance.
+        for x in 0..=10u64 {
+            idx.insert(entry_d(x, &[x as f64, 10.0 - x as f64]))
+                .unwrap();
+        }
+        let got = idx.fetch_entries(&[7, 0, 99, 3]).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].as_ref().unwrap().id, 7);
+        assert_eq!(got[0].as_ref().unwrap().payload, vec![7u8]);
+        assert_eq!(got[1].as_ref().unwrap().id, 0);
+        assert!(got[2].is_none(), "unknown id yields None");
+        assert_eq!(got[3].as_ref().unwrap().id, 3);
+    }
+
+    /// Duplicate ids in one fetch each get their own filled slot, and ids
+    /// sharing a cell cost a single bucket read.
+    #[test]
+    fn fetch_entries_handles_duplicates_and_reads_each_bucket_once() {
+        let mut idx = MIndex::new(cfg(3, 1, 100), MemoryStore::new()).unwrap();
+        for i in 0..6u64 {
+            idx.insert(entry_d(i, &[0.1, 0.5, 0.9])).unwrap(); // one cell
+        }
+        let reads_before = idx.store().stats().records_read;
+        let got = idx.fetch_entries(&[2, 2, 5]).unwrap();
+        assert_eq!(got[0].as_ref().unwrap().id, 2);
+        assert_eq!(got[1].as_ref().unwrap().id, 2);
+        assert_eq!(got[2].as_ref().unwrap().id, 5);
+        let reads = idx.store().stats().records_read - reads_before;
+        assert_eq!(
+            reads, 2,
+            "the shared bucket is scanned once and only the two distinct \
+             wanted records are materialized"
+        );
+    }
+
+    /// Duplicate external ids are rejected at insert: the two-phase fetch
+    /// addresses payloads by id, so two entries behind one id could not be
+    /// faithfully re-served (the envelope also MAC-binds payloads to ids,
+    /// which presumes uniqueness).
+    #[test]
+    fn duplicate_id_insert_rejected() {
+        let mut idx = MIndex::new(cfg(2, 2, 4), MemoryStore::new()).unwrap();
+        idx.insert(entry_d(7, &[1.0, 9.0])).unwrap();
+        assert!(matches!(
+            idx.insert(entry_d(7, &[2.0, 8.0])),
+            Err(MIndexError::DuplicateId(7))
+        ));
+        assert_eq!(idx.len(), 1, "rejected entry must not land");
+        // Splits (which re-insert moved entries) still work.
+        for x in 0..8u64 {
+            idx.insert(entry_d(100 + x, &[x as f64, 8.0 - x as f64]))
+                .unwrap();
+        }
+        assert_eq!(idx.len(), 9);
+    }
+
+    #[test]
+    fn fetch_entries_empty_request() {
+        let idx = MIndex::new(cfg(2, 1, 4), MemoryStore::new()).unwrap();
+        assert!(idx.fetch_entries(&[]).unwrap().is_empty());
     }
 
     #[test]

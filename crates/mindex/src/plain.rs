@@ -325,7 +325,7 @@ mod tests {
         let _ = idx.knn_approx(&data[0], 5, 20).unwrap();
         let count = idx.distance_computations();
         // 8 pivot distances + up to 20 candidate refinements
-        assert!(count >= 8 && count <= 8 + 20, "count {count}");
+        assert!((8..=8 + 20).contains(&count), "count {count}");
     }
 
     #[test]

@@ -583,6 +583,9 @@ mod tests {
         assert_eq!(b1, vec![rec(1, 100), rec(2, 50)]);
         assert_eq!(s.bucket_len(BucketId(2)), 1);
         assert_eq!(s.total_records(), 3);
+        // The trait's default read_matching filters a full bucket read.
+        let only2 = s.read_matching(BucketId(1), &|id| id == 2).unwrap();
+        assert_eq!(only2, vec![rec(2, 50)]);
         std::fs::remove_file(path).unwrap();
     }
 

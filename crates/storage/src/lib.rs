@@ -102,6 +102,24 @@ pub trait BucketStore: Send + Sync {
     /// Reads every record in `bucket` (order = insertion order).
     fn read_bucket(&self, bucket: BucketId) -> Result<Vec<Record>, StorageError>;
 
+    /// Reads only the records of `bucket` whose id satisfies `wanted`
+    /// (order = insertion order) — the point-lookup path of the two-phase
+    /// candidate fetch, which pulls a few records out of large buckets.
+    /// The default filters a full [`BucketStore::read_bucket`];
+    /// memory-backed implementations override it to avoid materializing
+    /// the records the caller discards.
+    fn read_matching(
+        &self,
+        bucket: BucketId,
+        wanted: &dyn Fn(u64) -> bool,
+    ) -> Result<Vec<Record>, StorageError> {
+        Ok(self
+            .read_bucket(bucket)?
+            .into_iter()
+            .filter(|r| wanted(r.id))
+            .collect())
+    }
+
     /// Number of records in `bucket` (0 if absent).
     fn bucket_len(&self, bucket: BucketId) -> usize;
 

@@ -51,6 +51,23 @@ impl BucketStore for MemoryStore {
         Ok(recs.clone())
     }
 
+    fn read_matching(
+        &self,
+        bucket: BucketId,
+        wanted: &dyn Fn(u64) -> bool,
+    ) -> Result<Vec<Record>, StorageError> {
+        let recs = self
+            .buckets
+            .get(&bucket)
+            .ok_or(StorageError::UnknownBucket(bucket))?;
+        // Only the returned records count as read back: the id scan never
+        // touches (or clones) the other payloads — that is the point.
+        let out: Vec<Record> = recs.iter().filter(|r| wanted(r.id)).cloned().collect();
+        self.records_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
     fn bucket_len(&self, bucket: BucketId) -> usize {
         self.buckets.get(&bucket).map_or(0, Vec::len)
     }
@@ -104,6 +121,27 @@ mod tests {
         assert_eq!(s.bucket_len(BucketId(1)), 2);
         assert_eq!(s.bucket_len(BucketId(2)), 1);
         assert_eq!(s.total_records(), 3);
+    }
+
+    /// The targeted read returns only matching records (insertion order)
+    /// and counts only those as read back.
+    #[test]
+    fn read_matching_materializes_only_wanted_records() {
+        let mut s = MemoryStore::new();
+        for id in [10u64, 11, 12, 13] {
+            s.append(BucketId(1), rec(id, 64)).unwrap();
+        }
+        let got = s
+            .read_matching(BucketId(1), &|id| id == 11 || id == 13)
+            .unwrap();
+        assert_eq!(got.iter().map(|r| r.id).collect::<Vec<_>>(), vec![11, 13]);
+        assert_eq!(got[0].payload, vec![11u8; 64]);
+        assert_eq!(s.stats().records_read, 2, "untouched payloads not counted");
+        assert!(s.read_matching(BucketId(1), &|_| false).unwrap().is_empty());
+        assert!(matches!(
+            s.read_matching(BucketId(7), &|_| true),
+            Err(StorageError::UnknownBucket(_))
+        ));
     }
 
     #[test]

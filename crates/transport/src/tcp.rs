@@ -166,11 +166,8 @@ where
 
 fn serve_connection(mut stream: TcpStream, mut handle: impl FnMut(&[u8]) -> Vec<u8>) {
     stream.set_nodelay(true).ok();
-    loop {
-        let request = match read_frame(&mut stream) {
-            Ok(r) => r,
-            Err(_) => break, // client done or connection broken
-        };
+    // Serve until the client disconnects or the connection breaks.
+    while let Ok(request) = read_frame(&mut stream) {
         let start = Instant::now();
         let response = handle(&request);
         let server_ns = start.elapsed().as_nanos() as u64;

@@ -65,7 +65,7 @@ fn main() {
     let query = &dataset.vectors[123];
     let truth = simcloud::datasets::parallel_knn_ground_truth(
         &dataset.vectors,
-        &[query.clone()],
+        std::slice::from_ref(query),
         &metric,
         30,
         8,

@@ -3,11 +3,11 @@
 //! Walks the four levels on the same small collection, printing what the
 //! server stores and what it costs — level by level:
 //!
-//! 1. no encryption            → plain M-Index, server sees everything
-//! 2. raw-data encryption      → MS objects plaintext, payloads sealed
-//! 3. MS-object encryption     → the Encrypted M-Index (the paper's system)
-//! 4. + distribution hiding    → level 3 plus the keyed monotone distance
-//!                               transformation (paper §6 future work)
+//! 1. no encryption → plain M-Index, server sees everything
+//! 2. raw-data encryption → MS objects plaintext, payloads sealed
+//! 3. MS-object encryption → the Encrypted M-Index (the paper's system)
+//! 4. distribution hiding → level 3 plus the keyed monotone distance
+//!    transformation (paper §6 future work)
 //!
 //! ```sh
 //! cargo run --release --example privacy_levels
@@ -25,7 +25,13 @@ fn main() {
         .map(|(i, v)| (ObjectId(i as u64), v))
         .collect();
     let query = &data[10];
-    let truth = simcloud::datasets::parallel_knn_ground_truth(data, &[query.clone()], &L1, 10, 4);
+    let truth = simcloud::datasets::parallel_knn_ground_truth(
+        data,
+        std::slice::from_ref(query),
+        &L1,
+        10,
+        4,
+    );
     let mut cfg = MIndexConfig::yeast();
     cfg.num_pivots = 30;
 

@@ -90,8 +90,9 @@ fn main() {
         .collect();
     let before = owner.transport().stats().requests;
     let (answers, costs) = owner.knn_approx_batch(&queries, 30, 600).expect("batch");
+    let answered = answers.iter().filter(|r| r.is_ok()).count();
     println!(
-        "{} answers in {} round trip(s); avg per query: {}",
+        "{answered} of {} queries answered in {} round trip(s); avg per query: {}",
         answers.len(),
         owner.transport().stats().requests - before,
         costs.averaged(answers.len() as u32)

@@ -193,7 +193,7 @@ fn server_never_sees_plaintext() {
 /// envelope's encrypt-then-MAC), not silently returned as a wrong answer.
 #[test]
 fn tampered_candidates_are_rejected() {
-    use simcloud_core::protocol::{Candidate, Response};
+    use simcloud_core::protocol::Response;
     use simcloud_transport::{InProcessTransport, RequestHandler};
 
     // A malicious "server" that flips a byte in every candidate payload.
@@ -202,13 +202,13 @@ fn tampered_candidates_are_rejected() {
         fn handle(&mut self, request: &[u8]) -> Vec<u8> {
             let resp = self.0.handle(request);
             match Response::decode(&resp) {
-                Ok(Response::Candidates(mut cands)) if !cands.is_empty() => {
-                    for Candidate { payload, .. } in &mut cands {
+                Ok(Response::CandidateList(mut list)) if !list.payloads.is_empty() => {
+                    for payload in &mut list.payloads {
                         if let Some(b) = payload.last_mut() {
                             *b ^= 0x01;
                         }
                     }
-                    Response::Candidates(cands).encode()
+                    Response::CandidateList(list).encode()
                 }
                 _ => resp,
             }
