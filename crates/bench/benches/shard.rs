@@ -1,0 +1,251 @@
+//! Sharded vs single-index deployment — the bench behind `BENCH_shard.json`.
+//!
+//! Three measurements over identical YEAST-like data:
+//!
+//! 1. **Identity** — for hash and pivot routers at 2 and 4 shards, with and
+//!    without an inline byte budget, sharded kNN (collection-covering
+//!    candidate budget) and range answers must be byte-identical to the
+//!    single index's through the unmodified client. Asserted, not just
+//!    reported.
+//! 2. **Query throughput** — steady-state encrypted 30-NN against 1/2/4
+//!    shards vs the single index. On a single-vCPU container scatter-gather
+//!    adds thread-spawn overhead and no parallel win (physics); the bench
+//!    asserts the 4-shard deployment stays within noise of single-index
+//!    (≥ 0.5×) and leaves the parallel-speedup re-measure to a multi-core
+//!    runner, as PR 2 did for concurrent reads.
+//! 3. **Insert throughput** — 4 concurrent connections streaming inserts
+//!    against 1/2/4 shards over a latency-modelled store (fixed write delay
+//!    inside the index write lock). Per-shard locks must overlap the
+//!    delays: the bench asserts 4-shard ≥ 1.5× single. The zero-delay
+//!    (CPU-bound) numbers are reported unasserted.
+//!
+//! ```text
+//! cargo bench -p simcloud-bench --bench shard            # full scale
+//! cargo bench -p simcloud-bench --bench shard -- --quick # CI scale
+//! ```
+
+use std::time::Duration;
+
+use simcloud_bench::{
+    concurrent_insert_throughput, prebuild, prebuild_sharded, steady_state_encrypted, PreBuilt,
+    RouterKind, Which,
+};
+use simcloud_core::{client_for, ClientConfig, Neighbor, ServerConfig};
+use simcloud_shard::client_for_sharded;
+
+struct Config {
+    n: usize,
+    queries: usize,
+    rounds: usize,
+    cand: usize,
+    inserts_per_thread: usize,
+}
+
+fn assert_identical(label: &str, sharded: &[Neighbor], single: &[Neighbor]) {
+    assert_eq!(
+        sharded.len(),
+        single.len(),
+        "{label}: answer lengths differ"
+    );
+    for (i, ((si, sd), (ri, rd))) in sharded.iter().zip(single).enumerate() {
+        assert_eq!(si, ri, "{label}: id mismatch at rank {i}");
+        assert_eq!(
+            sd.to_bits(),
+            rd.to_bits(),
+            "{label}: distance bits differ at rank {i}"
+        );
+    }
+}
+
+/// Drives identical kNN + range workloads against a single and a sharded
+/// deployment (same data, same key, same queries) and asserts byte-equal
+/// answers.
+fn identity_check(single: &PreBuilt, sharded: &PreBuilt, k: usize, label: &str) {
+    let mut sc = match &single.server {
+        simcloud_bench::SteadyServer::Single(s) => client_for(
+            single.key.clone(),
+            single.dataset.metric.clone(),
+            std::sync::Arc::clone(s),
+            ClientConfig::distances(),
+        )
+        .with_rng_seed(17),
+        _ => unreachable!("reference deployment is single-index"),
+    };
+    let mut hc = match &sharded.server {
+        simcloud_bench::SteadyServer::Sharded(s) => client_for_sharded(
+            sharded.key.clone(),
+            sharded.dataset.metric.clone(),
+            std::sync::Arc::clone(s),
+            ClientConfig::distances(),
+        )
+        .with_rng_seed(19),
+        _ => unreachable!("sharded deployment expected"),
+    };
+    let n = single.dataset.len();
+    for (qi, q) in single.workload.queries.iter().enumerate() {
+        // Collection-covering candidate budget: the regime where sharded
+        // and single candidate sets provably coincide.
+        let (a, _) = sc.knn_approx(q, k, n).expect("single knn");
+        let (b, _) = hc.knn_approx(q, k, n).expect("sharded knn");
+        assert_identical(&format!("{label}/knn q{qi}"), &b, &a);
+        // Range exactness is structural at any radius; use the k-th
+        // distance so the ball is non-trivial and has boundary ties.
+        let radius = a.last().map(|(_, d)| *d).unwrap_or(0.0);
+        let (ra, _) = sc.range(q, radius).expect("single range");
+        let (rb, _) = hc.range(q, radius).expect("sharded range");
+        assert_identical(&format!("{label}/range q{qi}"), &rb, &ra);
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k = 30;
+    let cfg = if quick {
+        Config {
+            n: 400,
+            queries: 6,
+            rounds: 2,
+            cand: 150,
+            inserts_per_thread: 30,
+        }
+    } else {
+        Config {
+            n: 1500,
+            queries: 20,
+            rounds: 4,
+            cand: 600,
+            inserts_per_thread: 120,
+        }
+    };
+    println!(
+        "sharded vs single-index, encrypted {k}-NN, YEAST n={}, {} queries x {} rounds",
+        cfg.n, cfg.queries, cfg.rounds
+    );
+    let ds = Which::Yeast.dataset(cfg.n, 11);
+    let mut json = String::from("{\n");
+
+    // ---- 1. identity ----------------------------------------------------
+    let single = prebuild(ds.clone(), cfg.queries, 3);
+    let mut identity_combos = 0;
+    for shards in [2usize, 4] {
+        for router in [RouterKind::Hash, RouterKind::Pivot] {
+            for budget in [
+                None,
+                Some(ServerConfig::budgeted(1 + 4 + 16 * cfg.n + 4 + 40 * 160)),
+            ] {
+                let server_config = budget.unwrap_or_default();
+                let sharded =
+                    prebuild_sharded(ds.clone(), cfg.queries, 3, server_config, shards, router);
+                let label = format!(
+                    "{}x{}{}",
+                    shards,
+                    router.label(),
+                    if budget.is_some() { "+budget" } else { "" }
+                );
+                identity_check(&single, &sharded, k, &label);
+                identity_combos += 1;
+            }
+        }
+    }
+    println!(
+        "  identity: {} router/shard/budget combos byte-identical over {} queries each",
+        identity_combos, cfg.queries
+    );
+    json.push_str(&format!(
+        "  \"identity\": {{ \"combos\": {identity_combos}, \"queries_each\": {}, \"byte_identical\": true }},\n",
+        cfg.queries
+    ));
+
+    // ---- 2. query throughput -------------------------------------------
+    let single_q = steady_state_encrypted(&single, cfg.cand, k, 1, cfg.rounds, 7);
+    let single_qps = single_q.queries_per_second();
+    println!("  query  shards=1          {single_qps:>8.1} queries/s (reference)");
+    json.push_str(&format!(
+        "  \"query_yeast_30nn/cand{}/shards1\": {{ \"queries_per_s\": {single_qps:.1}, \"vs_single\": 1.00 }},\n",
+        cfg.cand
+    ));
+    for shards in [2usize, 4] {
+        let pre = prebuild_sharded(
+            ds.clone(),
+            cfg.queries,
+            3,
+            ServerConfig::default(),
+            shards,
+            RouterKind::Hash,
+        );
+        let run = steady_state_encrypted(&pre, cfg.cand, k, 1, cfg.rounds, 7);
+        let qps = run.queries_per_second();
+        let ratio = qps / single_qps;
+        println!("  query  shards={shards} (hash)   {qps:>8.1} queries/s ({ratio:.2}x vs single)");
+        json.push_str(&format!(
+            "  \"query_yeast_30nn/cand{}/shards{shards}\": {{ \"queries_per_s\": {qps:.1}, \"vs_single\": {ratio:.2} }},\n",
+            cfg.cand
+        ));
+        if shards == 4 {
+            assert!(
+                ratio > 0.5,
+                "4-shard query throughput {ratio:.2}x fell out of the noise band \
+                 vs single-index (scatter-gather overhead regression)"
+            );
+        }
+    }
+
+    // ---- 3. insert throughput ------------------------------------------
+    let delay = Duration::from_micros(if quick { 200 } else { 300 });
+    let threads = 4;
+    let mut latency_single = 0.0;
+    for shards in [1usize, 2, 4] {
+        let run = concurrent_insert_throughput(
+            threads,
+            cfg.inserts_per_thread,
+            shards,
+            RouterKind::Hash,
+            delay,
+            3,
+        );
+        let ips = run.inserts_per_second();
+        if shards == 1 {
+            latency_single = ips;
+        }
+        let ratio = ips / latency_single;
+        println!(
+            "  insert shards={shards} (write delay {:?})  {ips:>8.0} inserts/s ({ratio:.2}x vs single)",
+            delay
+        );
+        json.push_str(&format!(
+            "  \"insert_latency_bound/threads{threads}/shards{shards}\": {{ \"inserts_per_s\": {ips:.0}, \"vs_single\": {ratio:.2} }},\n"
+        ));
+        if shards == 4 {
+            assert!(
+                ratio > 1.5,
+                "4 shards must overlap latency-bound inserts (got {ratio:.2}x) — \
+                 inserts to distinct shards are serializing"
+            );
+        }
+    }
+    let mut cpu_single = 0.0;
+    for shards in [1usize, 4] {
+        let run = concurrent_insert_throughput(
+            threads,
+            cfg.inserts_per_thread,
+            shards,
+            RouterKind::Hash,
+            Duration::ZERO,
+            5,
+        );
+        let ips = run.inserts_per_second();
+        if shards == 1 {
+            cpu_single = ips;
+        }
+        let ratio = ips / cpu_single;
+        println!("  insert shards={shards} (cpu-bound)     {ips:>8.0} inserts/s ({ratio:.2}x vs single, unasserted)");
+        json.push_str(&format!(
+            "  \"insert_cpu_bound/threads{threads}/shards{shards}\": {{ \"inserts_per_s\": {ips:.0}, \"vs_single\": {ratio:.2} }},\n"
+        ));
+    }
+
+    json.push_str("  \"scale\": \"");
+    json.push_str(if quick { "quick" } else { "full" });
+    json.push_str("\"\n}");
+    println!("\nJSON summary:\n{json}");
+}

@@ -7,16 +7,24 @@
 //! the format committed to `BENCH_steady.json`.
 //!
 //! ```text
-//! cargo bench -p simcloud-bench --bench steady            # full scale
-//! cargo bench -p simcloud-bench --bench steady -- --quick # CI scale
+//! cargo bench -p simcloud-bench --bench steady                       # full scale
+//! cargo bench -p simcloud-bench --bench steady -- --quick            # CI scale
+//! cargo bench -p simcloud-bench --bench steady -- --shards 4         # sharded server
 //! ```
 //!
 //! Interpreting the speedup: the query path is CPU-bound, so the 4-thread
 //! number scales with the *cores actually available* — on a single-vCPU
 //! container it stays ~1x by physics, on a 4-core runner the shared-read
 //! server reaches ~Nx because queries never serialize on the index.
+//! `--shards N` (default 1) swaps in a hash-routed `ShardedCloudServer`
+//! behind the same wire; dedicated sharded-vs-single comparisons live in
+//! `--bench shard`.
 
-use simcloud_bench::{prebuild, steady_state_batch, steady_state_encrypted, SteadyState, Which};
+use simcloud_bench::{
+    prebuild, prebuild_sharded, shards_arg, shards_suffix, steady_state_batch,
+    steady_state_encrypted, RouterKind, SteadyState, Which,
+};
+use simcloud_core::ServerConfig;
 
 struct Config {
     n: usize,
@@ -27,6 +35,7 @@ struct Config {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let shards = shards_arg();
     // `cargo bench` passes --bench; ignore everything else.
     let cfg = if quick {
         Config {
@@ -47,15 +56,30 @@ fn main() {
     let threads_sweep = [1usize, 2, 4];
 
     println!(
-        "steady-state encrypted {k}-NN, YEAST n={}, {} queries x {} rounds, {} cores online",
+        "steady-state encrypted {k}-NN, YEAST n={}, {} queries x {} rounds, {} cores online, {} shard(s)",
         cfg.n,
         cfg.queries,
         cfg.rounds,
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        shards
     );
-    let pre = prebuild(Which::Yeast.dataset(cfg.n, 11), cfg.queries, 3);
+    let ds = Which::Yeast.dataset(cfg.n, 11);
+    let pre = if shards > 1 {
+        prebuild_sharded(
+            ds,
+            cfg.queries,
+            3,
+            ServerConfig::default(),
+            shards,
+            RouterKind::Hash,
+        )
+    } else {
+        prebuild(ds, cfg.queries, 3)
+    };
 
     let mut json = String::from("{\n");
+    // Sharded runs get distinct JSON keys; the default keys stay stable.
+    let suffix = shards_suffix(shards);
     for &cand in cfg.cands {
         let mut single_qps = 0.0;
         for &threads in &threads_sweep {
@@ -70,7 +94,7 @@ fn main() {
                 qps
             );
             json.push_str(&format!(
-                "  \"steady_yeast_30nn/cand{cand}/threads{threads}\": {{ \"queries_per_s\": {qps:.1}, \"speedup_vs_single\": {speedup:.2} }},\n"
+                "  \"steady_yeast_30nn/cand{cand}/threads{threads}{suffix}\": {{ \"queries_per_s\": {qps:.1}, \"speedup_vs_single\": {speedup:.2} }},\n"
             ));
         }
         let b = steady_state_batch(&pre, cand, k, cfg.queries, cfg.rounds, 7);
@@ -80,7 +104,7 @@ fn main() {
             bqps, cfg.queries
         );
         json.push_str(&format!(
-            "  \"steady_yeast_30nn/cand{cand}/batch{}\": {{ \"queries_per_s\": {bqps:.1} }},\n",
+            "  \"steady_yeast_30nn/cand{cand}/batch{}{suffix}\": {{ \"queries_per_s\": {bqps:.1} }},\n",
             cfg.queries
         ));
     }

@@ -22,13 +22,18 @@
 //! response bytes undercut the one-phase wire.
 //!
 //! ```text
-//! cargo bench -p simcloud-bench --bench wire            # full scale
-//! cargo bench -p simcloud-bench --bench wire -- --quick # CI scale
+//! cargo bench -p simcloud-bench --bench wire                 # full scale
+//! cargo bench -p simcloud-bench --bench wire -- --quick      # CI scale
+//! cargo bench -p simcloud-bench --bench wire -- --shards 4   # sharded server
 //! ```
+//!
+//! `--shards N` (default 1) runs the identical comparison against a
+//! hash-routed `ShardedCloudServer` — the wire (phase-1 lists, phase-2
+//! fetches, budgets) is byte-compatible, so the same assertions apply.
 
 use simcloud_bench::{
-    prebuild, prebuild_with, steady_state_encrypted_tcp, steady_state_encrypted_with, SteadyState,
-    Which,
+    prebuild_sharded, prebuild_with, shards_arg, shards_suffix, steady_state_encrypted_tcp,
+    steady_state_encrypted_with, PreBuilt, RouterKind, SteadyState, Which,
 };
 use simcloud_core::{ClientConfig, LazyRefine, ServerConfig};
 use simcloud_crypto::envelope::EnvelopeMode;
@@ -80,6 +85,7 @@ fn row(label: &str, s: &SteadyState, eager_bytes: f64) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let shards = shards_arg();
     let k = 30;
     let cfg = if quick {
         Config {
@@ -100,17 +106,33 @@ fn main() {
     };
 
     println!(
-        "two-phase wire cost, encrypted {k}-NN, YEAST n={}, {} queries x {} rounds",
-        cfg.n, cfg.queries, cfg.rounds
+        "two-phase wire cost, encrypted {k}-NN, YEAST n={}, {} queries x {} rounds, {} shard(s)",
+        cfg.n, cfg.queries, cfg.rounds, shards
     );
     let ds = Which::Yeast.dataset(cfg.n, 11);
     let sealed_payload = CipherKey::sealed_len(ds.vectors[0].encoded_len(), EnvelopeMode::Ctr);
-    let full = prebuild(ds.clone(), cfg.queries, 3);
+    let build = |server_config: ServerConfig| -> PreBuilt {
+        if shards > 1 {
+            prebuild_sharded(
+                ds.clone(),
+                cfg.queries,
+                3,
+                server_config,
+                shards,
+                RouterKind::Hash,
+            )
+        } else {
+            prebuild_with(ds.clone(), cfg.queries, 3, server_config)
+        }
+    };
+    let full = build(ServerConfig::default());
 
     let mut json = String::from("{\n");
+    // Sharded runs get distinct JSON keys; the default keys stay stable.
+    let suffix = shards_suffix(shards);
     for &cand in cfg.cands {
         let budget = budget_for(cand, cfg.inline_n, sealed_payload);
-        let budgeted = prebuild_with(ds.clone(), cfg.queries, 3, ServerConfig::budgeted(budget));
+        let budgeted = build(ServerConfig::budgeted(budget));
         println!(
             "cand={cand}, inline budget {budget} B (~{} payloads)",
             cfg.inline_n
@@ -157,7 +179,7 @@ fn main() {
             ("lazy 2-phase TCP", &tcp2),
         ] {
             json.push_str(&format!(
-                "  \"wire_yeast_30nn/cand{cand}/{}\": {},\n",
+                "  \"wire_yeast_30nn/cand{cand}/{}{suffix}\": {},\n",
                 label.replace(' ', "_"),
                 row(label, s, eager_bytes)
             ));

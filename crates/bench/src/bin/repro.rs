@@ -6,6 +6,7 @@
 //! repro --scale paper --table 6  paper-scale run
 //! repro --cophir-n 1000000       override CoPhIR cardinality
 //! repro --ablation pivots|strategy|transform|k|network
+//! repro --shards 4 --table 5     encrypted searches against a sharded server
 //! ```
 
 use std::time::Duration;
@@ -13,8 +14,8 @@ use std::time::Duration;
 use simcloud_bench::tables::{kb, millis, secs, Table};
 use simcloud_bench::{
     ablation_k, ablation_network, ablation_pivots, ablation_strategy, ablation_transform,
-    comparison_1nn, construction_encrypted, construction_plain, search_encrypted, search_plain,
-    Scale, SearchRow, Which,
+    comparison_1nn, construction_encrypted, construction_plain, search_encrypted,
+    search_encrypted_sharded, search_plain, Scale, SearchRow, Which,
 };
 use simcloud_datasets::Dataset;
 use simcloud_metric::analysis::DistanceHistogram;
@@ -26,6 +27,8 @@ struct Args {
     cophir_n: Option<usize>,
     tables: Vec<u32>,
     ablations: Vec<String>,
+    /// Shard count for the encrypted-search tables (1 = single index).
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +37,7 @@ fn parse_args() -> Args {
         cophir_n: None,
         tables: Vec::new(),
         ablations: Vec::new(),
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -64,10 +68,17 @@ fn parse_args() -> Args {
                         .expect("--cophir-n N"),
                 );
             }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--shards N (N >= 1)");
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N]... [--ablation NAME]... \
-                     [--scale quick|paper] [--cophir-n N]"
+                     [--scale quick|paper] [--cophir-n N] [--shards N]"
                 );
                 std::process::exit(0);
             }
@@ -100,17 +111,18 @@ fn main() {
             4 => table3_4(&[yeast(), human(), cophir()], false),
             5 => {
                 let ds = yeast();
-                let rows = search_encrypted(
+                let rows = encrypted_rows(
                     &ds,
                     &args.scale.yeast_cand_sizes(),
                     sizes.queries,
                     sizes.k,
-                    SEED,
+                    args.shards,
                 );
                 print_search_table(
                     &format!(
-                        "Table 5: Approximate {}-NN, Encrypted M-Index (YEAST)",
-                        sizes.k
+                        "Table 5: Approximate {}-NN, Encrypted M-Index (YEAST{})",
+                        sizes.k,
+                        shard_note(args.shards)
                     ),
                     &rows,
                     true,
@@ -118,17 +130,18 @@ fn main() {
             }
             6 => {
                 let ds = cophir();
-                let rows = search_encrypted(
+                let rows = encrypted_rows(
                     &ds,
                     &args.scale.cophir_cand_sizes(sizes.cophir_n),
                     sizes.queries,
                     sizes.k,
-                    SEED,
+                    args.shards,
                 );
                 print_search_table(
                     &format!(
-                        "Table 6: Approximate {}-NN, Encrypted M-Index (CoPhIR)",
-                        sizes.k
+                        "Table 6: Approximate {}-NN, Encrypted M-Index (CoPhIR{})",
+                        sizes.k,
+                        shard_note(args.shards)
                     ),
                     &rows,
                     true,
@@ -291,6 +304,30 @@ fn main() {
             }
             other => eprintln!("unknown ablation {other} (pivots|strategy|transform|k|network)"),
         }
+    }
+}
+
+fn shard_note(shards: usize) -> String {
+    if shards > 1 {
+        format!(", {shards} shards")
+    } else {
+        String::new()
+    }
+}
+
+/// Encrypted-search rows against a single index or, with `--shards N`, a
+/// hash-routed sharded deployment behind the same wire.
+fn encrypted_rows(
+    ds: &Dataset,
+    cand_sizes: &[usize],
+    queries: usize,
+    k: usize,
+    shards: usize,
+) -> Vec<SearchRow> {
+    if shards > 1 {
+        search_encrypted_sharded(ds, cand_sizes, queries, k, SEED, shards)
+    } else {
+        search_encrypted(ds, cand_sizes, queries, k, SEED)
     }
 }
 

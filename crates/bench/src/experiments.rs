@@ -93,7 +93,10 @@ impl<M: Metric<Vector>> Metric<Vector> for TimedMetric<M> {
     }
 }
 
-fn id_objects(vectors: &[Vector]) -> Vec<(ObjectId, Vector)> {
+/// Pairs each vector with its zero-based [`ObjectId`] — the id assignment
+/// every experiment and bench uses, defined once so cross-bench runs index
+/// identically.
+pub(crate) fn id_objects(vectors: &[Vector]) -> Vec<(ObjectId, Vector)> {
     vectors
         .iter()
         .enumerate()
@@ -207,31 +210,18 @@ pub struct SearchRow {
     pub recall: f64,
 }
 
-/// Encrypted M-Index approximate k-NN sweep (Tables 5 and 6).
-pub fn search_encrypted(
+/// The shared measurement body of the encrypted-search tables: outsources
+/// the collection through `cloud`, then sweeps `cand_sizes` over the member
+/// workload against exact ground truth. One definition, so `repro --shards`
+/// rows stay comparable to the single-index tables by construction.
+fn encrypted_search_sweep<T: simcloud_transport::Transport>(
+    cloud: &mut simcloud_core::EncryptedClient<simcloud_datasets::DatasetMetric, T>,
     ds: &Dataset,
     cand_sizes: &[usize],
     queries: usize,
     k: usize,
     seed: u64,
 ) -> Vec<SearchRow> {
-    let cfg = dataset_config(ds);
-    let (key, _) = SecretKey::generate(
-        &ds.vectors,
-        cfg.num_pivots,
-        &ds.metric,
-        PivotSelection::Random,
-        seed,
-    );
-    let mut cloud = in_process(
-        key,
-        ds.metric.clone(),
-        cfg,
-        MemoryStore::new(),
-        ClientConfig::distances(),
-    )
-    .expect("config")
-    .with_rng_seed(seed ^ 2);
     let objects = id_objects(&ds.vectors);
     for chunk in objects.chunks(BULK) {
         cloud.insert_bulk(chunk).expect("insert");
@@ -260,6 +250,67 @@ pub fn search_encrypted(
         });
     }
     rows
+}
+
+/// Encrypted M-Index approximate k-NN sweep (Tables 5 and 6).
+pub fn search_encrypted(
+    ds: &Dataset,
+    cand_sizes: &[usize],
+    queries: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<SearchRow> {
+    let cfg = dataset_config(ds);
+    let (key, _) = SecretKey::generate(
+        &ds.vectors,
+        cfg.num_pivots,
+        &ds.metric,
+        PivotSelection::Random,
+        seed,
+    );
+    let mut cloud = in_process(
+        key,
+        ds.metric.clone(),
+        cfg,
+        MemoryStore::new(),
+        ClientConfig::distances(),
+    )
+    .expect("config")
+    .with_rng_seed(seed ^ 2);
+    encrypted_search_sweep(&mut cloud, ds, cand_sizes, queries, k, seed)
+}
+
+/// [`search_encrypted`] against a **sharded** deployment: same key
+/// derivation, same workload and ground truth (the sweep body is shared),
+/// with the collection spread over `shards` hash-routed shards —
+/// `repro --shards N` compares its rows against the single-index tables.
+pub fn search_encrypted_sharded(
+    ds: &Dataset,
+    cand_sizes: &[usize],
+    queries: usize,
+    k: usize,
+    seed: u64,
+    shards: usize,
+) -> Vec<SearchRow> {
+    let cfg = dataset_config(ds);
+    let (key, _) = SecretKey::generate(
+        &ds.vectors,
+        cfg.num_pivots,
+        &ds.metric,
+        PivotSelection::Random,
+        seed,
+    );
+    let mut cloud = simcloud_shard::sharded_in_process(
+        key,
+        ds.metric.clone(),
+        cfg,
+        Box::new(simcloud_shard::HashRouter),
+        simcloud_shard::memory_stores(shards),
+        ClientConfig::distances(),
+    )
+    .expect("config")
+    .with_rng_seed(seed ^ 2);
+    encrypted_search_sweep(&mut cloud, ds, cand_sizes, queries, k, seed)
 }
 
 /// Basic (non-encrypted) M-Index approximate k-NN sweep (Tables 7 and 8):

@@ -18,13 +18,16 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod shardperf;
 pub mod steady;
 pub mod tables;
 
 pub use experiments::*;
 pub use scale::Scale;
+pub use shardperf::{concurrent_insert_throughput, InsertThroughput, LatencyStore};
 pub use steady::{
-    prebuild, prebuild_with, steady_state_batch, steady_state_encrypted,
-    steady_state_encrypted_tcp, steady_state_encrypted_with, PreBuilt, SteadyState,
+    prebuild, prebuild_sharded, prebuild_with, shards_arg, shards_suffix, steady_state_batch,
+    steady_state_encrypted, steady_state_encrypted_tcp, steady_state_encrypted_with, PreBuilt,
+    RouterKind, SteadyServer, SteadyState,
 };
 pub use tables::Table;

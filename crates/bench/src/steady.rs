@@ -5,12 +5,16 @@
 //! **once**, then encrypted approximate k-NN queries are driven against it
 //! and reported as queries/second:
 //!
-//! * [`steady_state_encrypted`] — `threads` clients share one
-//!   `Arc<CloudServer>` through the `&self` handler path (1 thread = the
-//!   classic single-client number, 4 threads = the concurrent serving
-//!   mode);
+//! * [`steady_state_encrypted`] — `threads` clients share one server
+//!   through the `&self` handler path (1 thread = the classic
+//!   single-client number, 4 threads = the concurrent serving mode);
 //! * [`steady_state_batch`] — the batch query API: all queries of a chunk
 //!   travel in one round trip.
+//!
+//! Every runner works against a [`SteadyServer`] — a single `CloudServer`
+//! or a `ShardedCloudServer` behind the same wire — so the sharded
+//! deployment is benchmarked by the *same* code paths (`--shards N` on the
+//! harnesses picks the variant).
 //!
 //! Throughput is end-to-end per query: pivot distances + server candidate
 //! selection + decryption + refinement, i.e. the paper's whole Alg. 2 loop.
@@ -18,10 +22,17 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use simcloud_core::{client_for, connect_tcp, ClientConfig, CloudServer, SecretKey, ServerConfig};
-use simcloud_datasets::{Dataset, QueryWorkload};
-use simcloud_metric::{ObjectId, PivotSelection};
+use simcloud_core::{
+    client_for, connect_tcp, ClientConfig, CloudServer, CostReport, EncryptedClient, SecretKey,
+    ServerConfig,
+};
+use simcloud_datasets::{Dataset, DatasetMetric, QueryWorkload};
+use simcloud_metric::PivotSelection;
+use simcloud_shard::{
+    client_for_sharded, HashRouter, PivotRouter, ShardRouter, ShardedCloudServer,
+};
 use simcloud_storage::MemoryStore;
+use simcloud_transport::{tcp::TcpServerHandle, Transport};
 
 use crate::experiments::BULK;
 
@@ -88,7 +99,7 @@ impl SteadyState {
     }
 
     /// Folds one client's accumulated costs into this run's totals.
-    fn absorb(&mut self, costs: &simcloud_core::CostReport) {
+    fn absorb(&mut self, costs: &CostReport) {
         self.candidates += costs.candidates;
         self.decrypted += costs.decrypted;
         self.bytes_sent += costs.bytes_sent;
@@ -98,17 +109,162 @@ impl SteadyState {
     }
 }
 
+/// Which shard router a sharded steady-state deployment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Uniform id hashing.
+    Hash,
+    /// Nearest-global-pivot (Voronoi) placement.
+    Pivot,
+}
+
+impl RouterKind {
+    /// Builds the router.
+    pub fn build(self) -> Box<dyn ShardRouter> {
+        match self {
+            RouterKind::Hash => Box::new(HashRouter),
+            RouterKind::Pivot => Box::new(PivotRouter),
+        }
+    }
+
+    /// Stable label for bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouterKind::Hash => "hash",
+            RouterKind::Pivot => "pivot",
+        }
+    }
+}
+
+/// Parses `--shards N` from the process arguments (default 1 = the single
+/// index server) — one definition shared by the bench harnesses. An
+/// explicit but invalid value (0, non-numeric) panics like `repro` does,
+/// instead of silently benchmarking the single-index server.
+pub fn shards_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--shards") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .expect("--shards N (N >= 1)"),
+        None => 1,
+    }
+}
+
+/// JSON-key suffix distinguishing sharded bench rows (`"/shardsN"`). Empty
+/// for the single-index default so previously committed keys stay stable.
+pub fn shards_suffix(shards: usize) -> String {
+    if shards > 1 {
+        format!("/shards{shards}")
+    } else {
+        String::new()
+    }
+}
+
+/// A steady-state server under test: one index or N shards, same wire.
+#[derive(Clone)]
+pub enum SteadyServer {
+    /// The classic single `CloudServer`.
+    Single(Arc<CloudServer<MemoryStore>>),
+    /// A `ShardedCloudServer` (scatter-gather).
+    Sharded(Arc<ShardedCloudServer<MemoryStore>>),
+}
+
+impl SteadyServer {
+    /// Serves this server on a concurrent TCP loopback socket.
+    pub fn serve_tcp(&self) -> std::io::Result<TcpServerHandle> {
+        match self {
+            SteadyServer::Single(s) => simcloud_core::serve_tcp_concurrent(Arc::clone(s)),
+            SteadyServer::Sharded(s) => simcloud_shard::serve_tcp_concurrent_sharded(Arc::clone(s)),
+        }
+    }
+
+    /// Shard count (1 for the single server).
+    pub fn shards(&self) -> usize {
+        match self {
+            SteadyServer::Single(_) => 1,
+            SteadyServer::Sharded(s) => s.index().shard_count(),
+        }
+    }
+}
+
 /// A pre-built encrypted deployment: shared server + the key/workload
 /// needed to drive queries against it.
 pub struct PreBuilt {
     /// The shared server holding the fully built index.
-    pub server: Arc<CloudServer<MemoryStore>>,
+    pub server: SteadyServer,
     /// The data owner's key (clients clone it).
     pub key: SecretKey,
     /// Member queries drawn from the indexed data.
     pub workload: QueryWorkload,
     /// Dataset the index was built from.
     pub dataset: Dataset,
+}
+
+fn knn_rounds<T: Transport>(
+    client: &mut EncryptedClient<DatasetMetric, T>,
+    workload: &QueryWorkload,
+    rounds: usize,
+    k: usize,
+    cand_size: usize,
+) -> CostReport {
+    for _ in 0..rounds {
+        for q in &workload.queries {
+            let (res, _) = client.knn_approx(q, k, cand_size).expect("search");
+            std::hint::black_box(res);
+        }
+    }
+    client.total_costs()
+}
+
+fn insert_all<T: Transport>(
+    client: &mut EncryptedClient<DatasetMetric, T>,
+    vectors: &[simcloud_metric::Vector],
+) {
+    for chunk in crate::experiments::id_objects(vectors).chunks(BULK) {
+        client.insert_bulk(chunk).expect("insert");
+    }
+}
+
+fn prebuild_into(ds: Dataset, queries: usize, seed: u64, server: SteadyServer) -> PreBuilt {
+    let cfg = crate::experiments::dataset_config(&ds);
+    let (key, _) = SecretKey::generate(
+        &ds.vectors,
+        cfg.num_pivots,
+        &ds.metric,
+        PivotSelection::Random,
+        seed,
+    );
+    match &server {
+        SteadyServer::Single(s) => {
+            let mut owner = client_for(
+                key.clone(),
+                ds.metric.clone(),
+                Arc::clone(s),
+                ClientConfig::distances(),
+            )
+            .with_rng_seed(seed ^ 1);
+            insert_all(&mut owner, &ds.vectors);
+        }
+        SteadyServer::Sharded(s) => {
+            let mut owner = client_for_sharded(
+                key.clone(),
+                ds.metric.clone(),
+                Arc::clone(s),
+                ClientConfig::distances(),
+            )
+            .with_rng_seed(seed ^ 1);
+            insert_all(&mut owner, &ds.vectors);
+        }
+    }
+    let workload = QueryWorkload::members(&ds.vectors, queries, seed ^ 3);
+    PreBuilt {
+        server,
+        key,
+        workload,
+        dataset: ds,
+    }
 }
 
 /// Builds the index once (outside any timed region) with the default
@@ -126,39 +282,33 @@ pub fn prebuild_with(
     server_config: ServerConfig,
 ) -> PreBuilt {
     let cfg = crate::experiments::dataset_config(&ds);
-    let (key, _) = SecretKey::generate(
-        &ds.vectors,
-        cfg.num_pivots,
-        &ds.metric,
-        PivotSelection::Random,
-        seed,
-    );
-    let server = Arc::new(
+    let server = SteadyServer::Single(Arc::new(
         CloudServer::with_config(cfg, server_config, MemoryStore::new()).expect("valid config"),
-    );
-    let mut owner = client_for(
-        key.clone(),
-        ds.metric.clone(),
-        Arc::clone(&server),
-        ClientConfig::distances(),
-    )
-    .with_rng_seed(seed ^ 1);
-    let objects: Vec<(ObjectId, _)> = ds
-        .vectors
-        .iter()
-        .enumerate()
-        .map(|(i, v)| (ObjectId(i as u64), v.clone()))
-        .collect();
-    for chunk in objects.chunks(BULK) {
-        owner.insert_bulk(chunk).expect("insert");
-    }
-    let workload = QueryWorkload::members(&ds.vectors, queries, seed ^ 3);
-    PreBuilt {
-        server,
-        key,
-        workload,
-        dataset: ds,
-    }
+    ));
+    prebuild_into(ds, queries, seed, server)
+}
+
+/// Pre-builds a **sharded** deployment: same data, same key derivation,
+/// same wire — `shards` independent M-Index shards behind the router.
+pub fn prebuild_sharded(
+    ds: Dataset,
+    queries: usize,
+    seed: u64,
+    server_config: ServerConfig,
+    shards: usize,
+    router: RouterKind,
+) -> PreBuilt {
+    let cfg = crate::experiments::dataset_config(&ds);
+    let server = SteadyServer::Sharded(Arc::new(
+        ShardedCloudServer::with_config(
+            cfg,
+            server_config,
+            router.build(),
+            simcloud_shard::memory_stores(shards),
+        )
+        .expect("valid config"),
+    ));
+    prebuild_into(ds, queries, seed, server)
 }
 
 /// Runs `rounds` passes over the workload from `threads` concurrent
@@ -198,24 +348,30 @@ pub fn steady_state_encrypted_with(
 ) -> SteadyState {
     let start = Instant::now();
     let per_thread: u64 = (rounds * pre.workload.len()) as u64;
-    let totals: Vec<simcloud_core::CostReport> = std::thread::scope(|scope| {
+    let totals: Vec<CostReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let server = Arc::clone(&pre.server);
+                let server = pre.server.clone();
                 let key = pre.key.clone();
                 let metric = pre.dataset.metric.clone();
                 let workload = &pre.workload;
                 let config = config.clone();
-                scope.spawn(move || {
-                    let mut client =
-                        client_for(key, metric, server, config).with_rng_seed(seed ^ t as u64);
-                    for _ in 0..rounds {
-                        for q in &workload.queries {
-                            let (res, _) = client.knn_approx(q, k, cand_size).expect("search");
-                            std::hint::black_box(res);
-                        }
-                    }
-                    client.total_costs()
+                scope.spawn(move || match server {
+                    SteadyServer::Single(s) => knn_rounds(
+                        &mut client_for(key, metric, s, config).with_rng_seed(seed ^ t as u64),
+                        workload,
+                        rounds,
+                        k,
+                        cand_size,
+                    ),
+                    SteadyServer::Sharded(s) => knn_rounds(
+                        &mut client_for_sharded(key, metric, s, config)
+                            .with_rng_seed(seed ^ t as u64),
+                        workload,
+                        rounds,
+                        k,
+                        cand_size,
+                    ),
                 })
             })
             .collect();
@@ -237,10 +393,9 @@ pub fn steady_state_encrypted_with(
 }
 
 /// Single-threaded steady state over a **real TCP loopback socket**: the
-/// shared server is exposed with `serve_tcp_concurrent` and one TCP client
-/// drives the workload — every phase-1 answer and phase-2 fetch is a real
-/// socket round trip, so the q/s cost of the extra fetch hops (and the
-/// byte savings) are measured, not modelled.
+/// server (single or sharded — the wire is the same) is exposed with its
+/// concurrent TCP front end and one TCP client drives the workload, so
+/// every phase-1 answer and phase-2 fetch is a real socket round trip.
 pub fn steady_state_encrypted_tcp(
     pre: &PreBuilt,
     config: &ClientConfig,
@@ -248,7 +403,7 @@ pub fn steady_state_encrypted_tcp(
     k: usize,
     rounds: usize,
 ) -> SteadyState {
-    let handle = simcloud_core::serve_tcp_concurrent(Arc::clone(&pre.server)).expect("tcp server");
+    let handle = pre.server.serve_tcp().expect("tcp server");
     let mut client = connect_tcp(
         pre.key.clone(),
         pre.dataset.metric.clone(),
@@ -257,12 +412,7 @@ pub fn steady_state_encrypted_tcp(
     )
     .expect("tcp client");
     let start = Instant::now();
-    for _ in 0..rounds {
-        for q in &pre.workload.queries {
-            let (res, _) = client.knn_approx(q, k, cand_size).expect("tcp search");
-            std::hint::black_box(res);
-        }
-    }
+    let costs = knn_rounds(&mut client, &pre.workload, rounds, k, cand_size);
     let elapsed = start.elapsed();
     let mut out = SteadyState {
         threads: 1,
@@ -270,10 +420,31 @@ pub fn steady_state_encrypted_tcp(
         elapsed,
         ..SteadyState::default()
     };
-    out.absorb(&client.total_costs());
+    out.absorb(&costs);
     drop(client);
     handle.shutdown();
     out
+}
+
+fn batch_rounds<T: Transport>(
+    client: &mut EncryptedClient<DatasetMetric, T>,
+    workload: &QueryWorkload,
+    rounds: usize,
+    k: usize,
+    cand_size: usize,
+    batch: usize,
+) -> CostReport {
+    for _ in 0..rounds {
+        for chunk in workload.queries.chunks(batch.max(1)) {
+            let (res, _) = client
+                .knn_approx_batch(chunk, k, cand_size)
+                .expect("batch search");
+            for per_query in res {
+                std::hint::black_box(per_query.expect("batch query"));
+            }
+        }
+    }
+    client.total_costs()
 }
 
 /// Single-threaded batch-API variant: the whole workload travels in
@@ -286,32 +457,41 @@ pub fn steady_state_batch(
     rounds: usize,
     seed: u64,
 ) -> SteadyState {
-    let mut client = client_for(
-        pre.key.clone(),
-        pre.dataset.metric.clone(),
-        Arc::clone(&pre.server),
-        ClientConfig::distances(),
-    )
-    .with_rng_seed(seed ^ 0xba7c);
-    let start = Instant::now();
-    for _ in 0..rounds {
-        for chunk in pre.workload.queries.chunks(batch.max(1)) {
-            let (res, _) = client
-                .knn_approx_batch(chunk, k, cand_size)
-                .expect("batch search");
-            for per_query in res {
-                std::hint::black_box(per_query.expect("batch query"));
-            }
+    // Clients are built *outside* the timed region — the run measures the
+    // steady-state batch loop, not key cloning or transport setup.
+    let (costs, elapsed) = match &pre.server {
+        SteadyServer::Single(s) => {
+            let mut client = client_for(
+                pre.key.clone(),
+                pre.dataset.metric.clone(),
+                Arc::clone(s),
+                ClientConfig::distances(),
+            )
+            .with_rng_seed(seed ^ 0xba7c);
+            let start = Instant::now();
+            let costs = batch_rounds(&mut client, &pre.workload, rounds, k, cand_size, batch);
+            (costs, start.elapsed())
         }
-    }
-    let elapsed = start.elapsed();
+        SteadyServer::Sharded(s) => {
+            let mut client = client_for_sharded(
+                pre.key.clone(),
+                pre.dataset.metric.clone(),
+                Arc::clone(s),
+                ClientConfig::distances(),
+            )
+            .with_rng_seed(seed ^ 0xba7c);
+            let start = Instant::now();
+            let costs = batch_rounds(&mut client, &pre.workload, rounds, k, cand_size, batch);
+            (costs, start.elapsed())
+        }
+    };
     let mut out = SteadyState {
         threads: 1,
         queries: (rounds * pre.workload.len()) as u64,
         elapsed,
         ..SteadyState::default()
     };
-    out.absorb(&client.total_costs());
+    out.absorb(&costs);
     out
 }
 
@@ -328,6 +508,24 @@ mod tests {
         assert!(single.queries_per_second() > 0.0);
         let multi = steady_state_encrypted(&pre, 50, 10, 2, 1, 7);
         assert_eq!(multi.queries, 8);
+        let batch = steady_state_batch(&pre, 50, 10, 4, 1, 7);
+        assert_eq!(batch.queries, 4);
+    }
+
+    #[test]
+    fn steady_state_sharded_smoke() {
+        let pre = prebuild_sharded(
+            Which::Yeast.dataset(300, 11),
+            4,
+            5,
+            ServerConfig::default(),
+            4,
+            RouterKind::Hash,
+        );
+        assert_eq!(pre.server.shards(), 4);
+        let run = steady_state_encrypted(&pre, 50, 10, 2, 1, 7);
+        assert_eq!(run.queries, 8);
+        assert!(run.candidates > 0);
         let batch = steady_state_batch(&pre, 50, 10, 4, 1, 7);
         assert_eq!(batch.queries, 4);
     }

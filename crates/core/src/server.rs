@@ -118,37 +118,10 @@ impl<S: BucketStore> CloudServer<S> {
         self.total_search_stats.add(&stats);
     }
 
-    /// Stages a ranked candidate set for the phase-1 wire: **every** header
-    /// ships (they are the ranked answer), and sealed payloads are inlined
-    /// in bound order while the encoded response stays within the
-    /// configured budget — the client decrypts in exactly that order, so
-    /// the inlined prefix is the part it is most likely to need. Payload
-    /// inlining stops at the first candidate that would overflow the budget
-    /// (the wire carries a positional prefix, not a best-fit subset).
+    /// Stages a ranked candidate set for the phase-1 wire (see
+    /// [`stage_candidates`]) under this server's inline budget.
     fn stage(&self, entries: Vec<(IndexEntry, f64)>) -> CandidateList {
-        // Encoded list size so far: tag + header count + 16 per header +
-        // payload count; each inline payload adds 4 + len.
-        let mut used = 1 + 4 + 16 * entries.len() + 4;
-        let budget = self.config.max_inline_response_bytes;
-        let mut headers = Vec::with_capacity(entries.len());
-        let mut payloads = Vec::new();
-        let mut inlining = true;
-        for (e, lower_bound) in entries {
-            headers.push(CandidateHeader {
-                id: e.id,
-                lower_bound,
-            });
-            if inlining {
-                match budget {
-                    Some(b) if used + 4 + e.payload.len() > b => inlining = false,
-                    _ => {
-                        used += 4 + e.payload.len();
-                        payloads.push(e.payload);
-                    }
-                }
-            }
-        }
-        CandidateList { headers, payloads }
+        stage_candidates(entries, self.config.max_inline_response_bytes)
     }
 
     fn candidates_response(
@@ -272,6 +245,42 @@ impl<S: BucketStore> CloudServer<S> {
     }
 }
 
+/// Stages a ranked candidate set for the phase-1 wire: **every** header
+/// ships (they are the ranked answer), and sealed payloads are inlined in
+/// bound order while the encoded response stays within `budget` — the
+/// client decrypts in exactly that order, so the inlined prefix is the
+/// part it is most likely to need. Payload inlining stops at the first
+/// candidate that would overflow the budget (the wire carries a positional
+/// prefix, not a best-fit subset); `None` inlines everything.
+///
+/// Public because every server front end — [`CloudServer`] and the sharded
+/// scatter-gather server — must stage identically for the wire to be
+/// byte-compatible between deployments.
+pub fn stage_candidates(entries: Vec<(IndexEntry, f64)>, budget: Option<usize>) -> CandidateList {
+    // Encoded list size so far: tag + header count + 16 per header +
+    // payload count; each inline payload adds 4 + len.
+    let mut used = 1 + 4 + 16 * entries.len() + 4;
+    let mut headers = Vec::with_capacity(entries.len());
+    let mut payloads = Vec::new();
+    let mut inlining = true;
+    for (e, lower_bound) in entries {
+        headers.push(CandidateHeader {
+            id: e.id,
+            lower_bound,
+        });
+        if inlining {
+            match budget {
+                Some(b) if used + 4 + e.payload.len() > b => inlining = false,
+                _ => {
+                    used += 4 + e.payload.len();
+                    payloads.push(e.payload);
+                }
+            }
+        }
+    }
+    CandidateList { headers, payloads }
+}
+
 fn candidate((e, lower_bound): (IndexEntry, f64)) -> Candidate {
     Candidate {
         id: e.id,
@@ -280,7 +289,10 @@ fn candidate((e, lower_bound): (IndexEntry, f64)) -> Candidate {
     }
 }
 
-fn evaluator_for(routing: Routing) -> PromiseEvaluator {
+/// Builds the promise evaluator a k-NN request's routing implies — shared
+/// by every server front end so sharded and single deployments rank cells
+/// identically.
+pub fn evaluator_for(routing: Routing) -> PromiseEvaluator {
     match routing {
         Routing::Distances(ds) => {
             PromiseEvaluator::from_distances(ds.iter().map(|&d| d as f64).collect())

@@ -2,6 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::entry::{IndexEntry, Routing};
+use crate::index::MIndexError;
+
 /// Which routing information records and queries carry (paper Alg. 1 lines
 /// 3–7): the *precise* strategy stores full object–pivot distance vectors,
 /// the *approximate* strategy stores only the pivot-permutation prefix.
@@ -60,6 +63,41 @@ impl MIndexConfig {
         }
         if self.bucket_capacity == 0 {
             return Err("bucket_capacity must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Validates an entry's routing information against this configuration
+    /// **without** an index instance — the check is a pure function of the
+    /// config (strategy, pivot count, max level). The index's insert path
+    /// delegates here, and a sharded deployment validates entries lock-free
+    /// before reserving them in its shard-ownership map, with the same
+    /// error precedence a direct insert has (shape errors are reported
+    /// ahead of duplicate-id errors).
+    pub fn validate_entry(&self, entry: &IndexEntry) -> Result<(), MIndexError> {
+        match (&entry.routing, self.strategy) {
+            (Routing::Distances(d), RoutingStrategy::Distances) => {
+                if d.len() != self.num_pivots {
+                    return Err(MIndexError::DimensionMismatch {
+                        expected: self.num_pivots,
+                        got: d.len(),
+                    });
+                }
+            }
+            (Routing::Permutation(p), RoutingStrategy::Permutation) => {
+                if p.len() < self.max_level {
+                    return Err(MIndexError::PrefixTooShort {
+                        required: self.max_level,
+                        got: p.len(),
+                    });
+                }
+            }
+            (_, configured) => {
+                return Err(MIndexError::WrongStrategy {
+                    required: configured,
+                    configured,
+                });
+            }
         }
         Ok(())
     }

@@ -165,31 +165,7 @@ impl<S: BucketStore> MIndex<S> {
     }
 
     fn check_entry(&self, entry: &IndexEntry) -> Result<(), MIndexError> {
-        match (&entry.routing, self.config.strategy) {
-            (Routing::Distances(d), RoutingStrategy::Distances) => {
-                if d.len() != self.config.num_pivots {
-                    return Err(MIndexError::DimensionMismatch {
-                        expected: self.config.num_pivots,
-                        got: d.len(),
-                    });
-                }
-            }
-            (Routing::Permutation(p), RoutingStrategy::Permutation) => {
-                if p.len() < self.config.max_level {
-                    return Err(MIndexError::PrefixTooShort {
-                        required: self.config.max_level,
-                        got: p.len(),
-                    });
-                }
-            }
-            (_, configured) => {
-                return Err(MIndexError::WrongStrategy {
-                    required: configured,
-                    configured,
-                });
-            }
-        }
-        Ok(())
+        self.config.validate_entry(entry)
     }
 
     /// Inserts one entry (paper Alg. 1, server part: "locate node, store

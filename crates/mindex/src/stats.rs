@@ -30,6 +30,22 @@ impl SearchStats {
         self.entries_filtered += other.entries_filtered;
         self.candidates += other.candidates;
     }
+
+    /// Folds one *fan-out sub-query's* stats in — the aggregation a
+    /// scatter-gather search needs when several shards answer **one**
+    /// query. All cost counters (bucket reads, pruning, filtering) sum;
+    /// `candidates` deliberately does **not**: the per-shard candidate
+    /// lists are merged and capped afterwards, so the caller sets
+    /// `candidates` from the merged list's length. Summing it here would
+    /// report up to `shards × cand_size` candidates for a query whose
+    /// answer carries `cand_size`.
+    pub fn merge_from(&mut self, shard: &SearchStats) {
+        self.cells_visited += shard.cells_visited;
+        self.pruned_hyperplane += shard.pruned_hyperplane;
+        self.pruned_range_pivot += shard.pruned_range_pivot;
+        self.entries_scanned += shard.entries_scanned;
+        self.entries_filtered += shard.entries_filtered;
+    }
 }
 
 impl std::fmt::Display for SearchStats {
@@ -126,6 +142,41 @@ mod tests {
         let snap = shared.snapshot();
         assert_eq!(snap.cells_visited, 400);
         assert_eq!(snap.candidates, 2400);
+    }
+
+    /// The fan-out helper sums every per-shard cost counter but leaves
+    /// `candidates` to the merge step that caps the combined list — the
+    /// regression this guards: a sharded query must not report only the
+    /// last shard's bucket reads, nor the uncapped candidate sum.
+    #[test]
+    fn merge_from_sums_costs_but_not_candidates() {
+        let mut merged = SearchStats::default();
+        for shard in [
+            SearchStats {
+                cells_visited: 2,
+                pruned_hyperplane: 1,
+                pruned_range_pivot: 0,
+                entries_scanned: 40,
+                entries_filtered: 10,
+                candidates: 30,
+            },
+            SearchStats {
+                cells_visited: 3,
+                pruned_hyperplane: 4,
+                pruned_range_pivot: 2,
+                entries_scanned: 60,
+                entries_filtered: 20,
+                candidates: 30,
+            },
+        ] {
+            merged.merge_from(&shard);
+        }
+        assert_eq!(merged.cells_visited, 5);
+        assert_eq!(merged.pruned_hyperplane, 5);
+        assert_eq!(merged.pruned_range_pivot, 2);
+        assert_eq!(merged.entries_scanned, 100, "bucket reads must sum");
+        assert_eq!(merged.entries_filtered, 30);
+        assert_eq!(merged.candidates, 0, "set by the capped merge, not summed");
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Deployment helpers for the sharded cloud — mirrors `simcloud_core::cloud`
+//! so switching a deployment from one index to N shards is a one-line
+//! change on the construction site and a no-op everywhere else (the wire
+//! protocol and the client are unchanged).
+
+use std::sync::Arc;
+
+use simcloud_core::{ClientConfig, EncryptedClient, SecretKey};
+use simcloud_metric::{Metric, Vector};
+use simcloud_mindex::{MIndexConfig, MIndexError};
+use simcloud_storage::{BucketStore, MemoryStore};
+use simcloud_transport::{
+    serve_tcp_shared, InProcessTransport, NetworkModel, Shared, TcpTransport,
+};
+
+use crate::router::ShardRouter;
+use crate::server::ShardedCloudServer;
+
+/// In-process sharded similarity cloud: client + embedded sharded server
+/// over a modelled network.
+pub type ShardedInProcessCloud<M, S> =
+    EncryptedClient<M, InProcessTransport<ShardedCloudServer<S>>>;
+
+/// Builds an in-process sharded deployment with the default loopback model
+/// and default [`ServerConfig`].
+pub fn sharded_in_process<M, S>(
+    key: SecretKey,
+    metric: M,
+    index_config: MIndexConfig,
+    router: Box<dyn ShardRouter>,
+    stores: Vec<S>,
+    client_config: ClientConfig,
+) -> Result<ShardedInProcessCloud<M, S>, MIndexError>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    let server = ShardedCloudServer::new(index_config, router, stores)?;
+    Ok(EncryptedClient::new(
+        key,
+        metric,
+        InProcessTransport::with_model(server, NetworkModel::loopback()),
+        client_config,
+    ))
+}
+
+/// A client sharing an `Arc`'d in-process sharded server with other clients
+/// (one such client per query thread, as with `client_for`).
+pub type SharedShardedCloud<M, S> =
+    EncryptedClient<M, InProcessTransport<Shared<Arc<ShardedCloudServer<S>>>>>;
+
+/// Wires an in-process client to an existing shared sharded server with the
+/// default loopback model.
+pub fn client_for_sharded<M, S>(
+    key: SecretKey,
+    metric: M,
+    server: Arc<ShardedCloudServer<S>>,
+    client_config: ClientConfig,
+) -> SharedShardedCloud<M, S>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    client_for_sharded_with_model(key, metric, server, client_config, NetworkModel::loopback())
+}
+
+/// [`client_for_sharded`] with an explicit network model.
+pub fn client_for_sharded_with_model<M, S>(
+    key: SecretKey,
+    metric: M,
+    server: Arc<ShardedCloudServer<S>>,
+    client_config: ClientConfig,
+    model: NetworkModel,
+) -> SharedShardedCloud<M, S>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    EncryptedClient::new(
+        key,
+        metric,
+        InProcessTransport::with_model(Shared(server), model),
+        client_config,
+    )
+}
+
+/// Concurrent TCP serving mode for a sharded server: accepts any number of
+/// connections, each processed lock-free through the scatter-gather read
+/// path. The caller keeps its `Arc` for inspection; attach clients with
+/// `simcloud_core::connect_tcp` — the wire is identical.
+pub fn serve_tcp_concurrent_sharded<S>(
+    server: Arc<ShardedCloudServer<S>>,
+) -> std::io::Result<simcloud_transport::tcp::TcpServerHandle>
+where
+    S: BucketStore + 'static,
+{
+    serve_tcp_shared(server)
+}
+
+/// TCP sharded deployment in one call: spawns the (concurrent) server,
+/// connects one client. Returns client and server handle.
+#[allow(clippy::type_complexity)]
+pub fn over_tcp_sharded<M, S>(
+    key: SecretKey,
+    metric: M,
+    index_config: MIndexConfig,
+    router: Box<dyn ShardRouter>,
+    stores: Vec<S>,
+    client_config: ClientConfig,
+) -> Result<
+    (
+        EncryptedClient<M, TcpTransport>,
+        simcloud_transport::tcp::TcpServerHandle,
+    ),
+    Box<dyn std::error::Error>,
+>
+where
+    M: Metric<Vector>,
+    S: BucketStore + 'static,
+{
+    let server = Arc::new(ShardedCloudServer::new(index_config, router, stores)?);
+    let handle = serve_tcp_concurrent_sharded(server)?;
+    let transport = TcpTransport::connect(handle.addr())?;
+    Ok((
+        EncryptedClient::new(key, metric, transport, client_config),
+        handle,
+    ))
+}
+
+/// Convenience: `n` fresh in-memory stores (the common sharded test and
+/// bench deployment).
+pub fn memory_stores(n: usize) -> Vec<MemoryStore> {
+    (0..n).map(|_| MemoryStore::new()).collect()
+}

@@ -1,0 +1,571 @@
+//! The sharded M-Index: N fully independent shards, scatter-gather reads.
+//!
+//! Each shard is a complete [`MIndex`] with its **own** bucket store and its
+//! own reader–writer lock, so an insert takes the write lock of exactly one
+//! shard — 1/N of the key space blocks while searches and inserts on every
+//! other shard proceed. Searches fan out to all shards in parallel (scoped
+//! threads over `&self`, the shared-read path), and the per-shard candidate
+//! lists — each sorted by its wire lower bound — are k-way merged into one
+//! list with the same sort invariant (see [`crate::merge`]).
+//!
+//! A shard-aware ownership map (`id → shard`) backs the two operations that
+//! address entries by external id: duplicate-id rejection at insert and the
+//! two-phase fetch (`fetch_entries`), which routes each requested id to its
+//! owning shard instead of asking everyone.
+
+use std::collections::HashMap;
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use simcloud_mindex::{
+    IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, SearchStats, FIRST_CELL_ONLY,
+};
+use simcloud_storage::{BucketStore, IoStats};
+
+use crate::merge::merge_ranked;
+use crate::router::ShardRouter;
+
+/// Aggregate shape of a sharded deployment (the `Info` view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedShape {
+    /// Total entries across shards.
+    pub entries: u64,
+    /// Total leaf cells across shards.
+    pub leaves: usize,
+    /// Deepest shard tree.
+    pub max_depth: usize,
+}
+
+/// One shard's search answer: ranked `(entry, lower_bound)` candidates
+/// plus that search's statistics — the unit the gather step merges.
+type RankedCandidates = (Vec<(IndexEntry, f64)>, SearchStats);
+
+/// N independent M-Index shards behind one scatter-gather facade.
+pub struct ShardedMIndex<S: BucketStore> {
+    /// The (shard-invariant) index configuration — kept here so the insert
+    /// path validates entries lock-free instead of taking a shard lock.
+    config: MIndexConfig,
+    shards: Vec<RwLock<MIndex<S>>>,
+    /// External id → owning shard. Guarded by its own lock so inserts to
+    /// *different* shards contend only for this map's brief update, never
+    /// for each other's index write locks.
+    owners: RwLock<HashMap<u64, u32>>,
+    router: Box<dyn ShardRouter>,
+    /// Whether searches fan out on scoped threads (one per shard) or walk
+    /// the shards sequentially on the calling thread. Defaults to the
+    /// machine: with a single core the spawns are pure overhead (~tens of
+    /// µs per query) and sequential scatter-gather computes the identical
+    /// answer.
+    parallel_fanout: bool,
+}
+
+impl<S: BucketStore> std::fmt::Debug for ShardedMIndex<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMIndex")
+            .field("shards", &self.shards.len())
+            .field("router", &self.router.name())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl<S: BucketStore> ShardedMIndex<S> {
+    /// Creates one shard per store, all with the same index configuration.
+    /// At least one store is required; a single store degenerates to a
+    /// plain `MIndex` with map-based fetch routing.
+    pub fn new(
+        config: MIndexConfig,
+        router: Box<dyn ShardRouter>,
+        stores: Vec<S>,
+    ) -> Result<Self, MIndexError> {
+        if stores.is_empty() {
+            return Err(MIndexError::BadConfig(
+                "a sharded index needs at least one store".into(),
+            ));
+        }
+        let shards = stores
+            .into_iter()
+            .map(|s| Ok(RwLock::new(MIndex::new(config, s)?)))
+            .collect::<Result<Vec<_>, MIndexError>>()?;
+        Ok(Self {
+            config,
+            shards,
+            owners: RwLock::new(HashMap::new()),
+            router,
+            parallel_fanout: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        })
+    }
+
+    /// Overrides the fan-out mode (default: parallel iff the machine has
+    /// more than one core). Answers are identical either way; this is a
+    /// latency/overhead dial.
+    pub fn with_parallel_fanout(mut self, parallel: bool) -> Self {
+        self.parallel_fanout = parallel;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router's name ("hash", "pivot", …).
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// Total indexed entries (exactly the ownership map's size).
+    pub fn len(&self) -> u64 {
+        self.owners.read().len() as u64
+    }
+
+    /// True when no shard holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.owners.read().is_empty()
+    }
+
+    /// Read access to one shard (shape and storage inspection). Holds that
+    /// shard's shared lock for the guard's lifetime — keep it short.
+    pub fn shard(&self, i: usize) -> RwLockReadGuard<'_, MIndex<S>> {
+        self.shards[i].read()
+    }
+
+    /// The shard the router assigns `entry` to (what *would* own it).
+    pub fn route(&self, entry: &IndexEntry) -> usize {
+        self.router.route(entry, self.shards.len())
+    }
+
+    /// Aggregate tree shape: entries and leaves sum, depth is the deepest
+    /// shard (each shard's tree splits independently on its own load).
+    pub fn shape(&self) -> ShardedShape {
+        let mut out = ShardedShape {
+            entries: self.len(),
+            leaves: 0,
+            max_depth: 0,
+        };
+        for s in &self.shards {
+            let shape = s.read().shape();
+            out.leaves += shape.leaves;
+            out.max_depth = out.max_depth.max(shape.max_depth);
+        }
+        out
+    }
+
+    /// Summed I/O statistics over all shard stores (each shard owns an
+    /// independent store, so the deployment's cost is the sum — see
+    /// `IoStats::merge_from`).
+    pub fn io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for s in &self.shards {
+            total.merge_from(&s.read().store().stats());
+        }
+        total
+    }
+
+    /// Inserts one entry into the shard the router assigns it to. Only that
+    /// shard's write lock is taken, so inserts to distinct shards proceed
+    /// in parallel; the global ownership map is updated under its own brief
+    /// lock. Error precedence matches a single `MIndex`: shape validation
+    /// first, then the (now global) duplicate-id check.
+    pub fn insert(&self, entry: IndexEntry) -> Result<(), MIndexError> {
+        let shard = self.router.route(&entry, self.shards.len());
+        // Lock-free shape validation (the config is shard-invariant): a
+        // malformed entry is rejected before any lock is touched, and a
+        // well-formed one pays exactly one shard-lock acquisition.
+        self.config.validate_entry(&entry)?;
+        let id = entry.id;
+        {
+            let mut owners = self.owners.write();
+            if owners.contains_key(&id) {
+                return Err(MIndexError::DuplicateId(id));
+            }
+            // Reserve before the shard insert so a concurrent insert of the
+            // same id fails fast instead of racing two shards.
+            owners.insert(id, shard as u32);
+        }
+        match self.shards[shard].write().insert(entry) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.owners.write().remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs `f` against every shard — concurrently on scoped threads over
+    /// the shared-read path (shard 0 on the calling thread) when parallel
+    /// fan-out is on, sequentially otherwise. Results come back in shard
+    /// order either way.
+    fn fan_out<R, F>(&self, f: F) -> Vec<Result<R, MIndexError>>
+    where
+        R: Send,
+        F: Fn(&MIndex<S>) -> Result<R, MIndexError> + Sync,
+    {
+        if self.shards.len() == 1 || !self.parallel_fanout {
+            return self.shards.iter().map(|s| f(&s.read())).collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self.shards[1..]
+                .iter()
+                .map(|s| {
+                    let f = &f;
+                    scope.spawn(move || f(&s.read()))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(self.shards.len());
+            out.push(f(&self.shards[0].read()));
+            out.extend(handles.into_iter().map(|h| h.join().expect("shard worker")));
+            out
+        })
+    }
+
+    /// Gathers fan-out results: per-shard cost counters sum
+    /// (`SearchStats::merge_from`), the sorted lists k-way merge under
+    /// `cap`, and `candidates` reports the merged (capped) list — the set
+    /// the client actually receives. The first failing shard (in shard
+    /// order, deterministic) fails the query.
+    fn gather(
+        results: Vec<Result<RankedCandidates, MIndexError>>,
+        cap: Option<usize>,
+    ) -> Result<RankedCandidates, MIndexError> {
+        let mut stats = SearchStats::default();
+        let mut lists = Vec::with_capacity(results.len());
+        for r in results {
+            let (list, shard_stats) = r?;
+            stats.merge_from(&shard_stats);
+            lists.push(list);
+        }
+        let merged = merge_ranked(lists, cap);
+        stats.candidates = merged.len() as u64;
+        Ok((merged, stats))
+    }
+
+    /// Scatter-gather approximate k-NN candidates: every shard enumerates
+    /// its own cells in promise order until it has `cand_size` entries, and
+    /// the merge keeps the `cand_size` globally smallest wire lower bounds.
+    /// `FIRST_CELL_ONLY` returns the union of every shard's most promising
+    /// cell, untrimmed (each shard's "first cell" is a fragment of the
+    /// global one under pivot routing, and an independent sample under hash
+    /// routing).
+    pub fn knn_candidates(
+        &self,
+        evaluator: &PromiseEvaluator,
+        cand_size: usize,
+    ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        let cap = if cand_size == FIRST_CELL_ONLY {
+            None
+        } else {
+            Some(cand_size)
+        };
+        Self::gather(
+            self.fan_out(|ix| ix.knn_candidates(evaluator, cand_size)),
+            cap,
+        )
+    }
+
+    /// Scatter-gather precise range candidates: the union of the per-shard
+    /// candidate supersets, uncapped — every true result lives in exactly
+    /// one shard and survives that shard's (triangle-inequality-safe)
+    /// pruning, so the merged list is a superset of the true results and
+    /// client refinement returns exactly what a single index would.
+    pub fn range_candidates(
+        &self,
+        query_distances: &[f64],
+        radius: f64,
+    ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        Self::gather(
+            self.fan_out(|ix| ix.range_candidates(query_distances, radius)),
+            None,
+        )
+    }
+
+    /// Phase 2 of the two-phase fetch, shard-routed: each requested id is
+    /// resolved to its owning shard through the ownership map and fetched
+    /// there; ids no shard owns come back as `None`. One slot per requested
+    /// id, in request order, duplicates included — the contract the
+    /// client's fetch-mismatch detection relies on.
+    pub fn fetch_entries(&self, ids: &[u64]) -> Result<Vec<Option<IndexEntry>>, MIndexError> {
+        let mut out: Vec<Option<IndexEntry>> = Vec::with_capacity(ids.len());
+        out.resize_with(ids.len(), || None);
+        let mut per_shard: HashMap<u32, Vec<usize>> = HashMap::new();
+        {
+            let owners = self.owners.read();
+            for (pos, id) in ids.iter().enumerate() {
+                if let Some(&s) = owners.get(id) {
+                    per_shard.entry(s).or_default().push(pos);
+                }
+            }
+        }
+        for (shard, positions) in per_shard {
+            let sub: Vec<u64> = positions.iter().map(|&p| ids[p]).collect();
+            let got = self.shards[shard as usize].read().fetch_entries(&sub)?;
+            for (&p, e) in positions.iter().zip(got) {
+                out[p] = e;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads all entries, shard by shard (diagnostics / export). Order is
+    /// per-shard storage order; callers that need a global order sort.
+    pub fn all_entries(&self) -> Result<Vec<IndexEntry>, MIndexError> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for s in &self.shards {
+            out.extend(s.read().all_entries()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{HashRouter, PivotRouter};
+    use simcloud_mindex::{Routing, RoutingStrategy};
+    use simcloud_storage::MemoryStore;
+
+    fn cfg(pivots: usize) -> MIndexConfig {
+        MIndexConfig {
+            num_pivots: pivots,
+            max_level: 2,
+            bucket_capacity: 4,
+            strategy: RoutingStrategy::Distances,
+        }
+    }
+
+    fn sharded(shards: usize, router: Box<dyn ShardRouter>) -> ShardedMIndex<MemoryStore> {
+        ShardedMIndex::new(
+            cfg(3),
+            router,
+            (0..shards).map(|_| MemoryStore::new()).collect(),
+        )
+        .unwrap()
+    }
+
+    fn entry(id: u64, ds: &[f64]) -> IndexEntry {
+        IndexEntry::new(id, Routing::from_distances(ds), vec![id as u8; 3])
+    }
+
+    #[test]
+    fn no_stores_rejected() {
+        assert!(matches!(
+            ShardedMIndex::<MemoryStore>::new(cfg(3), Box::new(HashRouter), vec![]),
+            Err(MIndexError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn inserts_land_on_router_chosen_shards() {
+        let idx = sharded(3, Box::new(PivotRouter));
+        idx.insert(entry(1, &[0.1, 0.5, 0.9])).unwrap(); // pivot 0
+        idx.insert(entry(2, &[0.9, 0.1, 0.5])).unwrap(); // pivot 1
+        idx.insert(entry(3, &[0.9, 0.5, 0.1])).unwrap(); // pivot 2
+        assert_eq!(idx.len(), 3);
+        for i in 0..3 {
+            assert_eq!(idx.shard(i).len(), 1, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_id_rejected_across_shards() {
+        // Pivot routing: the same id with different routing would land on a
+        // *different* shard — only a global check catches the duplicate.
+        let idx = sharded(3, Box::new(PivotRouter));
+        idx.insert(entry(7, &[0.1, 0.5, 0.9])).unwrap(); // shard 0
+        assert!(matches!(
+            idx.insert(entry(7, &[0.9, 0.1, 0.5])), // would be shard 1
+            Err(MIndexError::DuplicateId(7))
+        ));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.shard(1).len(), 0, "rejected entry must not land");
+    }
+
+    #[test]
+    fn shape_error_beats_duplicate_and_reservation_rolls_back() {
+        let idx = sharded(2, Box::new(HashRouter));
+        idx.insert(entry(1, &[0.1, 0.5, 0.9])).unwrap();
+        // Same id *and* wrong dimension: single-index precedence reports
+        // the shape problem.
+        assert!(matches!(
+            idx.insert(entry(1, &[0.1, 0.5])),
+            Err(MIndexError::DimensionMismatch { .. })
+        ));
+        // Wrong dimension on a fresh id: the ownership reservation must be
+        // rolled back so a corrected retry succeeds.
+        assert!(matches!(
+            idx.insert(entry(2, &[0.1])),
+            Err(MIndexError::DimensionMismatch { .. })
+        ));
+        idx.insert(entry(2, &[0.2, 0.6, 0.8])).unwrap();
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn knn_merges_across_shards_sorted_and_capped() {
+        let idx = sharded(2, Box::new(HashRouter));
+        for x in 0..=10u64 {
+            idx.insert(entry(x, &[x as f64, 10.0 - x as f64, 5.0]))
+                .unwrap();
+        }
+        let ev = PromiseEvaluator::from_distances(vec![3.0, 7.0, 5.0]);
+        let (cands, stats) = idx.knn_candidates(&ev, 5).unwrap();
+        assert_eq!(cands.len(), 5);
+        assert_eq!(stats.candidates, 5);
+        assert!(
+            cands.windows(2).all(|w| w[0].1 <= w[1].1),
+            "merged list must stay sorted by bound"
+        );
+        // In this 1-D-style world the bound is exact: the query point wins.
+        assert_eq!(cands[0].0.id, 3);
+    }
+
+    #[test]
+    fn range_returns_union_of_shard_supersets() {
+        let idx = sharded(3, Box::new(HashRouter));
+        for x in 0..=10u64 {
+            idx.insert(entry(x, &[x as f64, 10.0 - x as f64, 5.0]))
+                .unwrap();
+        }
+        let (cands, stats) = idx.range_candidates(&[2.0, 8.0, 5.0], 1.5).unwrap();
+        let mut ids: Vec<u64> = cands.iter().map(|(e, _)| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "exact in the 1-D world");
+        assert!(stats.entries_scanned >= 3);
+        assert!(cands.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn search_stats_sum_over_shards() {
+        // Capacity high enough that inserts never split (splits re-read
+        // buckets and would blur the read accounting below).
+        let idx = ShardedMIndex::new(
+            MIndexConfig {
+                bucket_capacity: 100,
+                ..cfg(3)
+            },
+            Box::new(HashRouter),
+            (0..4).map(|_| MemoryStore::new()).collect(),
+        )
+        .unwrap();
+        for x in 0..20u64 {
+            idx.insert(entry(x, &[x as f64, 20.0 - x as f64, 10.0]))
+                .unwrap();
+        }
+        let (_, stats) = idx.range_candidates(&[10.0, 10.0, 10.0], 30.0).unwrap();
+        assert_eq!(
+            stats.entries_scanned, 20,
+            "an all-covering radius must scan every shard's entries, \
+             i.e. the per-shard counts sum"
+        );
+        let io = idx.io_stats();
+        assert_eq!(io.records_read, 20, "per-shard store reads sum too");
+    }
+
+    #[test]
+    fn fetch_entries_routes_to_owning_shards() {
+        let idx = sharded(3, Box::new(HashRouter));
+        for x in 0..12u64 {
+            idx.insert(entry(x, &[x as f64, 12.0 - x as f64, 6.0]))
+                .unwrap();
+        }
+        let got = idx.fetch_entries(&[7, 0, 99, 3, 7]).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].as_ref().unwrap().id, 7);
+        assert_eq!(got[0].as_ref().unwrap().payload, vec![7u8; 3]);
+        assert_eq!(got[1].as_ref().unwrap().id, 0);
+        assert!(got[2].is_none(), "unknown id yields None");
+        assert_eq!(got[3].as_ref().unwrap().id, 3);
+        assert_eq!(got[4].as_ref().unwrap().id, 7, "duplicates each answered");
+        assert!(idx.fetch_entries(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_cell_only_unions_shard_first_cells() {
+        let idx = sharded(2, Box::new(HashRouter));
+        for i in 0..6u64 {
+            idx.insert(entry(i, &[0.1, 0.5, 0.9])).unwrap(); // all pivot 0
+        }
+        let ev = PromiseEvaluator::from_distances(vec![0.1, 0.5, 0.9]);
+        let (cands, _) = idx.knn_candidates(&ev, FIRST_CELL_ONLY).unwrap();
+        assert_eq!(
+            cands.len(),
+            6,
+            "the global first cell is split across shards; the union \
+             restores it untrimmed"
+        );
+    }
+
+    /// Parallel and sequential fan-out must compute identical answers —
+    /// forced explicitly so both paths run regardless of the host's core
+    /// count.
+    #[test]
+    fn parallel_and_sequential_fanout_agree() {
+        let build = |parallel: bool| {
+            let idx = sharded(3, Box::new(HashRouter)).with_parallel_fanout(parallel);
+            for x in 0..=15u64 {
+                idx.insert(entry(x, &[x as f64, 15.0 - x as f64, 7.5]))
+                    .unwrap();
+            }
+            idx
+        };
+        let par = build(true);
+        let seq = build(false);
+        let ev = PromiseEvaluator::from_distances(vec![4.0, 11.0, 7.5]);
+        let (a, sa) = par.knn_candidates(&ev, 6).unwrap();
+        let (b, sb) = seq.knn_candidates(&ev, 6).unwrap();
+        assert_eq!(
+            a.iter().map(|(e, _)| e.id).collect::<Vec<_>>(),
+            b.iter().map(|(e, _)| e.id).collect::<Vec<_>>()
+        );
+        assert_eq!(sa, sb);
+        let (ra, _) = par.range_candidates(&[4.0, 11.0, 7.5], 2.0).unwrap();
+        let (rb, _) = seq.range_candidates(&[4.0, 11.0, 7.5], 2.0).unwrap();
+        assert_eq!(ra.len(), rb.len());
+    }
+
+    #[test]
+    fn shape_and_export_aggregate() {
+        let idx = sharded(2, Box::new(HashRouter));
+        for x in 0..8u64 {
+            idx.insert(entry(x, &[x as f64, 8.0 - x as f64, 4.0]))
+                .unwrap();
+        }
+        let shape = idx.shape();
+        assert_eq!(shape.entries, 8);
+        assert!(shape.leaves >= 2);
+        let mut all = idx.all_entries().unwrap();
+        all.sort_by_key(|e| e.id);
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[5].payload, vec![5u8; 3]);
+    }
+
+    #[test]
+    fn concurrent_inserts_to_distinct_shards_and_searches() {
+        let idx = std::sync::Arc::new(sharded(4, Box::new(HashRouter)));
+        for x in 0..8u64 {
+            idx.insert(entry(x, &[x as f64, 8.0 - x as f64, 4.0]))
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let idx = std::sync::Arc::clone(&idx);
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        let id = 100 + t * 100 + i;
+                        idx.insert(entry(id, &[(id % 9) as f64, 4.0, 2.0])).unwrap();
+                    }
+                });
+            }
+            let idx = std::sync::Arc::clone(&idx);
+            scope.spawn(move || {
+                let ev = PromiseEvaluator::from_distances(vec![3.0, 5.0, 4.0]);
+                for _ in 0..50 {
+                    let (cands, _) = idx.knn_candidates(&ev, 8).unwrap();
+                    assert!(!cands.is_empty());
+                }
+            });
+        });
+        assert_eq!(idx.len(), 8 + 4 * 25);
+        let total: u64 = (0..4).map(|i| idx.shard(i).len()).sum();
+        assert_eq!(total, idx.len(), "ownership map and shards agree");
+    }
+}

@@ -1,0 +1,52 @@
+//! # simcloud-shard — sharded M-Index, scatter-gather similarity cloud
+//!
+//! The single `CloudServer` keeps its whole M-Index behind one
+//! reader–writer lock: searches share it, but **every insert takes the one
+//! write lock**, and every search walks one index. This crate removes both
+//! ceilings with a layer between the index and the server:
+//!
+//! * [`ShardedMIndex`] — N fully independent M-Index shards, each with its
+//!   own `BucketStore` and its own write lock. An insert blocks 1/N of the
+//!   key space; searches fan out to all shards in parallel (scoped threads
+//!   over `&self`, reusing the shared-read path) and the per-shard
+//!   candidate lists are k-way merged by wire lower bound into one list
+//!   capped at `cand_size` ([`merge::merge_ranked`]).
+//! * [`ShardedCloudServer`] — speaks the **existing wire protocol
+//!   unchanged**, so the unmodified `EncryptedClient` (including lazy
+//!   refinement and phase-2 `FetchObjects`) works against it byte for
+//!   byte. Phase-2 fetches are routed to the owning shard through a
+//!   shard-aware id map.
+//! * [`ShardRouter`] — pluggable placement: [`HashRouter`] (uniform by id)
+//!   or [`PivotRouter`] (nearest global pivot — a coarse Voronoi partition
+//!   of the metric space, cf. distributed metric indexes like DIMS).
+//!
+//! Deployment helpers mirror `simcloud_core::cloud`: in-process
+//! ([`sharded_in_process`], [`client_for_sharded`]) and concurrent TCP
+//! ([`serve_tcp_concurrent_sharded`], [`over_tcp_sharded`]).
+//!
+//! **Exactness.** Range queries return byte-identical answers to a single
+//! index: each true result lives in exactly one shard and survives that
+//! shard's triangle-inequality-safe pruning, so the merged candidate list
+//! is a superset of the true results and client refinement does the rest.
+//! Approximate k-NN merges each shard's locally best `cand_size`
+//! candidates; when `cand_size` covers the collection the candidate sets
+//! coincide with the single index's and answers are byte-identical (the
+//! property test pins this), otherwise the sharded set draws from at least
+//! as many promising cells.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod index;
+pub mod merge;
+pub mod router;
+pub mod server;
+
+pub use deploy::{
+    client_for_sharded, client_for_sharded_with_model, memory_stores, over_tcp_sharded,
+    serve_tcp_concurrent_sharded, sharded_in_process, ShardedInProcessCloud, SharedShardedCloud,
+};
+pub use index::{ShardedMIndex, ShardedShape};
+pub use router::{HashRouter, PivotRouter, ShardRouter};
+pub use server::ShardedCloudServer;

@@ -1,0 +1,158 @@
+//! K-way merge of per-shard candidate lists.
+//!
+//! Every shard answers a search with a candidate list sorted ascending by
+//! its wire lower bound (the contract of `MIndex::knn_candidates` /
+//! `range_candidates`). The gather side merges those sorted lists into one
+//! list with the same invariant, optionally capped at `cand_size`.
+//!
+//! **Exactness argument.** For range queries each shard returns *every*
+//! entry of its partition that survives pivot filtering, so the merged
+//! list is exactly the union — a superset of the true results over the
+//! whole collection, and client refinement makes the final answer
+//! identical to a single index's. For k-NN, each shard returns its locally
+//! best `cand_size` candidates by lower bound; keeping the `cand_size`
+//! smallest bounds of the union therefore yields at least as promising a
+//! candidate set as any single enumeration of the same cells (see the
+//! README's sharded-deployment section for when the sets coincide).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simcloud_mindex::IndexEntry;
+
+/// One cursor into a shard's sorted candidate list. Ordered min-bound
+/// first (`BinaryHeap` is a max-heap, so comparisons are reversed), ties
+/// broken by shard index for a deterministic merge.
+struct Cursor {
+    bound: f64,
+    shard: usize,
+}
+
+impl PartialEq for Cursor {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Cursor {}
+
+impl PartialOrd for Cursor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cursor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| other.shard.cmp(&self.shard))
+    }
+}
+
+/// Merges per-shard candidate lists (each sorted ascending by bound) into
+/// one ascending list of at most `cap` entries (`None` = no cap). Within
+/// equal bounds, earlier shards win — deterministic for a fixed shard
+/// layout.
+pub fn merge_ranked(
+    lists: Vec<Vec<(IndexEntry, f64)>>,
+    cap: Option<usize>,
+) -> Vec<(IndexEntry, f64)> {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let want = cap.map_or(total, |c| c.min(total));
+    let mut out = Vec::with_capacity(want);
+    let mut lists: Vec<std::vec::IntoIter<(IndexEntry, f64)>> =
+        lists.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(lists.len());
+    let mut heads: Vec<Option<(IndexEntry, f64)>> = Vec::with_capacity(lists.len());
+    for (shard, it) in lists.iter_mut().enumerate() {
+        match it.next() {
+            Some(head) => {
+                heap.push(Cursor {
+                    bound: head.1,
+                    shard,
+                });
+                heads.push(Some(head));
+            }
+            None => heads.push(None),
+        }
+    }
+    while out.len() < want {
+        let Some(cur) = heap.pop() else { break };
+        let head = heads[cur.shard].take().expect("cursor points at a head");
+        out.push(head);
+        if let Some(next) = lists[cur.shard].next() {
+            heap.push(Cursor {
+                bound: next.1,
+                shard: cur.shard,
+            });
+            heads[cur.shard] = Some(next);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud_mindex::Routing;
+
+    fn e(id: u64, bound: f64) -> (IndexEntry, f64) {
+        (
+            IndexEntry::new(id, Routing::from_distances(&[bound]), vec![]),
+            bound,
+        )
+    }
+
+    fn bounds(list: &[(IndexEntry, f64)]) -> Vec<f64> {
+        list.iter().map(|(_, b)| *b).collect()
+    }
+
+    #[test]
+    fn merges_sorted_lists_ascending() {
+        let merged = merge_ranked(
+            vec![
+                vec![e(1, 0.1), e(2, 0.5), e(3, 0.9)],
+                vec![e(4, 0.2), e(5, 0.6)],
+                vec![],
+                vec![e(6, 0.0)],
+            ],
+            None,
+        );
+        assert_eq!(bounds(&merged), vec![0.0, 0.1, 0.2, 0.5, 0.6, 0.9]);
+        assert_eq!(merged[0].0.id, 6);
+    }
+
+    #[test]
+    fn cap_keeps_globally_smallest_bounds() {
+        let merged = merge_ranked(
+            vec![
+                vec![e(1, 0.3), e(2, 0.4)],
+                vec![e(3, 0.1), e(4, 0.2), e(5, 0.25)],
+            ],
+            Some(3),
+        );
+        assert_eq!(
+            merged.iter().map(|(c, _)| c.id).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn ties_resolve_by_shard_order_deterministically() {
+        let a = merge_ranked(vec![vec![e(1, 0.5)], vec![e(2, 0.5)]], None);
+        let b = merge_ranked(vec![vec![e(1, 0.5)], vec![e(2, 0.5)]], None);
+        assert_eq!(a[0].0.id, 1, "earlier shard wins the tie");
+        assert_eq!(
+            a.iter().map(|(c, _)| c.id).collect::<Vec<_>>(),
+            b.iter().map(|(c, _)| c.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_cap() {
+        assert!(merge_ranked(vec![], Some(5)).is_empty());
+        assert!(merge_ranked(vec![vec![e(1, 0.1)]], Some(0)).is_empty());
+    }
+}

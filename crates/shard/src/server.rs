@@ -1,0 +1,456 @@
+//! The sharded similarity-cloud server.
+//!
+//! [`ShardedCloudServer`] speaks **exactly** the wire protocol of
+//! `simcloud_core::CloudServer` — same requests, same responses, same
+//! candidate staging — so today's unmodified `EncryptedClient` works
+//! against it byte for byte. The difference is entirely behind the wire:
+//! the index is a [`ShardedMIndex`], so inserts take one shard's write
+//! lock instead of a global one and searches scatter-gather across all
+//! shards in parallel.
+
+use parking_lot::Mutex;
+use simcloud_core::protocol::{Candidate, FetchedObject, Request, Response};
+use simcloud_core::{evaluator_for, stage_candidates, ServerConfig};
+use simcloud_mindex::{IndexEntry, MIndexConfig, MIndexError, SearchStats, SharedSearchStats};
+use simcloud_storage::BucketStore;
+use simcloud_transport::{RequestHandler, SharedRequestHandler};
+
+use crate::index::ShardedMIndex;
+use crate::router::ShardRouter;
+
+/// Server half of the sharded Encrypted M-Index. Drop-in wire-compatible
+/// with `CloudServer`; holds no key material.
+pub struct ShardedCloudServer<S: BucketStore> {
+    index: ShardedMIndex<S>,
+    config: ServerConfig,
+    last_search_stats: Mutex<SearchStats>,
+    total_search_stats: SharedSearchStats,
+}
+
+impl<S: BucketStore> ShardedCloudServer<S> {
+    /// Creates a sharded server with one shard per store and the default
+    /// [`ServerConfig`] (no inline budget).
+    pub fn new(
+        config: MIndexConfig,
+        router: Box<dyn ShardRouter>,
+        stores: Vec<S>,
+    ) -> Result<Self, MIndexError> {
+        Self::with_config(config, ServerConfig::default(), router, stores)
+    }
+
+    /// Creates a sharded server with an explicit [`ServerConfig`].
+    pub fn with_config(
+        config: MIndexConfig,
+        server_config: ServerConfig,
+        router: Box<dyn ShardRouter>,
+        stores: Vec<S>,
+    ) -> Result<Self, MIndexError> {
+        Ok(Self {
+            index: ShardedMIndex::new(config, router, stores)?,
+            config: server_config,
+            last_search_stats: Mutex::new(SearchStats::default()),
+            total_search_stats: SharedSearchStats::new(),
+        })
+    }
+
+    /// Overrides the index's fan-out mode (see
+    /// `ShardedMIndex::with_parallel_fanout`).
+    pub fn with_parallel_fanout(mut self, parallel: bool) -> Self {
+        self.index = self.index.with_parallel_fanout(parallel);
+        self
+    }
+
+    /// The server configuration.
+    pub fn server_config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// The sharded index (shard inspection, aggregate shape/IO stats).
+    pub fn index(&self) -> &ShardedMIndex<S> {
+        &self.index
+    }
+
+    /// Statistics of the most recent search request — per-shard cost
+    /// counters summed, `candidates` the merged (capped) answer size.
+    /// Zeroed when the most recent search failed.
+    pub fn last_search_stats(&self) -> SearchStats {
+        *self.last_search_stats.lock()
+    }
+
+    /// Accumulated statistics over all search requests.
+    pub fn total_search_stats(&self) -> SearchStats {
+        self.total_search_stats.snapshot()
+    }
+
+    fn record_search(&self, stats: SearchStats) {
+        *self.last_search_stats.lock() = stats;
+        self.total_search_stats.add(&stats);
+    }
+
+    fn candidates_response(
+        &self,
+        result: Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError>,
+    ) -> Response {
+        match result {
+            Ok((entries, stats)) => {
+                self.record_search(stats);
+                Response::CandidateList(stage_candidates(
+                    entries,
+                    self.config.max_inline_response_bytes,
+                ))
+            }
+            Err(e) => {
+                *self.last_search_stats.lock() = SearchStats::default();
+                Response::Error(e.to_string())
+            }
+        }
+    }
+
+    /// Processes one decoded request. Needs only `&self`: searches fan out
+    /// over the shards' read locks, an insert takes exactly one shard's
+    /// write lock.
+    pub fn process(&self, request: Request) -> Response {
+        match request {
+            Request::Insert(entries) => {
+                // Same non-atomic bulk *error* semantics as the single
+                // server (the stored prefix stays and is reported), but a
+                // weaker isolation level: each entry takes only its target
+                // shard's write lock, so a concurrent search may observe a
+                // partially applied bulk — the single server applies the
+                // whole bulk under one write lock and exposes none-or-all.
+                // This is the deliberate price of removing the global
+                // write lock; deployments needing bulk atomicity against
+                // readers must quiesce searches around the bulk.
+                let mut n = 0u32;
+                for e in entries {
+                    match self.index.insert(e) {
+                        Ok(()) => n += 1,
+                        Err(e) => {
+                            return Response::InsertError {
+                                inserted: n,
+                                message: e.to_string(),
+                            }
+                        }
+                    }
+                }
+                Response::Inserted(n)
+            }
+            Request::Range { distances, radius } => {
+                self.candidates_response(self.index.range_candidates(&distances, radius))
+            }
+            Request::ApproxKnn { routing, cand_size } => {
+                let evaluator = evaluator_for(routing);
+                self.candidates_response(self.index.knn_candidates(&evaluator, cand_size as usize))
+            }
+            Request::BatchKnn(queries) => {
+                let mut sets = Vec::with_capacity(queries.len());
+                let mut batch_stats = SearchStats::default();
+                for q in queries {
+                    let evaluator = evaluator_for(q.routing);
+                    match self.index.knn_candidates(&evaluator, q.cand_size as usize) {
+                        Ok((entries, stats)) => {
+                            batch_stats.merge(&stats);
+                            sets.push(Ok(stage_candidates(
+                                entries,
+                                self.config.max_inline_response_bytes,
+                            )));
+                        }
+                        // A failing query answers in its own slot; batch
+                        // stats cover exactly the successful queries.
+                        Err(e) => sets.push(Err(e.to_string())),
+                    }
+                }
+                self.record_search(batch_stats);
+                Response::CandidateSets(sets)
+            }
+            Request::FetchObjects { ids } => match self.index.fetch_entries(&ids) {
+                Ok(entries) => {
+                    let mut objects = Vec::with_capacity(ids.len());
+                    for (id, entry) in ids.iter().zip(entries) {
+                        match entry {
+                            Some(e) => objects.push(FetchedObject {
+                                id: *id,
+                                payload: e.payload,
+                            }),
+                            None => return Response::Error(format!("unknown object id {id}")),
+                        }
+                    }
+                    Response::Objects(objects)
+                }
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Info => {
+                let shape = self.index.shape();
+                Response::Info {
+                    entries: shape.entries,
+                    leaves: shape.leaves as u32,
+                    depth: shape.max_depth as u32,
+                }
+            }
+            Request::ExportAll => match self.index.all_entries() {
+                Ok(entries) => Response::Candidates(
+                    entries
+                        .into_iter()
+                        .map(|e| Candidate {
+                            id: e.id,
+                            lower_bound: 0.0,
+                            payload: e.payload,
+                        })
+                        .collect(),
+                ),
+                Err(e) => Response::Error(e.to_string()),
+            },
+        }
+    }
+}
+
+impl<S: BucketStore> SharedRequestHandler for ShardedCloudServer<S> {
+    fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        let response = match Request::decode(request) {
+            Ok(req) => self.process(req),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        response.encode()
+    }
+}
+
+/// `&mut self` adapter for single-threaded call sites (in-process
+/// transports, tests).
+impl<S: BucketStore> RequestHandler for ShardedCloudServer<S> {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self.handle_shared(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{HashRouter, PivotRouter};
+    use simcloud_core::protocol::KnnQuery;
+    use simcloud_mindex::{Routing, RoutingStrategy};
+    use simcloud_storage::MemoryStore;
+
+    fn cfg() -> MIndexConfig {
+        MIndexConfig {
+            num_pivots: 3,
+            max_level: 2,
+            bucket_capacity: 4,
+            strategy: RoutingStrategy::Distances,
+        }
+    }
+
+    fn server(shards: usize) -> ShardedCloudServer<MemoryStore> {
+        ShardedCloudServer::new(
+            cfg(),
+            Box::new(HashRouter),
+            (0..shards).map(|_| MemoryStore::new()).collect(),
+        )
+        .unwrap()
+    }
+
+    fn entry(id: u64, ds: &[f64]) -> IndexEntry {
+        IndexEntry::new(id, Routing::from_distances(ds), vec![id as u8; 3])
+    }
+
+    #[test]
+    fn insert_then_info_aggregates_shards() {
+        let s = server(3);
+        let resp = s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.9, 0.1, 0.5]),
+            entry(3, &[0.5, 0.9, 0.1]),
+        ]));
+        assert_eq!(resp, Response::Inserted(3));
+        match s.process(Request::Info) {
+            Response::Info {
+                entries, leaves, ..
+            } => {
+                assert_eq!(entries, 3);
+                assert!(leaves >= 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knn_response_is_sorted_and_counts_stats() {
+        let s = server(2);
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.4, 0.6, 0.7]),
+            entry(3, &[0.9, 0.1, 0.2]),
+            entry(4, &[0.11, 0.52, 0.9]),
+        ]));
+        match s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: 3,
+        }) {
+            Response::CandidateList(list) => {
+                assert_eq!(list.headers.len(), 3, "merged list capped at cand_size");
+                assert!(list
+                    .headers
+                    .windows(2)
+                    .all(|w| w[0].lower_bound <= w[1].lower_bound));
+                assert_eq!(list.payloads.len(), 3, "no budget: everything inlined");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats().candidates, 3);
+        assert_eq!(s.total_search_stats().candidates, 3);
+    }
+
+    #[test]
+    fn partial_insert_reports_prefix_across_shards() {
+        let s = server(2);
+        let resp = s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6]), // dimension mismatch
+            entry(3, &[0.9, 0.1, 0.2]),
+        ]));
+        match resp {
+            Response::InsertError { inserted, message } => {
+                assert_eq!(inserted, 1);
+                assert!(message.contains("pivot distances"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.process(Request::Info) {
+            Response::Info { entries, .. } => assert_eq!(entries, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_search_zeroes_last_stats() {
+        let s = server(2);
+        s.process(Request::Insert(vec![entry(1, &[0.1, 0.5, 0.9])]));
+        assert!(matches!(
+            s.process(Request::Range {
+                distances: vec![0.1, 0.5, 0.9],
+                radius: 1.0,
+            }),
+            Response::CandidateList(_)
+        ));
+        let before_total = s.total_search_stats();
+        let bad = s.process(Request::Range {
+            distances: vec![0.1],
+            radius: 1.0,
+        });
+        assert!(matches!(bad, Response::Error(_)));
+        assert_eq!(s.last_search_stats(), SearchStats::default());
+        assert_eq!(s.total_search_stats(), before_total);
+    }
+
+    #[test]
+    fn batch_failure_isolated_to_slot_with_summed_stats() {
+        let s = server(3);
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        match s.process(Request::BatchKnn(vec![
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 2,
+            },
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5]), // malformed
+                cand_size: 2,
+            },
+            KnnQuery {
+                routing: Routing::from_distances(&[0.2, 0.6, 0.8]),
+                cand_size: 1,
+            },
+        ])) {
+            Response::CandidateSets(sets) => {
+                assert_eq!(sets.len(), 3);
+                assert_eq!(sets[0].as_ref().unwrap().headers.len(), 2);
+                assert!(sets[1].as_ref().unwrap_err().contains("pivot distances"));
+                assert_eq!(sets[2].as_ref().unwrap().headers.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats().candidates, 3, "successes only");
+    }
+
+    #[test]
+    fn fetch_objects_mirror_request_and_unknown_id_errors() {
+        let s = server(3);
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+            entry(3, &[0.9, 0.1, 0.2]),
+        ]));
+        match s.process(Request::FetchObjects { ids: vec![3, 1, 3] }) {
+            Response::Objects(objs) => {
+                assert_eq!(
+                    objs.iter().map(|o| o.id).collect::<Vec<_>>(),
+                    vec![3, 1, 3],
+                    "request order and duplicates preserved"
+                );
+                assert_eq!(objs[0].payload, vec![3u8; 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.process(Request::FetchObjects { ids: vec![1, 99] }) {
+            Response::Error(msg) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats(), SearchStats::default());
+    }
+
+    #[test]
+    fn budgeted_sharded_server_ships_headers_only() {
+        let s = ShardedCloudServer::with_config(
+            cfg(),
+            ServerConfig::budgeted(0),
+            Box::new(PivotRouter),
+            vec![MemoryStore::new(), MemoryStore::new()],
+        )
+        .unwrap();
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.9, 0.1, 0.5]),
+        ]));
+        match s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: 2,
+        }) {
+            Response::CandidateList(list) => {
+                assert_eq!(list.headers.len(), 2);
+                assert!(list.payloads.is_empty(), "budget 0 inlines nothing");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_handler_serves_bytes_from_many_threads() {
+        let s = std::sync::Arc::new(server(4));
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let bytes = s.handle_shared(
+                            &Request::ApproxKnn {
+                                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                                cand_size: 2,
+                            }
+                            .encode(),
+                        );
+                        match Response::decode(&bytes).unwrap() {
+                            Response::CandidateList(list) => assert_eq!(list.headers.len(), 2),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_search_stats().candidates, 4 * 10 * 2);
+    }
+}

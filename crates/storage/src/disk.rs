@@ -517,6 +517,51 @@ impl BucketStore for DiskStore {
         self.inner.lock().read_bucket(bucket)
     }
 
+    fn read_matching(
+        &self,
+        bucket: BucketId,
+        wanted: &dyn Fn(u64) -> bool,
+    ) -> Result<Vec<Record>, StorageError> {
+        // Pull the raw chain bytes under the latch, then filter and decode
+        // *outside* it: record parsing and the payload copies for wanted
+        // records are pure CPU work on a private buffer, and the trait's
+        // default path would additionally clone every unwanted payload in
+        // the bucket (via `read_bucket`) while holding nothing back.
+        let (bytes, expected) = {
+            let mut inner = self.inner.lock();
+            let meta = *inner
+                .directory
+                .get(&bucket)
+                .ok_or(StorageError::UnknownBucket(bucket))?;
+            (inner.chain_read(meta.head)?, meta.records)
+        };
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        let mut off = 0;
+        while off < bytes.len() {
+            let (id, payload_off, used) = Record::peek(&bytes[off..]).ok_or_else(|| {
+                StorageError::Corrupt(format!("bucket {bucket} record stream truncated"))
+            })?;
+            if wanted(id) {
+                out.push(Record::new(
+                    id,
+                    bytes[off + payload_off..off + used].to_vec(),
+                ));
+            }
+            seen += 1;
+            off += used;
+        }
+        if seen != expected {
+            return Err(StorageError::Corrupt(format!(
+                "bucket {bucket}: directory claims {expected} records, found {seen}"
+            )));
+        }
+        // Consistent with MemoryStore: only materialized records count as
+        // read back (the id scan never touches the other payloads).
+        self.inner.lock().stats.records_read += out.len() as u64;
+        Ok(out)
+    }
+
     fn bucket_len(&self, bucket: BucketId) -> usize {
         self.inner
             .lock()
@@ -583,9 +628,38 @@ mod tests {
         assert_eq!(b1, vec![rec(1, 100), rec(2, 50)]);
         assert_eq!(s.bucket_len(BucketId(2)), 1);
         assert_eq!(s.total_records(), 3);
-        // The trait's default read_matching filters a full bucket read.
         let only2 = s.read_matching(BucketId(1), &|id| id == 2).unwrap();
         assert_eq!(only2, vec![rec(2, 50)]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    /// The targeted read materializes only wanted records — including when
+    /// records span page boundaries — counts only those as read back, and
+    /// keeps the full-scan corruption checks.
+    #[test]
+    fn read_matching_filters_before_materializing() {
+        let path = tmp("matching");
+        let mut s = DiskStore::create(&path).unwrap();
+        // 3000-byte payloads span pages, so the filter must walk the raw
+        // chain stream, not per-page record boundaries.
+        for i in 0..10u64 {
+            s.append(BucketId(7), rec(i, 3000)).unwrap();
+        }
+        let read_before = s.stats().records_read;
+        let got = s
+            .read_matching(BucketId(7), &|id| id == 3 || id == 8)
+            .unwrap();
+        assert_eq!(got, vec![rec(3, 3000), rec(8, 3000)]);
+        assert_eq!(
+            s.stats().records_read - read_before,
+            2,
+            "unwanted records are skipped, not counted as read"
+        );
+        assert!(s.read_matching(BucketId(7), &|_| false).unwrap().is_empty());
+        assert!(matches!(
+            s.read_matching(BucketId(99), &|_| true),
+            Err(StorageError::UnknownBucket(_))
+        ));
         std::fs::remove_file(path).unwrap();
     }
 

@@ -85,6 +85,20 @@ pub struct IoStats {
     pub records_read: u64,
 }
 
+impl IoStats {
+    /// Folds another store's counters in — the aggregation a sharded
+    /// deployment needs, where each shard owns an independent store and
+    /// the reported I/O cost must be the **sum** of per-shard page reads
+    /// and record reads, not the last shard's numbers.
+    pub fn merge_from(&mut self, shard: &IoStats) {
+        self.page_reads += shard.page_reads;
+        self.page_writes += shard.page_writes;
+        self.pool_hits += shard.pool_hits;
+        self.records_appended += shard.records_appended;
+        self.records_read += shard.records_read;
+    }
+}
+
 /// Abstract bucket storage; the M-Index is generic over this.
 ///
 /// The access pattern the index needs is deliberately narrow: append a
@@ -151,6 +165,34 @@ mod tests {
     #[test]
     fn bucket_id_display() {
         assert_eq!(BucketId(17).to_string(), "b17");
+    }
+
+    #[test]
+    fn io_stats_merge_from_sums_all_counters() {
+        let mut total = IoStats {
+            page_reads: 1,
+            page_writes: 2,
+            pool_hits: 3,
+            records_appended: 4,
+            records_read: 5,
+        };
+        total.merge_from(&IoStats {
+            page_reads: 10,
+            page_writes: 20,
+            pool_hits: 30,
+            records_appended: 40,
+            records_read: 50,
+        });
+        assert_eq!(
+            total,
+            IoStats {
+                page_reads: 11,
+                page_writes: 22,
+                pool_hits: 33,
+                records_appended: 44,
+                records_read: 55,
+            }
+        );
     }
 
     #[test]

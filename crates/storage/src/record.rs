@@ -37,6 +37,23 @@ impl Record {
         out.extend_from_slice(&self.payload);
     }
 
+    /// Reads one record's *header* from the front of `buf` without
+    /// materializing the payload: returns `(id, payload offset, bytes
+    /// consumed)`, or `None` if truncated. Filtered bucket scans use this
+    /// to skip unwanted records without cloning their payloads — the
+    /// payload of a wanted record is `buf[offset..consumed]`.
+    pub fn peek(buf: &[u8]) -> Option<(u64, usize, usize)> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let id = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD || buf.len() < 12 + len {
+            return None;
+        }
+        Some((id, 12, 12 + len))
+    }
+
     /// Decodes one record from the front of `buf`; returns record and bytes
     /// consumed, or `None` if truncated.
     pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
@@ -81,6 +98,21 @@ mod tests {
         let (back, used) = Record::decode(&buf).unwrap();
         assert_eq!(back, r);
         assert_eq!(used, 12);
+    }
+
+    /// `peek` sees exactly what `decode` sees, minus the payload clone.
+    #[test]
+    fn peek_matches_decode() {
+        let r = Record::new(42, vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (id, payload_off, used) = Record::peek(&buf).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(&buf[payload_off..used], &r.payload[..]);
+        assert_eq!(used, r.encoded_len());
+        for cut in [0, 11, buf.len() - 1] {
+            assert!(Record::peek(&buf[..cut]).is_none(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub use simcloud_mindex as mindex;
 /// The Encrypted M-Index (the paper's contribution).
 pub use simcloud_core as core;
 
+/// Sharded scatter-gather deployment of the Encrypted M-Index.
+pub use simcloud_shard as shard;
+
 /// Comparison baselines (trivial, EHI, MPT, FDH).
 pub use simcloud_baselines as baselines;
 
@@ -66,6 +69,10 @@ pub mod prelude {
         CombinedMetric, Lp, Metric, ObjectId, PivotSelection, Vector, L1, L2,
     };
     pub use simcloud_mindex::{recall, MIndexConfig, PlainMIndex, RoutingStrategy};
+    pub use simcloud_shard::{
+        client_for_sharded, memory_stores, sharded_in_process, HashRouter, PivotRouter,
+        ShardedCloudServer,
+    };
     pub use simcloud_storage::{DiskStore, MemoryStore};
 }
 
