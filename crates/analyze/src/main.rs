@@ -1,0 +1,124 @@
+//! CLI for the in-tree static analysis gate.
+//!
+//! * `check`  — run all passes; nonzero exit on any policy violation or
+//!   inventory drift (the CI entry point).
+//! * `report` — print every finding with its zone, plus pass summaries.
+//! * `bless`  — rewrite `crates/analyze/inventory.txt` from the live tree.
+
+use std::process::ExitCode;
+
+use simcloud_analyze as analyze;
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    match mode.as_str() {
+        "check" => check(false),
+        "report" => check(true),
+        "bless" => bless(),
+        other => {
+            eprintln!("unknown mode {other:?}; usage: simcloud-analyze check|report|bless");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(verbose: bool) -> ExitCode {
+    let root = analyze::workspace_root();
+    let report = match analyze::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if verbose {
+        for (zone, f) in &report.findings {
+            println!(
+                "{}:{}: [{}] {}{}{}",
+                f.path,
+                f.line,
+                zone.name(),
+                f.kind.name(),
+                if f.annotated { " (PANIC-SAFE)" } else { "" },
+                f.function
+                    .as_deref()
+                    .map(|n| format!(" in fn {n}"))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+    let mut failed = false;
+    for e in &report.errors {
+        eprintln!("panic-surface: {e}");
+        failed = true;
+    }
+    for v in &report.lock_errors {
+        eprintln!(
+            "lock-discipline: {}:{}: in fn {}: {}",
+            v.path, v.line, v.function, v.message
+        );
+        failed = true;
+    }
+    for w in &report.wire_errors {
+        eprintln!("wire-conformance: {w}", w = w.message);
+        failed = true;
+    }
+    let snapshot_path = root.join("crates/analyze/inventory.txt");
+    let blessed = std::fs::read_to_string(&snapshot_path).unwrap_or_default();
+    let drift = analyze::inventory_drift(&report.inventory, &analyze::parse_inventory(&blessed));
+    for d in &drift {
+        eprintln!("inventory: {d}");
+        failed = true;
+    }
+    let sites: usize = report.inventory.values().sum();
+    println!(
+        "simcloud-analyze: {} findings outside enforced zones across {} (file, kind) buckets; \
+         {} allowlisted in server zone; lock pass {}; wire pass {}",
+        sites,
+        report.inventory.len(),
+        report.server_allowlisted,
+        if report.lock_errors.is_empty() {
+            "clean"
+        } else {
+            "FAILED"
+        },
+        if report.wire_errors.is_empty() {
+            "clean"
+        } else {
+            "FAILED"
+        },
+    );
+    if failed {
+        eprintln!("simcloud-analyze: check FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("simcloud-analyze: check passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn bless() -> ExitCode {
+    let root = analyze::workspace_root();
+    let report = match analyze::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = root.join("crates/analyze/inventory.txt");
+    match std::fs::write(&path, analyze::render_inventory(&report)) {
+        Ok(()) => {
+            println!(
+                "blessed {} (file, kind) buckets to {}",
+                report.inventory.len(),
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}

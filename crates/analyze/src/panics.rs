@@ -1,0 +1,177 @@
+//! Panic-surface audit: locates every construct that can abort the thread
+//! (or silently narrow an integer) in non-test code, and pairs each site
+//! with its `// PANIC-SAFE: <reason>` annotation when one is present.
+
+use crate::scan::SourceFile;
+
+/// The kinds of panic/narrowing surface the audit tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PanicKind {
+    /// `.unwrap()` (not `.unwrap_or*`).
+    Unwrap,
+    /// `.expect(` (not `.expect_err`).
+    Expect,
+    /// `panic!`.
+    Panic,
+    /// `unreachable!`.
+    Unreachable,
+    /// `todo!` / `unimplemented!`.
+    Todo,
+    /// `x[i]` slice/array/map indexing (can panic on out-of-range).
+    SliceIndex,
+    /// `as u8|u16|u32|i8|i16|i32` — silently truncating narrowing cast.
+    AsNarrowing,
+}
+
+impl PanicKind {
+    /// Stable name used in reports and the inventory file.
+    pub fn name(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "unwrap",
+            PanicKind::Expect => "expect",
+            PanicKind::Panic => "panic",
+            PanicKind::Unreachable => "unreachable",
+            PanicKind::Todo => "todo",
+            PanicKind::SliceIndex => "slice-index",
+            PanicKind::AsNarrowing => "as-narrowing",
+        }
+    }
+}
+
+/// One panic-surface site.
+#[derive(Debug, Clone)]
+pub struct PanicFinding {
+    /// Workspace-relative file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was matched.
+    pub kind: PanicKind,
+    /// `true` when the line (or the line above) carries
+    /// `// PANIC-SAFE: <reason>` with a non-empty reason.
+    pub annotated: bool,
+    /// Name of the enclosing function, when one was located.
+    pub function: Option<String>,
+}
+
+/// Scans one file for panic-surface findings (test lines excluded).
+pub fn panic_findings(src: &SourceFile) -> Vec<PanicFinding> {
+    let mut out = Vec::new();
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut kinds: Vec<PanicKind> = Vec::new();
+        for _ in 0..count_matches(line, ".unwrap()") {
+            kinds.push(PanicKind::Unwrap);
+        }
+        for _ in 0..count_matches(line, ".expect(") {
+            kinds.push(PanicKind::Expect);
+        }
+        for _ in 0..count_macro(line, "panic!") {
+            kinds.push(PanicKind::Panic);
+        }
+        for _ in 0..count_macro(line, "unreachable!") {
+            kinds.push(PanicKind::Unreachable);
+        }
+        for _ in 0..(count_macro(line, "todo!") + count_macro(line, "unimplemented!")) {
+            kinds.push(PanicKind::Todo);
+        }
+        for _ in 0..count_index_ops(line) {
+            kinds.push(PanicKind::SliceIndex);
+        }
+        for _ in 0..count_narrowing(line) {
+            kinds.push(PanicKind::AsNarrowing);
+        }
+        if kinds.is_empty() {
+            continue;
+        }
+        let annotated = has_panic_safe(src, idx);
+        let function = src.function_at(idx).map(|f| f.name.clone());
+        for kind in kinds {
+            out.push(PanicFinding {
+                path: src.path.clone(),
+                line: idx + 1,
+                kind,
+                annotated,
+                function: function.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// `// PANIC-SAFE: <reason>` on the finding's line or the line above.
+fn has_panic_safe(src: &SourceFile, idx: usize) -> bool {
+    let check = |line: Option<&String>| {
+        line.and_then(|l| l.split_once("// PANIC-SAFE:"))
+            .is_some_and(|(_, reason)| reason.trim().len() >= 3)
+    };
+    check(src.raw.get(idx)) || (idx > 0 && check(src.raw.get(idx - 1)))
+}
+
+fn count_matches(line: &str, pat: &str) -> usize {
+    line.matches(pat).count()
+}
+
+/// Macro invocation at an identifier boundary (`panic!` but not a
+/// hypothetical `my_panic!`).
+fn count_macro(line: &str, pat: &str) -> usize {
+    let chars: Vec<char> = line.chars().collect();
+    let patc: Vec<char> = pat.chars().collect();
+    let mut n = 0;
+    for i in 0..chars.len() {
+        if chars.get(i..i + patc.len()) == Some(&patc[..]) {
+            let prev = if i == 0 {
+                '\0'
+            } else {
+                chars.get(i - 1).copied().unwrap_or('\0')
+            };
+            if !prev.is_alphanumeric() && prev != '_' {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `[` immediately preceded by an identifier character, `)` or `]` is an
+/// index operation (array/slice/map subscript). `vec![...]`, attributes
+/// and type positions are preceded by `!`, `#`, whitespace or punctuation
+/// and do not count.
+fn count_index_ops(line: &str) -> usize {
+    let chars: Vec<char> = line.chars().collect();
+    let mut n = 0;
+    for i in 1..chars.len() {
+        if chars.get(i) == Some(&'[') {
+            let prev = chars.get(i - 1).copied().unwrap_or('\0');
+            if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// ` as u8` / ` as u16` / ` as u32` / ` as i8` / ` as i16` / ` as i32`
+/// followed by a non-identifier character.
+fn count_narrowing(line: &str) -> usize {
+    const TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    let mut n = 0;
+    for (pos, _) in line.match_indices(" as ") {
+        let rest = line.get(pos + 4..).unwrap_or_default();
+        for t in TARGETS {
+            if let Some(after) = rest.strip_prefix(t) {
+                let boundary = after
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    n += 1;
+                }
+                break;
+            }
+        }
+    }
+    n
+}

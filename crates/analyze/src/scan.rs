@@ -1,0 +1,418 @@
+//! Source loading and lexical preprocessing shared by all passes.
+//!
+//! The passes are line-oriented pattern matchers, so the one thing this
+//! module must get exactly right is *what text the patterns see*: comments
+//! and string/char literal contents are blanked out (a doc comment that
+//! says "never `unwrap()` here" must not count as a panic site, and a brace
+//! inside a string must not derail scope tracking), while every newline is
+//! preserved so findings report real line numbers. On top of the blanked
+//! text it locates `#[cfg(test)]` items (excluded from every pass) and
+//! function spans (the unit of analysis for the lock pass and for
+//! function-scoped zones like "protocol decode").
+
+use std::fs;
+use std::path::Path;
+
+/// A Rust source file prepared for analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Original source lines, used for `PANIC-SAFE` annotation lookup.
+    pub raw: Vec<String>,
+    /// Lines with comments and literal contents blanked (same line count as
+    /// `raw`); all pattern matching runs on these.
+    pub code: Vec<String>,
+    /// `test_lines[i]` is true when line `i` (0-based) belongs to a
+    /// `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Function spans, in source order (outer before nested).
+    pub functions: Vec<FnSpan>,
+}
+
+/// A function item located in the blanked source.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (identifier after `fn`).
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 0-based line of the body's closing brace (start line for body-less
+    /// trait signatures).
+    pub end_line: usize,
+    /// Byte offset of the body's opening `{` in the joined blanked text
+    /// (`None` for signatures).
+    pub body_start: Option<usize>,
+    /// Byte offset one past the body's closing `}`.
+    pub body_end: Option<usize>,
+}
+
+impl SourceFile {
+    /// Loads and preprocesses one file. `path` is the on-disk location,
+    /// `rel` the workspace-relative name used in reports.
+    pub fn load(path: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = fs::read_to_string(path)?;
+        Ok(SourceFile::from_source(rel, &text))
+    }
+
+    /// Preprocesses source text (entry point for fixture tests).
+    pub fn from_source(rel: &str, text: &str) -> SourceFile {
+        let blanked = blank_literals(text);
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let code: Vec<String> = blanked.lines().map(str::to_owned).collect();
+        let test_lines = mark_test_lines(&code);
+        let functions = find_functions(&blanked);
+        SourceFile {
+            path: rel.to_owned(),
+            raw,
+            code,
+            test_lines,
+            functions,
+        }
+    }
+
+    /// The blanked text joined back together (what `FnSpan` offsets index).
+    pub fn joined_code(&self) -> String {
+        let mut s = String::new();
+        for line in &self.code {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Innermost function span containing 0-based `line`, if any.
+    pub fn function_at(&self, line: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+}
+
+/// Replaces comment text and string/char literal contents with spaces,
+/// preserving newlines and the literal delimiters themselves.
+pub fn blank_literals(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    let at = |k: usize| bytes.get(k).copied().unwrap_or('\0');
+    while i < bytes.len() {
+        let c = at(i);
+        match state {
+            State::Code => {
+                if c == '/' && at(i + 1) == '/' {
+                    state = State::Line;
+                    out.push(' ');
+                } else if c == '/' && at(i + 1) == '*' {
+                    state = State::Block(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                } else if (c == 'r' || c == 'b')
+                    && !at(i.wrapping_sub(1)).is_alphanumeric()
+                    && at(i.wrapping_sub(1)) != '_'
+                {
+                    // Possible raw / byte / raw-byte string: r"  r#"  b"  br#"
+                    let mut j = i + 1;
+                    if c == 'b' && at(j) == 'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while at(j) == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if at(j) == '"' && (hashes > 0 || at(i + 1) == '"' || at(i + 1) == 'r') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        out.pop();
+                        out.push('"');
+                        i = j;
+                        state = State::RawStr(hashes);
+                    } else if c == 'b' && at(i + 1) == '\'' {
+                        // byte char literal b'x'
+                        out.push(' ');
+                        out.push('\'');
+                        i += 1;
+                        state = State::Char;
+                    } else {
+                        out.push(c);
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal is '\..' or 'X'
+                    // followed by a closing quote; anything else is a
+                    // lifetime and passes through.
+                    if at(i + 1) == '\\' || (at(i + 2) == '\'' && at(i + 1) != '\'') {
+                        out.push('\'');
+                        state = State::Char;
+                    } else {
+                        out.push('\'');
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            State::Line => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Block(depth) => {
+                if c == '*' && at(i + 1) == '/' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                } else if c == '/' && at(i + 1) == '*' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    state = State::Block(depth + 1);
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if at(i + 1) != '\n' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    out.push('"');
+                    state = State::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && at(j) == '#' {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i = j - 1;
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    if i + 1 < bytes.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    out.push('\'');
+                    state = State::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (module, function,
+/// impl, use — whatever the attribute is attached to).
+fn mark_test_lines(code: &[String]) -> Vec<bool> {
+    let mut test = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        if let Some(col) = code.get(line).and_then(|l| l.find("#[cfg(test)]")) {
+            let end = item_end(code, line, col);
+            for flag in test.iter_mut().take(end + 1).skip(line) {
+                *flag = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    test
+}
+
+/// Finds the last line of the item starting after an attribute at
+/// (`line`, `col`): the matching `}` of its first brace block, or the first
+/// top-level `;` for brace-less items.
+fn item_end(code: &[String], line: usize, col: usize) -> usize {
+    let mut depth = 0usize;
+    let mut entered = false;
+    let mut l = line;
+    let mut start = col;
+    while l < code.len() {
+        let chars: Vec<char> = match code.get(l) {
+            Some(s) => s.chars().collect(),
+            None => break,
+        };
+        for (k, &c) in chars.iter().enumerate() {
+            if l == line && k < start {
+                continue;
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        return l;
+                    }
+                }
+                ';' if !entered && depth == 0 => return l,
+                _ => {}
+            }
+        }
+        start = 0;
+        l += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Locates `fn` items in the blanked text.
+fn find_functions(blanked: &str) -> Vec<FnSpan> {
+    let chars: Vec<char> = blanked.chars().collect();
+    let mut spans = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    while i < chars.len() {
+        let c = chars.get(i).copied().unwrap_or('\0');
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        // Token `fn` at an identifier boundary.
+        let prev = if i == 0 {
+            '\0'
+        } else {
+            chars.get(i - 1).copied().unwrap_or('\0')
+        };
+        if c == 'f'
+            && chars.get(i + 1) == Some(&'n')
+            && !is_ident(prev)
+            && chars.get(i + 2).is_some_and(|&n| n.is_whitespace())
+        {
+            let mut j = i + 2;
+            while chars.get(j).is_some_and(|n| n.is_whitespace()) {
+                j += 1;
+            }
+            let name_start = j;
+            while chars.get(j).is_some_and(|&n| is_ident(n)) {
+                j += 1;
+            }
+            let name: String = chars
+                .get(name_start..j)
+                .unwrap_or_default()
+                .iter()
+                .collect();
+            if name.is_empty() {
+                i += 2;
+                continue;
+            }
+            // Scan to the body `{` or a declaration-terminating `;`.
+            let start_line = line;
+            let mut cur_line = line;
+            let mut depth = 0i32;
+            let mut body_start = None;
+            while j < chars.len() {
+                match chars.get(j).copied().unwrap_or('\0') {
+                    '\n' => cur_line += 1,
+                    '(' | '[' => depth += 1,
+                    ')' | ']' => depth -= 1,
+                    '{' if depth == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    ';' if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let span = match body_start {
+                None => FnSpan {
+                    name,
+                    start_line,
+                    end_line: cur_line,
+                    body_start: None,
+                    body_end: None,
+                },
+                Some(open) => {
+                    let mut braces = 0i32;
+                    let mut k = open;
+                    let mut end_line = cur_line;
+                    let mut body_end = chars.len();
+                    while k < chars.len() {
+                        match chars.get(k).copied().unwrap_or('\0') {
+                            '\n' => end_line += 1,
+                            '{' => braces += 1,
+                            '}' => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    body_end = k + 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    FnSpan {
+                        name,
+                        start_line,
+                        end_line,
+                        body_start: Some(open),
+                        body_end: Some(body_end),
+                    }
+                }
+            };
+            spans.push(span);
+            // Continue scanning from just after the name so nested fns are
+            // found too; body text is re-scanned, which is what we want.
+            i = j.min(chars.len());
+            line = cur_line;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}

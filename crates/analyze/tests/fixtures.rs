@@ -1,0 +1,329 @@
+//! Fixture tests: each analyzer pass must catch a deliberately seeded
+//! violation, and must stay quiet on the compliant twin of the same code.
+//! These pin the lexical rules so a matcher regression cannot silently
+//! turn the gate green.
+
+use simcloud_analyze::locks::lock_violations;
+use simcloud_analyze::panics::{panic_findings, PanicKind};
+use simcloud_analyze::scan::SourceFile;
+use simcloud_analyze::wire::wire_issues;
+use simcloud_analyze::{zone_for, Zone};
+
+// ---- panic-surface pass -------------------------------------------------
+
+/// A panic hidden mid-expression in a server-zone file is found, classified
+/// and attributed to its function.
+#[test]
+fn seeded_hidden_panic_is_found() {
+    let src = SourceFile::from_source(
+        "crates/transport/src/fixture.rs",
+        r#"
+fn handle(buf: &[u8]) -> u32 {
+    let n = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    n
+}
+"#,
+    );
+    let findings = panic_findings(&src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.kind == PanicKind::Unwrap && f.function.as_deref() == Some("handle")),
+        "seeded unwrap not found: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.kind == PanicKind::SliceIndex),
+        "seeded slice index not found: {findings:?}"
+    );
+    assert_eq!(
+        zone_for("crates/transport/src/fixture.rs", Some("handle")),
+        Zone::Server
+    );
+}
+
+/// Panics inside `#[cfg(test)]` modules, string literals and comments are
+/// not findings.
+#[test]
+fn masked_panics_are_ignored() {
+    let src = SourceFile::from_source(
+        "crates/transport/src/fixture.rs",
+        r#"
+fn fine() -> &'static str {
+    // .unwrap() in a comment is not a finding
+    "nor .unwrap() in a string, nor panic!(..)"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_may_panic() {
+        Option::<u8>::None.unwrap();
+    }
+}
+"#,
+    );
+    assert!(
+        panic_findings(&src).is_empty(),
+        "masked sites leaked: {:?}",
+        panic_findings(&src)
+    );
+}
+
+/// A `PANIC-SAFE` annotation with a reason marks the site allowlisted; the
+/// finding is still reported but carries the flag.
+#[test]
+fn panic_safe_annotation_is_honored() {
+    let src = SourceFile::from_source(
+        "crates/transport/src/fixture.rs",
+        r#"
+fn guarded(v: &[u8]) -> u8 {
+    // PANIC-SAFE: v is checked non-empty by the caller's framing layer.
+    *v.first().expect("framed")
+}
+"#,
+    );
+    let findings = panic_findings(&src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].annotated,
+        "annotation not honored: {findings:?}"
+    );
+}
+
+/// `as`-narrowing is flagged; widening casts are not.
+#[test]
+fn narrowing_casts_are_classified() {
+    let src = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn narrow(x: usize) -> u32 {
+    x as u32
+}
+fn widen(x: u32) -> usize {
+    x as usize
+}
+"#,
+    );
+    let findings = panic_findings(&src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].kind, PanicKind::AsNarrowing);
+    assert_eq!(findings[0].function.as_deref(), Some("narrow"));
+}
+
+// ---- lock-discipline pass ----------------------------------------------
+
+/// Seeded violation: taking the ownership-map lock while a shard write
+/// guard is still live (the documented order is map before shard).
+#[test]
+fn seeded_reversed_lock_order_is_found() {
+    let bad = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn insert(&self, id: u64) {
+    let guard = self.shards[0].write();
+    self.owners.write().insert(id, 0);
+    drop(guard);
+}
+"#,
+    );
+    let violations = lock_violations(&bad);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.message.contains("ownership map")),
+        "reversed order not caught: {violations:?}"
+    );
+
+    // Compliant twin: map lock released before the shard lock is taken.
+    let good = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn insert(&self, id: u64) {
+    {
+        let owners = self.owners.write();
+    }
+    let result = self.shards[0].write().insert(id);
+}
+"#,
+    );
+    assert!(
+        lock_violations(&good).is_empty(),
+        "false positive: {:?}",
+        lock_violations(&good)
+    );
+}
+
+/// Seeded violation: two shard write locks held at once (deadlock with a
+/// concurrent inserter locking the same pair in the other order).
+#[test]
+fn seeded_double_shard_write_is_found() {
+    let src = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn rebalance(&self) {
+    let a = self.shards[0].write();
+    let b = self.shards[1].write();
+}
+"#,
+    );
+    let violations = lock_violations(&src);
+    assert!(!violations.is_empty(), "double shard write lock not caught");
+}
+
+/// Seeded violation: calling `stage_candidates` (which takes the staging
+/// lock) while an index guard is live.
+#[test]
+fn seeded_stage_under_guard_is_found() {
+    let bad = SourceFile::from_source(
+        "crates/core/src/fixture.rs",
+        r#"
+fn answer(&mut self) {
+    let index = self.index.read();
+    let token = self.stage_candidates(index.candidates());
+}
+"#,
+    );
+    assert!(
+        lock_violations(&bad)
+            .iter()
+            .any(|v| v.message.contains("stage_candidates")),
+        "stage-under-guard not caught: {:?}",
+        lock_violations(&bad)
+    );
+
+    // Compliant twin: the guard's scope closes before staging.
+    let good = SourceFile::from_source(
+        "crates/core/src/fixture.rs",
+        r#"
+fn answer(&mut self) {
+    let results = {
+        let index = self.index.read();
+        index.candidates()
+    };
+    let token = self.stage_candidates(results);
+}
+"#,
+    );
+    assert!(
+        lock_violations(&good).is_empty(),
+        "false positive: {:?}",
+        lock_violations(&good)
+    );
+}
+
+// ---- wire-conformance pass ----------------------------------------------
+
+const FIXTURE_PROTOCOL: &str = r#"
+pub enum Request {
+    Ping,
+    Echo(Vec<u8>),
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(0x01),
+            Request::Echo(b) => {
+                out.push(0x02);
+                out.extend_from_slice(b);
+            }
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        match buf.first()? {
+            0x01 => Some(Request::Ping),
+            0x02 => Some(Request::Echo(buf[1..].to_vec())),
+            _ => None,
+        }
+    }
+}
+"#;
+
+const FIXTURE_README: &str = "\
+| `Ping` | 0x01 | empty |
+| `Echo` | 0x02 | raw bytes |
+";
+
+/// A protocol variant reachable from encode/decode and listed in the README
+/// but never exercised by the fuzz suite is flagged; naming it clears the
+/// flag.
+#[test]
+fn seeded_unfuzzed_variant_is_found() {
+    let src = SourceFile::from_source("crates/core/src/protocol.rs", FIXTURE_PROTOCOL);
+    // Response enum is absent in the fixture; keep only Request issues.
+    let request_issues = |fuzz: &str| -> Vec<String> {
+        wire_issues(&src, FIXTURE_README, fuzz)
+            .into_iter()
+            .map(|i| i.message)
+            .filter(|m| m.contains("Request::"))
+            .collect()
+    };
+
+    let partial_fuzz = "fn t() { let _ = Request::Ping; }";
+    let issues = request_issues(partial_fuzz);
+    assert!(
+        issues
+            .iter()
+            .any(|m| m.contains("Request::Echo") && m.contains("never exercised")),
+        "un-fuzzed variant not caught: {issues:?}"
+    );
+
+    let full_fuzz = "fn t() { let _ = (Request::Ping, Request::Echo(vec![])); }";
+    assert!(
+        request_issues(full_fuzz).is_empty(),
+        "false positive: {:?}",
+        request_issues(full_fuzz)
+    );
+}
+
+/// A decode arm whose tag disagrees with the encode arm is flagged.
+#[test]
+fn seeded_tag_mismatch_is_found() {
+    let swapped = FIXTURE_PROTOCOL.replace(
+        "            0x01 => Some(Request::Ping),\n            0x02 => Some(Request::Echo(buf[1..].to_vec())),",
+        "            0x01 => Some(Request::Echo(buf[1..].to_vec())),\n            0x02 => Some(Request::Ping),",
+    );
+    let src = SourceFile::from_source("crates/core/src/protocol.rs", &swapped);
+    let fuzz = "fn t() { let _ = (Request::Ping, Request::Echo(vec![])); }";
+    let issues = wire_issues(&src, FIXTURE_README, fuzz);
+    assert!(
+        issues
+            .iter()
+            .any(|i| i.message.contains("encodes tag") && i.message.contains("decodes")),
+        "tag mismatch not caught: {issues:?}"
+    );
+}
+
+/// A variant missing from the README wire table is flagged.
+#[test]
+fn seeded_missing_readme_row_is_found() {
+    let src = SourceFile::from_source("crates/core/src/protocol.rs", FIXTURE_PROTOCOL);
+    let readme = "| `Ping` | 0x01 | empty |\n";
+    let fuzz = "fn t() { let _ = (Request::Ping, Request::Echo(vec![])); }";
+    let issues = wire_issues(&src, readme, fuzz);
+    assert!(
+        issues
+            .iter()
+            .any(|i| i.message.contains("Echo") && i.message.contains("wire table")),
+        "missing README row not caught: {issues:?}"
+    );
+}
+
+/// Non-contiguous opcodes are flagged.
+#[test]
+fn seeded_opcode_gap_is_found() {
+    let gapped = FIXTURE_PROTOCOL
+        .replace("out.push(0x02)", "out.push(0x03)")
+        .replace("0x02 => Some(Request::Echo", "0x03 => Some(Request::Echo");
+    let src = SourceFile::from_source("crates/core/src/protocol.rs", &gapped);
+    let readme = "| `Ping` | 0x01 | empty |\n| `Echo` | 0x03 | raw bytes |\n";
+    let fuzz = "fn t() { let _ = (Request::Ping, Request::Echo(vec![])); }";
+    let issues = wire_issues(&src, readme, fuzz);
+    assert!(
+        issues.iter().any(|i| i.message.contains("not contiguous")),
+        "opcode gap not caught: {issues:?}"
+    );
+}

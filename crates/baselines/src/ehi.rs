@@ -129,6 +129,12 @@ pub struct EhiScheme<M: Metric<Vector>> {
     next_key: u64,
 }
 
+impl<M: Metric<Vector>> std::fmt::Debug for EhiScheme<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EhiScheme").finish_non_exhaustive()
+    }
+}
+
 impl<M: Metric<Vector>> EhiScheme<M> {
     /// Creates the scheme with an in-process blob server.
     pub fn new(key: SecretKey, metric: M, config: EhiConfig, seed: u64) -> Self {

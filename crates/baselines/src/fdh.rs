@@ -131,6 +131,12 @@ pub struct FdhScheme<M: Metric<Vector>> {
     rng: StdRng,
 }
 
+impl<M: Metric<Vector>> std::fmt::Debug for FdhScheme<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FdhScheme").finish_non_exhaustive()
+    }
+}
+
 impl<M: Metric<Vector>> FdhScheme<M> {
     /// Creates the scheme (anchors/radii fitted in `build`).
     pub fn new(key: SecretKey, metric: M, config: FdhConfig, seed: u64) -> Self {

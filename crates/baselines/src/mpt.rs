@@ -155,6 +155,12 @@ pub struct MptScheme<M: Metric<Vector>> {
     rng: StdRng,
 }
 
+impl<M: Metric<Vector>> std::fmt::Debug for MptScheme<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MptScheme").finish_non_exhaustive()
+    }
+}
+
 impl<M: Metric<Vector>> MptScheme<M> {
     /// Creates the scheme; anchors and the OPE are fitted during
     /// [`SecureScheme::build`] from the data (the sample-dependence the

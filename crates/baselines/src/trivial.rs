@@ -26,6 +26,12 @@ pub struct TrivialScheme<M: Metric<Vector>> {
     rng: StdRng,
 }
 
+impl<M: Metric<Vector>> std::fmt::Debug for TrivialScheme<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrivialScheme").finish_non_exhaustive()
+    }
+}
+
 impl<M: Metric<Vector>> TrivialScheme<M> {
     /// Creates the scheme with an in-process blob server.
     pub fn new(key: SecretKey, metric: M, seed: u64) -> Self {

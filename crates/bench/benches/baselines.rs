@@ -9,7 +9,7 @@ fn bench_comparison(c: &mut Criterion) {
     let mut g = c.benchmark_group("table9_1nn_comparison");
     g.sample_size(10);
     g.bench_function("all_schemes", |b| {
-        b.iter(|| std::hint::black_box(comparison_1nn(&yeast, 10, 5)))
+        b.iter(|| std::hint::black_box(comparison_1nn(&yeast, 10, 5)));
     });
     g.finish();
 }

@@ -15,7 +15,7 @@ fn bench_permutation(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let ds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
-            b.iter(|| std::hint::black_box(permutation_from_distances(ds)))
+            b.iter(|| std::hint::black_box(permutation_from_distances(ds)));
         });
     }
     g.finish();
@@ -27,12 +27,12 @@ fn bench_promise(c: &mut Criterion) {
     let ev = PromiseEvaluator::from_distances(ds.clone());
     let prefix: Vec<u16> = vec![17, 42, 63, 8];
     c.bench_function("promise_prefix_penalty", |b| {
-        b.iter(|| std::hint::black_box(ev.prefix_penalty(&prefix)))
+        b.iter(|| std::hint::black_box(ev.prefix_penalty(&prefix)));
     });
     let perm = permutation_from_distances(&ds);
     let pev = PromiseEvaluator::from_permutation(perm);
     c.bench_function("promise_prefix_penalty_permutation", |b| {
-        b.iter(|| std::hint::black_box(pev.prefix_penalty(&prefix)))
+        b.iter(|| std::hint::black_box(pev.prefix_penalty(&prefix)));
     });
 }
 
@@ -51,10 +51,10 @@ fn bench_pivot_filter(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(kept)
-        })
+        });
     });
     c.bench_function("pivot_filter_lower_bound", |b| {
-        b.iter(|| std::hint::black_box(pivot_filter_lower_bound(&q, &objects[0])))
+        b.iter(|| std::hint::black_box(pivot_filter_lower_bound(&q, &objects[0])));
     });
 }
 
@@ -66,13 +66,13 @@ fn bench_metric_eval(c: &mut Criterion) {
     let a17 = mk(17);
     let b17 = mk(17);
     c.bench_function("l1_17d", |b| {
-        b.iter(|| std::hint::black_box(L1.distance(&a17, &b17)))
+        b.iter(|| std::hint::black_box(L1.distance(&a17, &b17)));
     });
     let comb = simcloud_metric::CombinedMetric::cophir_default();
     let a282 = mk(282);
     let b282 = mk(282);
     c.bench_function("combined_282d", |b| {
-        b.iter(|| std::hint::black_box(comb.distance(&a282, &b282)))
+        b.iter(|| std::hint::black_box(comb.distance(&a282, &b282)));
     });
 }
 

@@ -11,10 +11,10 @@ fn bench_construction(c: &mut Criterion) {
     for (which, n) in [(Which::Yeast, 1000usize), (Which::Human, 1000)] {
         let ds = which.dataset(n, 7);
         g.bench_with_input(BenchmarkId::new("encrypted", &ds.name), &ds, |b, ds| {
-            b.iter(|| std::hint::black_box(construction_encrypted(ds, 1)))
+            b.iter(|| std::hint::black_box(construction_encrypted(ds, 1)));
         });
         g.bench_with_input(BenchmarkId::new("plain", &ds.name), &ds, |b, ds| {
-            b.iter(|| std::hint::black_box(construction_plain(ds, 1)))
+            b.iter(|| std::hint::black_box(construction_plain(ds, 1)));
         });
     }
     // CoPhIR's expensive combined metric at small cardinality: shows the
@@ -22,7 +22,7 @@ fn bench_construction(c: &mut Criterion) {
     // (the paper's Table 3 CoPhIR observation).
     let cophir = Which::Cophir.dataset(500, 7);
     g.bench_function("encrypted/CoPhIR-500", |b| {
-        b.iter(|| std::hint::black_box(construction_encrypted(&cophir, 1)))
+        b.iter(|| std::hint::black_box(construction_encrypted(&cophir, 1)));
     });
     g.finish();
 }

@@ -14,7 +14,7 @@ fn bench_aes_block(c: &mut Criterion) {
         b.iter(|| {
             aes.encrypt_block(&mut block);
             std::hint::black_box(&block);
-        })
+        });
     });
 }
 
@@ -24,7 +24,7 @@ fn bench_sha256(c: &mut Criterion) {
         let data = vec![0xA5u8; size];
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| std::hint::black_box(Sha256::digest(data)))
+            b.iter(|| std::hint::black_box(Sha256::digest(data)));
         });
     }
     g.finish();
@@ -39,11 +39,11 @@ fn bench_seal_unseal(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_function(BenchmarkId::new("seal_ctr", label), |b| {
-            b.iter(|| std::hint::black_box(key.seal(&plain, EnvelopeMode::Ctr, &mut rng)))
+            b.iter(|| std::hint::black_box(key.seal(&plain, EnvelopeMode::Ctr, &mut rng)));
         });
         let sealed = key.seal(&plain, EnvelopeMode::Ctr, &mut rng);
         g.bench_function(BenchmarkId::new("unseal_ctr", label), |b| {
-            b.iter(|| std::hint::black_box(key.unseal(&sealed).unwrap()))
+            b.iter(|| std::hint::black_box(key.unseal(&sealed).unwrap()));
         });
     }
     g.finish();

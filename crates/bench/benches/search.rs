@@ -20,7 +20,7 @@ fn bench_search(c: &mut Criterion) {
     g.throughput(Throughput::Elements(QUERIES as u64));
     for cand in [150usize, 600] {
         g.bench_with_input(BenchmarkId::new("encrypted", cand), &cand, |b, &cand| {
-            b.iter(|| std::hint::black_box(steady_state_encrypted(&yeast, cand, 30, 1, 1, 7)))
+            b.iter(|| std::hint::black_box(steady_state_encrypted(&yeast, cand, 30, 1, 1, 7)));
         });
     }
     // Plain comparison: same pre-built-index discipline, same dataset and
@@ -48,7 +48,7 @@ fn bench_search(c: &mut Criterion) {
                     for q in &workload.queries {
                         std::hint::black_box(plain.knn_approx(q, 30, cand).unwrap());
                     }
-                })
+                });
             });
         }
     }
@@ -62,7 +62,7 @@ fn bench_search(c: &mut Criterion) {
     g.throughput(Throughput::Elements(CQUERIES as u64));
     for cand in [150usize, 600] {
         g.bench_with_input(BenchmarkId::new("encrypted", cand), &cand, |b, &cand| {
-            b.iter(|| std::hint::black_box(steady_state_encrypted(&cophir, cand, 30, 1, 1, 7)))
+            b.iter(|| std::hint::black_box(steady_state_encrypted(&cophir, cand, 30, 1, 1, 7)));
         });
     }
     g.finish();

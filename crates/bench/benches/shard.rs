@@ -90,7 +90,7 @@ fn identity_check(single: &PreBuilt, sharded: &PreBuilt, k: usize, label: &str) 
         assert_identical(&format!("{label}/knn q{qi}"), &b, &a);
         // Range exactness is structural at any radius; use the k-th
         // distance so the ball is non-trivial and has boundary ties.
-        let radius = a.last().map(|(_, d)| *d).unwrap_or(0.0);
+        let radius = a.last().map_or(0.0, |(_, d)| *d);
         let (ra, _) = sc.range(q, radius).expect("single range");
         let (rb, _) = hc.range(q, radius).expect("sharded range");
         assert_identical(&format!("{label}/range q{qi}"), &rb, &ra);
@@ -209,8 +209,7 @@ fn main() {
         }
         let ratio = ips / latency_single;
         println!(
-            "  insert shards={shards} (write delay {:?})  {ips:>8.0} inserts/s ({ratio:.2}x vs single)",
-            delay
+            "  insert shards={shards} (write delay {delay:?})  {ips:>8.0} inserts/s ({ratio:.2}x vs single)"
         );
         json.push_str(&format!(
             "  \"insert_latency_bound/threads{threads}/shards{shards}\": {{ \"inserts_per_s\": {ips:.0}, \"vs_single\": {ratio:.2} }},\n"

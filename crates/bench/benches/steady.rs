@@ -60,7 +60,7 @@ fn main() {
         cfg.n,
         cfg.queries,
         cfg.rounds,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         shards
     );
     let ds = Which::Yeast.dataset(cfg.n, 11);
@@ -90,8 +90,7 @@ fn main() {
             }
             let speedup = qps / single_qps;
             println!(
-                "  cand={cand:<4} threads={threads}  {:>8.1} queries/s  ({speedup:.2}x vs 1 thread)",
-                qps
+                "  cand={cand:<4} threads={threads}  {qps:>8.1} queries/s  ({speedup:.2}x vs 1 thread)"
             );
             json.push_str(&format!(
                 "  \"steady_yeast_30nn/cand{cand}/threads{threads}{suffix}\": {{ \"queries_per_s\": {qps:.1}, \"speedup_vs_single\": {speedup:.2} }},\n"

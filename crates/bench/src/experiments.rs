@@ -58,6 +58,12 @@ pub struct TimedMetric<M> {
     nanos: std::sync::atomic::AtomicU64,
 }
 
+impl<M> std::fmt::Debug for TimedMetric<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedMetric").finish_non_exhaustive()
+    }
+}
+
 impl<M> TimedMetric<M> {
     /// Wraps a metric.
     pub fn new(inner: M) -> Self {
@@ -232,7 +238,7 @@ fn encrypted_search_sweep<T: simcloud_transport::Transport>(
         &workload.queries,
         &ds.metric,
         k,
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
     );
     let mut rows = Vec::new();
     for &cand in cand_sizes {
@@ -342,7 +348,7 @@ pub fn search_plain(
         &workload.queries,
         &ds.metric,
         k,
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
     );
     let model = NetworkModel::loopback();
     let per_obj_bytes = ds.vectors[0].encoded_len() as u64 + 8; // object + id
@@ -408,7 +414,7 @@ pub fn comparison_1nn(ds: &Dataset, queries: usize, seed: u64) -> Vec<Comparison
         &workload.queries,
         &ds.metric,
         1,
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
     );
     let mut rows = Vec::new();
 
@@ -530,7 +536,7 @@ pub fn ablation_pivots(
         &workload.queries,
         &ds.metric,
         k,
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
     );
     let mut out = Vec::new();
     for &np in pivot_counts {
@@ -585,7 +591,7 @@ pub fn ablation_strategy(
         &workload.queries,
         &ds.metric,
         k,
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
     );
     let mut out = Vec::new();
     for (label, strategy, client_cfg) in [
@@ -742,7 +748,7 @@ pub fn ablation_k(
             &workload.queries,
             &ds.metric,
             k,
-            std::thread::available_parallelism().map_or(4, |n| n.get()),
+            std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
         );
         let mut answers = Vec::new();
         for q in &workload.queries {

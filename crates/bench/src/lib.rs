@@ -14,8 +14,6 @@
 //! Criterion micro/meso benches live in `benches/` (one per cost center:
 //! crypto, construction, search, baselines, components).
 
-#![forbid(unsafe_code)]
-
 pub mod experiments;
 pub mod scale;
 pub mod shardperf;

@@ -163,7 +163,7 @@ pub fn shards_suffix(shards: usize) -> String {
 }
 
 /// A steady-state server under test: one index or N shards, same wire.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub enum SteadyServer {
     /// The classic single `CloudServer`.
     Single(Arc<CloudServer<MemoryStore>>),
@@ -200,6 +200,12 @@ pub struct PreBuilt {
     pub workload: QueryWorkload,
     /// Dataset the index was built from.
     pub dataset: Dataset,
+}
+
+impl std::fmt::Debug for PreBuilt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreBuilt").finish_non_exhaustive()
+    }
 }
 
 fn knn_rounds<T: Transport>(

@@ -43,7 +43,7 @@ impl Table {
             .max()
             .unwrap()
             .max(24);
-        let mut col_w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut col_w: Vec<usize> = self.columns.iter().map(std::string::String::len).collect();
         for (_, vals) in &self.rows {
             for (i, v) in vals.iter().enumerate() {
                 col_w[i] = col_w[i].max(v.len());

@@ -231,6 +231,12 @@ pub struct EncryptedClient<M: Metric<Vector>, T: Transport> {
     total: CostReport,
 }
 
+impl<M: Metric<Vector>, T: Transport> std::fmt::Debug for EncryptedClient<M, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptedClient").finish_non_exhaustive()
+    }
+}
+
 impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
     /// Creates a client. `config.strategy` must match the server index.
     pub fn new(key: SecretKey, metric: M, transport: T, config: ClientConfig) -> Self {
@@ -622,6 +628,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                     RefineGoal::TopK(k) => {
                         k == 0
                             || (heap.len() == k
+                                // PANIC-SAFE: guarded by `heap.len() == k` with `k > 0` on this branch.
                                 && self.to_wire_distance(heap.peek().expect("k > 0").0) < remaining)
                     }
                 };
@@ -637,6 +644,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 let threshold = match goal {
                     RefineGoal::Within { wire_radius, .. } => Some(wire_radius),
                     RefineGoal::TopK(k) if k > 0 && heap.len() == k => {
+                        // PANIC-SAFE: arm guard requires `heap.len() == k` and `k > 0`.
                         Some(self.to_wire_distance(heap.peek().expect("heap full").0))
                     }
                     RefineGoal::TopK(_) => None,
@@ -647,6 +655,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 fetch_elapsed += fetch_start.elapsed();
             }
             let id = headers[i].id;
+            // PANIC-SAFE: the `is_none()` branch above fetched this slot (`fetch_payloads` fills `i..i + batch` or errors).
             let payload = payloads[i].take().expect("payload just fetched");
             // Alg. 2 line 13: decrypt. An authentication failure is active
             // tampering (or a key mismatch) — that aborts immediately, as

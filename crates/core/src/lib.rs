@@ -38,7 +38,6 @@
 //! extension: a keyed monotone distance transformation that hides distance
 //! values from the server at a quantified pruning-power cost.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -239,127 +239,203 @@ fn err(msg: &str) -> CodecError {
     CodecError(msg.into())
 }
 
+/// Hard cap on the size of a single encoded message accepted by
+/// [`Request::decode`] / [`Response::decode`].
+///
+/// Wire length/count fields are attacker-controlled in both directions (a
+/// hostile client sends requests, a hostile server sends responses), so
+/// decode must bound its allocations by something the attacker pays for.
+/// The cap rejects anything larger than the biggest legitimate message
+/// (full-dataset exports included) before any count field is trusted;
+/// within the cap, every `Vec::with_capacity` is additionally bounded by
+/// the bytes actually present (see [`cap_alloc`]).
+pub const MAX_DECODE_BYTES: usize = 64 << 20;
+
+/// Caps a claimed element count before `Vec::with_capacity`: the count
+/// field is attacker-controlled, the buffer length bounds reality.
+/// `min_size` is the smallest wire footprint of one element, so the
+/// returned capacity never exceeds what the buffer could actually hold.
+fn cap_alloc(claimed: usize, remaining: usize, min_size: usize) -> usize {
+    claimed.min(remaining / min_size.max(1))
+}
+
+/// Saturating size-to-wire conversions. In-memory counts can't
+/// realistically exceed the wire field, but saturate rather than wrap so
+/// an impossible giant encodes into a decode error on the peer instead of
+/// a silently wrong count.
+fn wire_u32(n: usize) -> u32 {
+    debug_assert!(n <= u32::MAX as usize, "wire count overflow");
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+fn wire_u16(n: usize) -> u16 {
+    debug_assert!(n <= u16::MAX as usize, "wire count overflow");
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
+
+/// Bounds-checked little-endian cursor over a decode buffer.
+///
+/// Every read is total: out-of-range access yields a [`CodecError`],
+/// never a panic — the byte stream is hostile input on both ends of the
+/// connection, and the static analysis gate keeps this file free of
+/// indexing and `unwrap`.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The unconsumed tail (for hand-off to nested decoders).
+    fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    fn take<const N: usize>(&mut self, what: &str) -> Result<[u8; N], CodecError> {
+        match self.buf.split_first_chunk::<N>() {
+            Some((chunk, rest)) => {
+                self.buf = rest;
+                Ok(*chunk)
+            }
+            None => Err(err(&format!("{what} truncated"))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CodecError> {
+        self.take::<1>(what).map(|[b]| b)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, CodecError> {
+        self.take::<2>(what).map(u16::from_le_bytes)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        self.take::<4>(what).map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
+        self.take::<8>(what).map(u64::from_le_bytes)
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, CodecError> {
+        self.take::<8>(what).map(f64::from_le_bytes)
+    }
+
+    /// Consumes exactly `n` bytes.
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if n > self.buf.len() {
+            return Err(err(&format!("{what} truncated")));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Skips `n` bytes a nested decoder already consumed from [`Self::rest`].
+    fn skip(&mut self, n: usize, what: &str) -> Result<(), CodecError> {
+        self.bytes(n, what).map(|_| ())
+    }
+
+    /// Rejects trailing bytes once a message is fully decoded.
+    fn finish(self, what: &str) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(err(&format!("trailing bytes after {what}")))
+        }
+    }
+}
+
 /// Appends `u32 n { u64 id; f64 lb; u32 len; bytes }*n` (the
 /// fully-materialized layout of [`Response::Candidates`]).
 fn encode_candidates(out: &mut Vec<u8>, cands: &[Candidate]) {
-    out.extend_from_slice(&(cands.len() as u32).to_le_bytes());
+    out.extend_from_slice(&wire_u32(cands.len()).to_le_bytes());
     for c in cands {
         out.extend_from_slice(&c.id.to_le_bytes());
         out.extend_from_slice(&c.lower_bound.to_le_bytes());
-        out.extend_from_slice(&(c.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire_u32(c.payload.len()).to_le_bytes());
         out.extend_from_slice(&c.payload);
     }
 }
 
-/// Decodes one candidate list starting at `buf[off]`; returns the list and
-/// the offset just past it.
-fn decode_candidates(buf: &[u8], mut off: usize) -> Result<(Vec<Candidate>, usize), CodecError> {
-    if buf.len() < off + 4 {
-        return Err(err("candidates header truncated"));
-    }
-    let n = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-    off += 4;
-    let mut cands = Vec::with_capacity(n.min(1 << 16));
+/// Decodes the candidate layout written by [`encode_candidates`].
+fn decode_candidates(r: &mut Reader<'_>) -> Result<Vec<Candidate>, CodecError> {
+    let n = r.u32("candidates header")? as usize;
+    let mut cands = Vec::with_capacity(cap_alloc(n, r.remaining(), 20));
     for _ in 0..n {
-        if buf.len() < off + 20 {
-            return Err(err("candidate header truncated"));
-        }
-        let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-        let lower_bound = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
-        let len = u32::from_le_bytes(buf[off + 16..off + 20].try_into().unwrap()) as usize;
-        off += 20;
-        if buf.len() < off + len {
-            return Err(err("candidate payload truncated"));
-        }
+        let id = r.u64("candidate header")?;
+        let lower_bound = r.f64("candidate header")?;
+        let len = r.u32("candidate header")? as usize;
+        let payload = r.bytes(len, "candidate payload")?.to_vec();
         cands.push(Candidate {
             id,
             lower_bound,
-            payload: buf[off..off + len].to_vec(),
+            payload,
         });
-        off += len;
     }
-    Ok((cands, off))
+    Ok(cands)
 }
 
 /// Appends one candidate list: `u32 n { u64 id; f64 lb }*n` headers, then
 /// `u32 m { u32 len; bytes }*m` inline payloads for the first `m` headers.
 fn encode_candidate_list(out: &mut Vec<u8>, list: &CandidateList) {
     debug_assert!(list.payloads.len() <= list.headers.len());
-    out.extend_from_slice(&(list.headers.len() as u32).to_le_bytes());
+    out.extend_from_slice(&wire_u32(list.headers.len()).to_le_bytes());
     for h in &list.headers {
         out.extend_from_slice(&h.id.to_le_bytes());
         out.extend_from_slice(&h.lower_bound.to_le_bytes());
     }
-    out.extend_from_slice(&(list.payloads.len() as u32).to_le_bytes());
+    out.extend_from_slice(&wire_u32(list.payloads.len()).to_le_bytes());
     for p in &list.payloads {
-        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire_u32(p.len()).to_le_bytes());
         out.extend_from_slice(p);
     }
 }
 
-/// Decodes one candidate list starting at `buf[off]`; returns the list and
-/// the offset just past it. Rejects more inline payloads than headers.
-fn decode_candidate_list(buf: &[u8], mut off: usize) -> Result<(CandidateList, usize), CodecError> {
-    if buf.len() < off + 4 {
-        return Err(err("candidate list header count truncated"));
-    }
-    let n = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-    off += 4;
-    if buf.len().saturating_sub(off) < n.saturating_mul(16) {
+/// Decodes one candidate list. Rejects more inline payloads than headers.
+fn decode_candidate_list(r: &mut Reader<'_>) -> Result<CandidateList, CodecError> {
+    let n = r.u32("candidate list header count")? as usize;
+    if r.remaining() < n.saturating_mul(16) {
         return Err(err("candidate list headers truncated"));
     }
-    let mut headers = Vec::with_capacity(n.min(1 << 16));
+    let mut headers = Vec::with_capacity(n);
     for _ in 0..n {
-        let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-        let lower_bound = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
-        off += 16;
+        let id = r.u64("candidate list header")?;
+        let lower_bound = r.f64("candidate list header")?;
         headers.push(CandidateHeader { id, lower_bound });
     }
-    if buf.len() < off + 4 {
-        return Err(err("candidate list payload count truncated"));
-    }
-    let m = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-    off += 4;
+    let m = r.u32("candidate list payload count")? as usize;
     if m > n {
         return Err(err("more inline payloads than candidate headers"));
     }
-    let mut payloads = Vec::with_capacity(m.min(1 << 16));
+    let mut payloads = Vec::with_capacity(cap_alloc(m, r.remaining(), 4));
     for _ in 0..m {
-        if buf.len() < off + 4 {
-            return Err(err("inline payload length truncated"));
-        }
-        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-        off += 4;
-        if buf.len() < off + len {
-            return Err(err("inline payload truncated"));
-        }
-        payloads.push(buf[off..off + len].to_vec());
-        off += len;
+        let len = r.u32("inline payload length")? as usize;
+        payloads.push(r.bytes(len, "inline payload")?.to_vec());
     }
-    Ok((CandidateList { headers, payloads }, off))
+    Ok(CandidateList { headers, payloads })
 }
 
 /// Appends `u16 len || utf8` (truncating over-long messages).
 fn encode_message(out: &mut Vec<u8>, msg: &str) {
     let bytes = msg.as_bytes();
     let n = bytes.len().min(u16::MAX as usize);
-    out.extend_from_slice(&(n as u16).to_le_bytes());
-    out.extend_from_slice(&bytes[..n]);
+    out.extend_from_slice(&wire_u16(n).to_le_bytes());
+    out.extend_from_slice(bytes.get(..n).unwrap_or(bytes));
 }
 
-/// Decodes `u16 len || utf8` starting at `buf[off]`; returns the message
-/// and the offset just past it.
-fn decode_message(buf: &[u8], mut off: usize) -> Result<(String, usize), CodecError> {
-    if buf.len() < off + 2 {
-        return Err(err("message length truncated"));
-    }
-    let n = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
-    off += 2;
-    if buf.len() < off + n {
-        return Err(err("message body truncated"));
-    }
-    let msg = String::from_utf8_lossy(&buf[off..off + n]).into_owned();
-    Ok((msg, off + n))
+/// Decodes `u16 len || utf8` written by [`encode_message`].
+fn decode_message(r: &mut Reader<'_>) -> Result<String, CodecError> {
+    let n = r.u16("message length")? as usize;
+    let body = r.bytes(n, "message body")?;
+    Ok(String::from_utf8_lossy(body).into_owned())
 }
 
 impl Request {
@@ -369,18 +445,18 @@ impl Request {
         match self {
             Request::Insert(entries) => {
                 out.push(0x01);
-                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                out.extend_from_slice(&wire_u32(entries.len()).to_le_bytes());
                 for e in entries {
                     let mut body = Vec::with_capacity(8 + e.encoded_len());
                     body.extend_from_slice(&e.id.to_le_bytes());
                     body.extend_from_slice(&e.encode_payload());
-                    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&wire_u32(body.len()).to_le_bytes());
                     out.extend_from_slice(&body);
                 }
             }
             Request::Range { distances, radius } => {
                 out.push(0x02);
-                out.extend_from_slice(&(distances.len() as u16).to_le_bytes());
+                out.extend_from_slice(&wire_u16(distances.len()).to_le_bytes());
                 for d in distances {
                     out.extend_from_slice(&d.to_le_bytes());
                 }
@@ -395,7 +471,7 @@ impl Request {
             Request::ExportAll => out.push(0x05),
             Request::BatchKnn(queries) => {
                 out.push(0x06);
-                out.extend_from_slice(&(queries.len() as u16).to_le_bytes());
+                out.extend_from_slice(&wire_u16(queries.len()).to_le_bytes());
                 for q in queries {
                     q.routing.encode(&mut out);
                     out.extend_from_slice(&q.cand_size.to_le_bytes());
@@ -403,7 +479,7 @@ impl Request {
             }
             Request::FetchObjects { ids } => {
                 out.push(0x07);
-                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                out.extend_from_slice(&wire_u32(ids.len()).to_le_bytes());
                 for id in ids {
                     out.extend_from_slice(&id.to_le_bytes());
                 }
@@ -414,110 +490,74 @@ impl Request {
 
     /// Decodes a request.
     pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
-        match buf.first().ok_or_else(|| err("empty request"))? {
+        if buf.len() > MAX_DECODE_BYTES {
+            return Err(err("request exceeds decode size cap"));
+        }
+        let mut r = Reader::new(buf);
+        match r.u8("request tag")? {
             0x01 => {
-                if buf.len() < 5 {
-                    return Err(err("insert header truncated"));
-                }
-                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
-                let mut entries = Vec::with_capacity(n);
-                let mut off = 5;
+                let n = r.u32("insert header")? as usize;
+                // Smallest entry: u32 len + u64 id + 3-byte routing stub.
+                let mut entries = Vec::with_capacity(cap_alloc(n, r.remaining(), 12));
                 for _ in 0..n {
-                    if buf.len() < off + 4 {
-                        return Err(err("insert entry length truncated"));
-                    }
-                    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-                    off += 4;
-                    if buf.len() < off + len || len < 8 {
-                        return Err(err("insert entry body truncated"));
-                    }
-                    let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                    let entry = IndexEntry::decode_payload(id, &buf[off + 8..off + len])
+                    let len = r.u32("insert entry length")? as usize;
+                    let mut body = Reader::new(r.bytes(len, "insert entry body")?);
+                    let id = body.u64("insert entry body")?;
+                    let entry = IndexEntry::decode_payload(id, body.rest())
                         .ok_or_else(|| err("insert entry undecodable"))?;
                     entries.push(entry);
-                    off += len;
                 }
-                if off != buf.len() {
-                    return Err(err("trailing bytes after insert"));
-                }
+                r.finish("insert")?;
                 Ok(Request::Insert(entries))
             }
             0x02 => {
-                if buf.len() < 3 {
-                    return Err(err("range header truncated"));
+                let n = r.u16("range header")? as usize;
+                let mut distances = Vec::with_capacity(cap_alloc(n, r.remaining(), 8));
+                for _ in 0..n {
+                    distances.push(r.f64("range distances")?);
                 }
-                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-                let need = 3 + 8 * n + 8;
-                if buf.len() != need {
-                    return Err(err("range body size mismatch"));
-                }
-                let mut distances = Vec::with_capacity(n);
-                for i in 0..n {
-                    let off = 3 + 8 * i;
-                    distances.push(f64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
-                }
-                let radius = f64::from_le_bytes(buf[3 + 8 * n..3 + 8 * n + 8].try_into().unwrap());
+                let radius = r.f64("range radius")?;
+                r.finish("range")?;
                 Ok(Request::Range { distances, radius })
             }
             0x03 => {
                 let (routing, used) =
-                    Routing::decode(&buf[1..]).ok_or_else(|| err("knn routing undecodable"))?;
-                let off = 1 + used;
-                if buf.len() != off + 4 {
-                    return Err(err("knn cand_size truncated"));
-                }
-                let cand_size = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                    Routing::decode(r.rest()).ok_or_else(|| err("knn routing undecodable"))?;
+                r.skip(used, "knn routing")?;
+                let cand_size = r.u32("knn cand_size")?;
+                r.finish("knn")?;
                 Ok(Request::ApproxKnn { routing, cand_size })
             }
             0x04 => {
-                if buf.len() != 1 {
-                    return Err(err("info request carries payload"));
-                }
+                r.finish("info request")
+                    .map_err(|_| err("info request carries payload"))?;
                 Ok(Request::Info)
             }
             0x05 => {
-                if buf.len() != 1 {
-                    return Err(err("export request carries payload"));
-                }
+                r.finish("export request")
+                    .map_err(|_| err("export request carries payload"))?;
                 Ok(Request::ExportAll)
             }
             0x06 => {
-                if buf.len() < 3 {
-                    return Err(err("batch header truncated"));
-                }
-                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-                let mut queries = Vec::with_capacity(n);
-                let mut off = 3;
+                let n = r.u16("batch header")? as usize;
+                let mut queries = Vec::with_capacity(cap_alloc(n, r.remaining(), 7));
                 for _ in 0..n {
-                    let (routing, used) = Routing::decode(&buf[off..])
+                    let (routing, used) = Routing::decode(r.rest())
                         .ok_or_else(|| err("batch routing undecodable"))?;
-                    off += used;
-                    if buf.len() < off + 4 {
-                        return Err(err("batch cand_size truncated"));
-                    }
-                    let cand_size = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
-                    off += 4;
+                    r.skip(used, "batch routing")?;
+                    let cand_size = r.u32("batch cand_size")?;
                     queries.push(KnnQuery { routing, cand_size });
                 }
-                if off != buf.len() {
-                    return Err(err("trailing bytes after batch"));
-                }
+                r.finish("batch")?;
                 Ok(Request::BatchKnn(queries))
             }
             0x07 => {
-                if buf.len() < 5 {
-                    return Err(err("fetch header truncated"));
+                let n = r.u32("fetch header")? as usize;
+                let mut ids = Vec::with_capacity(cap_alloc(n, r.remaining(), 8));
+                for _ in 0..n {
+                    ids.push(r.u64("fetch ids")?);
                 }
-                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
-                if buf.len() != 5 + 8 * n {
-                    return Err(err("fetch ids size mismatch"));
-                }
-                let ids = (0..n)
-                    .map(|i| {
-                        let off = 5 + 8 * i;
-                        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
-                    })
-                    .collect();
+                r.finish("fetch")?;
                 Ok(Request::FetchObjects { ids })
             }
             t => Err(err(&format!("unknown request tag {t}"))),
@@ -554,7 +594,7 @@ impl Response {
             }
             Response::CandidateSets(sets) => {
                 out.push(0x05);
-                out.extend_from_slice(&(sets.len() as u16).to_le_bytes());
+                out.extend_from_slice(&wire_u16(sets.len()).to_le_bytes());
                 for result in sets {
                     match result {
                         Ok(list) => {
@@ -579,10 +619,10 @@ impl Response {
             }
             Response::Objects(objects) => {
                 out.push(0x08);
-                out.extend_from_slice(&(objects.len() as u32).to_le_bytes());
+                out.extend_from_slice(&wire_u32(objects.len()).to_le_bytes());
                 for o in objects {
                     out.extend_from_slice(&o.id.to_le_bytes());
-                    out.extend_from_slice(&(o.payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&wire_u32(o.payload.len()).to_le_bytes());
                     out.extend_from_slice(&o.payload);
                 }
             }
@@ -592,120 +632,71 @@ impl Response {
 
     /// Decodes a response.
     pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
-        match buf.first().ok_or_else(|| err("empty response"))? {
+        if buf.len() > MAX_DECODE_BYTES {
+            return Err(err("response exceeds decode size cap"));
+        }
+        let mut r = Reader::new(buf);
+        match r.u8("response tag")? {
             0x01 => {
-                if buf.len() != 5 {
-                    return Err(err("inserted ack size mismatch"));
-                }
-                Ok(Response::Inserted(u32::from_le_bytes(
-                    buf[1..5].try_into().unwrap(),
-                )))
+                let n = r.u32("inserted ack")?;
+                r.finish("inserted ack")?;
+                Ok(Response::Inserted(n))
             }
             0x02 => {
-                let (cands, off) = decode_candidates(buf, 1)?;
-                if off != buf.len() {
-                    return Err(err("trailing bytes after candidates"));
-                }
+                let cands = decode_candidates(&mut r)?;
+                r.finish("candidates")?;
                 Ok(Response::Candidates(cands))
             }
             0x03 => {
-                if buf.len() < 3 {
-                    return Err(err("error header truncated"));
-                }
-                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-                if buf.len() != 3 + n {
-                    return Err(err("error body size mismatch"));
-                }
-                Ok(Response::Error(
-                    String::from_utf8_lossy(&buf[3..3 + n]).into_owned(),
-                ))
+                let msg = decode_message(&mut r)?;
+                r.finish("error response")?;
+                Ok(Response::Error(msg))
             }
             0x04 => {
-                if buf.len() != 1 + 8 + 4 + 4 {
-                    return Err(err("info size mismatch"));
-                }
+                let entries = r.u64("info entries")?;
+                let leaves = r.u32("info leaves")?;
+                let depth = r.u32("info depth")?;
+                r.finish("info")?;
                 Ok(Response::Info {
-                    entries: u64::from_le_bytes(buf[1..9].try_into().unwrap()),
-                    leaves: u32::from_le_bytes(buf[9..13].try_into().unwrap()),
-                    depth: u32::from_le_bytes(buf[13..17].try_into().unwrap()),
+                    entries,
+                    leaves,
+                    depth,
                 })
             }
             0x05 => {
-                if buf.len() < 3 {
-                    return Err(err("candidate sets header truncated"));
-                }
-                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-                let mut sets = Vec::with_capacity(n);
-                let mut off = 3;
+                let n = r.u16("candidate sets header")? as usize;
+                let mut sets = Vec::with_capacity(cap_alloc(n, r.remaining(), 1));
                 for _ in 0..n {
-                    match buf.get(off) {
-                        Some(1) => {
-                            let (list, next) = decode_candidate_list(buf, off + 1)?;
-                            sets.push(Ok(list));
-                            off = next;
-                        }
-                        Some(0) => {
-                            let (msg, next) = decode_message(buf, off + 1)?;
-                            sets.push(Err(msg));
-                            off = next;
-                        }
-                        Some(t) => return Err(err(&format!("unknown per-query result tag {t}"))),
-                        None => return Err(err("per-query result tag truncated")),
+                    match r.u8("per-query result tag")? {
+                        1 => sets.push(Ok(decode_candidate_list(&mut r)?)),
+                        0 => sets.push(Err(decode_message(&mut r)?)),
+                        t => return Err(err(&format!("unknown per-query result tag {t}"))),
                     }
                 }
-                if off != buf.len() {
-                    return Err(err("trailing bytes after candidate sets"));
-                }
+                r.finish("candidate sets")?;
                 Ok(Response::CandidateSets(sets))
             }
             0x06 => {
-                if buf.len() < 7 {
-                    return Err(err("insert error header truncated"));
-                }
-                let inserted = u32::from_le_bytes(buf[1..5].try_into().unwrap());
-                let n = u16::from_le_bytes([buf[5], buf[6]]) as usize;
-                if buf.len() != 7 + n {
-                    return Err(err("insert error body size mismatch"));
-                }
-                Ok(Response::InsertError {
-                    inserted,
-                    message: String::from_utf8_lossy(&buf[7..7 + n]).into_owned(),
-                })
+                let inserted = r.u32("insert error header")?;
+                let message = decode_message(&mut r)?;
+                r.finish("insert error")?;
+                Ok(Response::InsertError { inserted, message })
             }
             0x07 => {
-                let (list, off) = decode_candidate_list(buf, 1)?;
-                if off != buf.len() {
-                    return Err(err("trailing bytes after candidate list"));
-                }
+                let list = decode_candidate_list(&mut r)?;
+                r.finish("candidate list")?;
                 Ok(Response::CandidateList(list))
             }
             0x08 => {
-                if buf.len() < 5 {
-                    return Err(err("objects header truncated"));
-                }
-                let n = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
-                let mut objects = Vec::with_capacity(n.min(1 << 16));
-                let mut off = 5;
+                let n = r.u32("objects header")? as usize;
+                let mut objects = Vec::with_capacity(cap_alloc(n, r.remaining(), 12));
                 for _ in 0..n {
-                    if buf.len() < off + 12 {
-                        return Err(err("object header truncated"));
-                    }
-                    let id = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                    let len =
-                        u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
-                    off += 12;
-                    if buf.len() < off + len {
-                        return Err(err("object payload truncated"));
-                    }
-                    objects.push(FetchedObject {
-                        id,
-                        payload: buf[off..off + len].to_vec(),
-                    });
-                    off += len;
+                    let id = r.u64("object header")?;
+                    let len = r.u32("object header")? as usize;
+                    let payload = r.bytes(len, "object payload")?.to_vec();
+                    objects.push(FetchedObject { id, payload });
                 }
-                if off != buf.len() {
-                    return Err(err("trailing bytes after objects"));
-                }
+                r.finish("objects")?;
                 Ok(Response::Objects(objects))
             }
             t => Err(err(&format!("unknown response tag {t}"))),

@@ -68,6 +68,12 @@ pub struct CloudServer<S: BucketStore> {
     total_search_stats: SharedSearchStats,
 }
 
+impl<S: BucketStore> std::fmt::Debug for CloudServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudServer").finish_non_exhaustive()
+    }
+}
+
 impl<S: BucketStore> CloudServer<S> {
     /// Creates a server with the given index configuration and store, and
     /// the default [`ServerConfig`] (no inline budget).
@@ -180,13 +186,23 @@ impl<S: BucketStore> CloudServer<S> {
             }
             Request::BatchKnn(queries) => {
                 // One read-lock acquisition for the whole batch; queries
-                // from other connections still interleave freely.
-                let index = self.index.read();
-                let mut sets = Vec::with_capacity(queries.len());
+                // from other connections still interleave freely. The
+                // guard is released before staging touches the storage
+                // layer (lock discipline: no guard across stage_candidates).
+                let results: Vec<_> = {
+                    let index = self.index.read();
+                    queries
+                        .into_iter()
+                        .map(|q| {
+                            let evaluator = evaluator_for(q.routing);
+                            index.knn_candidates(&evaluator, q.cand_size as usize)
+                        })
+                        .collect()
+                };
+                let mut sets = Vec::with_capacity(results.len());
                 let mut batch_stats = SearchStats::default();
-                for q in queries {
-                    let evaluator = evaluator_for(q.routing);
-                    match index.knn_candidates(&evaluator, q.cand_size as usize) {
+                for result in results {
+                    match result {
                         Ok((entries, stats)) => {
                             batch_stats.merge(&stats);
                             sets.push(Ok(self.stage(entries)));
@@ -229,8 +245,8 @@ impl<S: BucketStore> CloudServer<S> {
                 let shape = index.shape();
                 Response::Info {
                     entries: index.len(),
-                    leaves: shape.leaves as u32,
-                    depth: shape.max_depth as u32,
+                    leaves: u32::try_from(shape.leaves).unwrap_or(u32::MAX),
+                    depth: u32::try_from(shape.max_depth).unwrap_or(u32::MAX),
                 }
             }
             Request::ExportAll => match self.index.read().all_entries() {

@@ -159,7 +159,7 @@ fn encrypted_precise_knn_is_exact() {
     want.truncate(15);
     assert_eq!(got.len(), 15);
     for (g, w) in got.iter().zip(&want) {
-        assert!((g.1 - w.1).abs() < 1e-6, "{:?} vs {:?}", g, w);
+        assert!((g.1 - w.1).abs() < 1e-6, "{g:?} vs {w:?}");
     }
 }
 
@@ -328,7 +328,7 @@ fn unauthorized_client_gets_garbage() {
     let bytes = probe.handle(&all.encode());
     match Response::decode(&bytes).unwrap() {
         Response::CandidateList(list) => {
-            assert!(list.headers.is_empty(), "probe server is empty")
+            assert!(list.headers.is_empty(), "probe server is empty");
         }
         Response::Error(_) => {}
         other => panic!("unexpected {other:?}"),

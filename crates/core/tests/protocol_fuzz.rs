@@ -141,6 +141,45 @@ proptest! {
         }
     }
 
+    #[test]
+    fn batch_knn_request_round_trips(
+        queries in proptest::collection::vec(
+            (arb_routing(), any::<u32>())
+                .prop_map(|(routing, cand_size)| simcloud_core::protocol::KnnQuery {
+                    routing,
+                    cand_size,
+                }),
+            0..8,
+        )
+    ) {
+        let req = Request::BatchKnn(queries);
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn inserted_response_round_trips(n in any::<u32>()) {
+        let resp = Response::Inserted(n);
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn info_round_trips(entries in any::<u64>(), leaves in any::<u32>(), depth in any::<u32>()) {
+        // The Info request carries no fields; the response carries three.
+        let req = Request::Info;
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        // ExportAll is field-free too; piggyback on the same case budget.
+        let req = Request::ExportAll;
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let resp = Response::Info { entries, leaves, depth };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn insert_error_response_round_trips(inserted in any::<u32>(), message in ".{0,120}") {
+        let resp = Response::InsertError { inserted, message };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
     /// A server fed arbitrary bytes must answer (with an error), not panic —
     /// the handler is exposed to the network.
     #[test]

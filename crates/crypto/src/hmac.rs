@@ -15,7 +15,7 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
 }
 
 /// Incremental HMAC-SHA-256.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct HmacSha256 {
     inner: Sha256,
     opad_key: [u8; BLOCK],

@@ -23,7 +23,6 @@
 //! ordinary heap memory without zeroization. Do not reuse outside the
 //! experimental context of this repository.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;

@@ -20,7 +20,7 @@ const K: [u32; 64] = [
 ];
 
 /// Incremental SHA-256 hasher.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha256 {
     state: [u32; 8],
     buf: [u8; 64],

@@ -22,7 +22,6 @@
 //! held-out versions for the 1-NN comparison of Table 9) and a
 //! multi-threaded brute-force ground-truth engine (crossbeam) for recall.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csvio;

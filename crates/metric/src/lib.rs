@@ -23,7 +23,6 @@
 //!
 //! Everything is deterministic given explicit seeds; no global RNG state.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -119,20 +119,15 @@ impl PivotPermutation {
 
     /// Decodes a permutation; returns it and the bytes consumed.
     pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
-        if buf.len() < 2 {
-            return None;
-        }
-        let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-        let need = 2 + 2 * n;
-        if buf.len() < need {
-            return None;
-        }
+        let (len_bytes, rest) = buf.split_first_chunk::<2>()?;
+        let n = u16::from_le_bytes(*len_bytes) as usize;
+        let mut body = rest.get(..2 * n)?;
         let mut order = Vec::with_capacity(n);
-        for i in 0..n {
-            let off = 2 + 2 * i;
-            order.push(u16::from_le_bytes([buf[off], buf[off + 1]]));
+        while let Some((c, tail)) = body.split_first_chunk::<2>() {
+            order.push(u16::from_le_bytes(*c));
+            body = tail;
         }
-        Some((Self { order }, need))
+        Some((Self { order }, 2 + 2 * n))
     }
 }
 
@@ -144,10 +139,12 @@ pub fn permutation_from_distances(distances: &[f64]) -> PivotPermutation {
         "too many pivots for u16 permutation entries"
     );
     let mut idx: Vec<u16> = (0..distances.len() as u16).collect();
+    // `total_cmp` keeps the sort well-defined even for NaN distances, which
+    // can arrive over the wire inside `Routing::Distances` — a malformed
+    // float must not abort the server.
     idx.sort_by(|&a, &b| {
         distances[a as usize]
-            .partial_cmp(&distances[b as usize])
-            .expect("NaN distance")
+            .total_cmp(&distances[b as usize])
             .then(a.cmp(&b))
     });
     PivotPermutation::new(idx)

@@ -73,25 +73,19 @@ impl Vector {
     /// Decodes a vector previously written by [`Vector::encode`]; returns the
     /// vector and the number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Self, usize), VectorDecodeError> {
-        if buf.len() < 4 {
+        let Some((len_bytes, rest)) = buf.split_first_chunk::<4>() else {
             return Err(VectorDecodeError::Truncated);
-        }
-        let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-        let need = 4 + 4 * n;
-        if buf.len() < need {
+        };
+        let n = u32::from_le_bytes(*len_bytes) as usize;
+        let Some(mut body) = 4usize.checked_mul(n).and_then(|need| rest.get(..need)) else {
             return Err(VectorDecodeError::Truncated);
-        }
+        };
         let mut comps = Vec::with_capacity(n);
-        for i in 0..n {
-            let off = 4 + 4 * i;
-            comps.push(f32::from_le_bytes([
-                buf[off],
-                buf[off + 1],
-                buf[off + 2],
-                buf[off + 3],
-            ]));
+        while let Some((c, tail)) = body.split_first_chunk::<4>() {
+            comps.push(f32::from_le_bytes(*c));
+            body = tail;
         }
-        Ok((Self::new(comps), need))
+        Ok((Self::new(comps), 4 + 4 * n))
     }
 }
 

@@ -78,30 +78,21 @@ impl Routing {
 
     /// Decodes a routing; returns it and bytes consumed.
     pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
-        match buf.first()? {
+        let (tag, rest) = buf.split_first()?;
+        match tag {
             1 => {
-                if buf.len() < 3 {
-                    return None;
-                }
-                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-                let need = 3 + 4 * n;
-                if buf.len() < need {
-                    return None;
-                }
+                let (len_bytes, rest) = rest.split_first_chunk::<2>()?;
+                let n = u16::from_le_bytes(*len_bytes) as usize;
+                let mut body = rest.get(..4 * n)?;
                 let mut d = Vec::with_capacity(n);
-                for i in 0..n {
-                    let off = 3 + 4 * i;
-                    d.push(f32::from_le_bytes([
-                        buf[off],
-                        buf[off + 1],
-                        buf[off + 2],
-                        buf[off + 3],
-                    ]));
+                while let Some((c, tail)) = body.split_first_chunk::<4>() {
+                    d.push(f32::from_le_bytes(*c));
+                    body = tail;
                 }
-                Some((Routing::Distances(d), need))
+                Some((Routing::Distances(d), 3 + 4 * n))
             }
             2 => {
-                let (p, used) = PivotPermutation::decode(&buf[1..])?;
+                let (p, used) = PivotPermutation::decode(rest)?;
                 Some((Routing::Permutation(p), 1 + used))
             }
             _ => None,
@@ -147,14 +138,10 @@ impl IndexEntry {
     /// Reconstructs an entry from a storage record.
     pub fn decode_payload(id: u64, buf: &[u8]) -> Option<Self> {
         let (routing, used) = Routing::decode(buf)?;
-        if buf.len() < used + 4 {
-            return None;
-        }
-        let len = u32::from_le_bytes(buf[used..used + 4].try_into().unwrap()) as usize;
-        if buf.len() < used + 4 + len {
-            return None;
-        }
-        let payload = buf[used + 4..used + 4 + len].to_vec();
+        let rest = buf.get(used..)?;
+        let (len_bytes, rest) = rest.split_first_chunk::<4>()?;
+        let len = u32::from_le_bytes(*len_bytes) as usize;
+        let payload = rest.get(..len)?.to_vec();
         Some(Self {
             id,
             routing,

@@ -23,7 +23,6 @@
 //! structure runs unchanged on an untrusted server that cannot compute
 //! `d(·,·)`.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

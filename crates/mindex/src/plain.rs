@@ -29,6 +29,12 @@ pub struct PlainMIndex<M: Metric<Vector>, S: BucketStore> {
     index: MIndex<S>,
 }
 
+impl<M: Metric<Vector>, S: BucketStore> std::fmt::Debug for PlainMIndex<M, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlainMIndex").finish_non_exhaustive()
+    }
+}
+
 impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
     /// Builds a plain index with the given pivots.
     pub fn new(
@@ -167,7 +173,7 @@ impl<M: Metric<Vector>, S: BucketStore> PlainMIndex<M, S> {
             n if n >= k => approx[k - 1].1,
             // Fewer than k objects found in the seed candidates (tiny data
             // set) — fall back to a radius covering everything observed.
-            _ => approx.last().map(|x| x.1).unwrap_or(f64::INFINITY),
+            _ => approx.last().map_or(f64::INFINITY, |x| x.1),
         };
         if !rho_k.is_finite() {
             // Degenerate: empty index.

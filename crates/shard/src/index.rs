@@ -48,7 +48,7 @@ pub struct ShardedMIndex<S: BucketStore> {
     /// External id → owning shard. Guarded by its own lock so inserts to
     /// *different* shards contend only for this map's brief update, never
     /// for each other's index write locks.
-    owners: RwLock<HashMap<u64, u32>>,
+    owners: RwLock<HashMap<u64, usize>>,
     router: Box<dyn ShardRouter>,
     /// Whether searches fan out on scoped threads (one per shard) or walk
     /// the shards sequentially on the calling thread. Defaults to the
@@ -91,7 +91,8 @@ impl<S: BucketStore> ShardedMIndex<S> {
             shards,
             owners: RwLock::new(HashMap::new()),
             router,
-            parallel_fanout: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+            parallel_fanout: std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+                > 1,
         })
     }
 
@@ -123,10 +124,11 @@ impl<S: BucketStore> ShardedMIndex<S> {
         self.owners.read().is_empty()
     }
 
-    /// Read access to one shard (shape and storage inspection). Holds that
-    /// shard's shared lock for the guard's lifetime — keep it short.
-    pub fn shard(&self, i: usize) -> RwLockReadGuard<'_, MIndex<S>> {
-        self.shards[i].read()
+    /// Read access to one shard (shape and storage inspection), `None` for
+    /// an out-of-range index. Holds that shard's shared lock for the
+    /// guard's lifetime — keep it short.
+    pub fn shard(&self, i: usize) -> Option<RwLockReadGuard<'_, MIndex<S>>> {
+        self.shards.get(i).map(|s| s.read())
     }
 
     /// The shard the router assigns `entry` to (what *would* own it).
@@ -180,9 +182,20 @@ impl<S: BucketStore> ShardedMIndex<S> {
             }
             // Reserve before the shard insert so a concurrent insert of the
             // same id fails fast instead of racing two shards.
-            owners.insert(id, shard as u32);
+            owners.insert(id, shard);
         }
-        match self.shards[shard].write().insert(entry) {
+        let Some(slot) = self.shards.get(shard) else {
+            self.owners.write().remove(&id);
+            return Err(MIndexError::Corrupt(format!(
+                "router chose shard {shard} of {}",
+                self.shards.len()
+            )));
+        };
+        // Bind the result so the shard write guard (a scrutinee temporary
+        // would outlive the match) is released before the ownership map is
+        // touched again — the documented order is map before shard.
+        let result = slot.write().insert(entry);
+        match result {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.owners.write().remove(&id);
@@ -204,16 +217,22 @@ impl<S: BucketStore> ShardedMIndex<S> {
             return self.shards.iter().map(|s| f(&s.read())).collect();
         }
         std::thread::scope(|scope| {
-            let handles: Vec<_> = self.shards[1..]
-                .iter()
+            let mut shards = self.shards.iter();
+            let first = shards.next();
+            let handles: Vec<_> = shards
                 .map(|s| {
                     let f = &f;
                     scope.spawn(move || f(&s.read()))
                 })
                 .collect();
             let mut out = Vec::with_capacity(self.shards.len());
-            out.push(f(&self.shards[0].read()));
-            out.extend(handles.into_iter().map(|h| h.join().expect("shard worker")));
+            if let Some(s) = first {
+                out.push(f(&s.read()));
+            }
+            out.extend(handles.into_iter().map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(MIndexError::Corrupt("shard worker panicked".into())))
+            }));
             out
         })
     }
@@ -286,20 +305,28 @@ impl<S: BucketStore> ShardedMIndex<S> {
     pub fn fetch_entries(&self, ids: &[u64]) -> Result<Vec<Option<IndexEntry>>, MIndexError> {
         let mut out: Vec<Option<IndexEntry>> = Vec::with_capacity(ids.len());
         out.resize_with(ids.len(), || None);
-        let mut per_shard: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut per_shard: HashMap<usize, Vec<(usize, u64)>> = HashMap::new();
         {
             let owners = self.owners.read();
             for (pos, id) in ids.iter().enumerate() {
                 if let Some(&s) = owners.get(id) {
-                    per_shard.entry(s).or_default().push(pos);
+                    per_shard.entry(s).or_default().push((pos, *id));
                 }
             }
         }
-        for (shard, positions) in per_shard {
-            let sub: Vec<u64> = positions.iter().map(|&p| ids[p]).collect();
-            let got = self.shards[shard as usize].read().fetch_entries(&sub)?;
-            for (&p, e) in positions.iter().zip(got) {
-                out[p] = e;
+        for (shard, items) in per_shard {
+            let Some(slot) = self.shards.get(shard) else {
+                return Err(MIndexError::Corrupt(format!(
+                    "ownership map names shard {shard} of {}",
+                    self.shards.len()
+                )));
+            };
+            let sub: Vec<u64> = items.iter().map(|&(_, id)| id).collect();
+            let got = slot.read().fetch_entries(&sub)?;
+            for (&(p, _), e) in items.iter().zip(got) {
+                if let Some(dest) = out.get_mut(p) {
+                    *dest = e;
+                }
             }
         }
         Ok(out)
@@ -361,7 +388,7 @@ mod tests {
         idx.insert(entry(3, &[0.9, 0.5, 0.1])).unwrap(); // pivot 2
         assert_eq!(idx.len(), 3);
         for i in 0..3 {
-            assert_eq!(idx.shard(i).len(), 1, "shard {i}");
+            assert_eq!(idx.shard(i).map_or(0, |s| s.len()), 1, "shard {i}");
         }
     }
 
@@ -376,7 +403,11 @@ mod tests {
             Err(MIndexError::DuplicateId(7))
         ));
         assert_eq!(idx.len(), 1);
-        assert_eq!(idx.shard(1).len(), 0, "rejected entry must not land");
+        assert_eq!(
+            idx.shard(1).map_or(u64::MAX, |s| s.len()),
+            0,
+            "rejected entry must not land"
+        );
     }
 
     #[test]
@@ -565,7 +596,7 @@ mod tests {
             });
         });
         assert_eq!(idx.len(), 8 + 4 * 25);
-        let total: u64 = (0..4).map(|i| idx.shard(i).len()).sum();
+        let total: u64 = (0..4).map(|i| idx.shard(i).map_or(0, |s| s.len())).sum();
         assert_eq!(total, idx.len(), "ownership map and shards agree");
     }
 }

@@ -34,7 +34,6 @@
 //! property test pins this), otherwise the sharded set draws from at least
 //! as many promising cells.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deploy;

@@ -80,14 +80,22 @@ pub fn merge_ranked(
     }
     while out.len() < want {
         let Some(cur) = heap.pop() else { break };
-        let head = heads[cur.shard].take().expect("cursor points at a head");
+        // Every cursor in the heap was pushed alongside a live head for its
+        // shard, so a missing slot means the heap and heads diverged — drop
+        // the cursor rather than index past the end.
+        let Some(slot) = heads.get_mut(cur.shard) else {
+            break;
+        };
+        let Some(head) = slot.take() else { break };
         out.push(head);
-        if let Some(next) = lists[cur.shard].next() {
+        if let Some(next) = lists.get_mut(cur.shard).and_then(Iterator::next) {
             heap.push(Cursor {
                 bound: next.1,
                 shard: cur.shard,
             });
-            heads[cur.shard] = Some(next);
+            if let Some(slot) = heads.get_mut(cur.shard) {
+                *slot = Some(next);
+            }
         }
     }
     out

@@ -27,6 +27,12 @@ pub struct ShardedCloudServer<S: BucketStore> {
     total_search_stats: SharedSearchStats,
 }
 
+impl<S: BucketStore> std::fmt::Debug for ShardedCloudServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCloudServer").finish_non_exhaustive()
+    }
+}
+
 impl<S: BucketStore> ShardedCloudServer<S> {
     /// Creates a sharded server with one shard per store and the default
     /// [`ServerConfig`] (no inline budget).
@@ -183,8 +189,8 @@ impl<S: BucketStore> ShardedCloudServer<S> {
                 let shape = self.index.shape();
                 Response::Info {
                     entries: shape.entries,
-                    leaves: shape.leaves as u32,
-                    depth: shape.max_depth as u32,
+                    leaves: u32::try_from(shape.leaves).unwrap_or(u32::MAX),
+                    depth: u32::try_from(shape.max_depth).unwrap_or(u32::MAX),
                 }
             }
             Request::ExportAll => match self.index.all_entries() {

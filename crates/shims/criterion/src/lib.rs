@@ -19,6 +19,7 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Measurement driver handed to each bench target.
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
 }
@@ -114,6 +115,7 @@ impl IntoBenchmarkId for String {
 }
 
 /// Group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
@@ -155,7 +157,7 @@ impl BenchmarkGroup<'_> {
     {
         let name = format!("{}/{}", self.name, id.into_id());
         run_one(&name, self.sample_size, self.throughput, &mut |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }
@@ -165,6 +167,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Timing handle passed to the bench closure.
+#[derive(Debug)]
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,

@@ -143,6 +143,12 @@ pub trait Strategy {
 /// Type-erased strategy; cheap to clone.
 pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
 
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxedStrategy").finish_non_exhaustive()
+    }
+}
+
 impl<V> Clone for BoxedStrategy<V> {
     fn clone(&self) -> Self {
         BoxedStrategy(Rc::clone(&self.0))
@@ -160,6 +166,12 @@ impl<V> Strategy for BoxedStrategy<V> {
 pub struct Map<S, F> {
     strat: S,
     f: F,
+}
+
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
 }
 
 impl<S, O, F> Strategy for Map<S, F>
@@ -209,6 +221,12 @@ impl Arbitrary for bool {
 
 /// Strategy returned by [`any`].
 pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Any").finish_non_exhaustive()
+    }
+}
 
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
@@ -286,6 +304,12 @@ pub struct Union<V> {
     total: u64,
 }
 
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").finish_non_exhaustive()
+    }
+}
+
 impl<V> Union<V> {
     /// Builds a union; weights must not all be zero.
     pub fn new(branches: Vec<(u32, BoxedStrategy<V>)>) -> Self {
@@ -360,6 +384,12 @@ pub mod collection {
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
+    }
+
+    impl<S> std::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("VecStrategy").finish_non_exhaustive()
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -460,13 +490,10 @@ mod pattern {
             // Optional quantifier.
             let (min, max) = match chars.get(i) {
                 Some('{') => {
-                    let close = chars[i..]
-                        .iter()
-                        .position(|&c| c == '}')
-                        .map(|p| i + p)
-                        .unwrap_or_else(|| {
-                            panic!("[proptest shim] unterminated quantifier in {pat:?}")
-                        });
+                    let close = chars[i..].iter().position(|&c| c == '}').map_or_else(
+                        || panic!("[proptest shim] unterminated quantifier in {pat:?}"),
+                        |p| i + p,
+                    );
                     let body: String = chars[i + 1..close].iter().collect();
                     i = close + 1;
                     match body.split_once(',') {
@@ -500,7 +527,7 @@ mod pattern {
         pieces
     }
 
-    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+    pub(crate) fn generate(pat: &str, rng: &mut TestRng) -> String {
         let mut out = String::new();
         for piece in parse(pat) {
             let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;

@@ -42,7 +42,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -71,8 +71,7 @@ pub trait SeedableRng: Sized {
         use std::hash::{BuildHasher, Hasher};
         let t = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x9e3779b97f4a7c15);
+            .map_or(0x9e3779b97f4a7c15, |d| d.as_nanos() as u64);
         let h = std::collections::hash_map::RandomState::new()
             .build_hasher()
             .finish();

@@ -138,15 +138,15 @@ impl DiskStore {
         if &hdr[0..8] != MAGIC {
             return Err(StorageError::Corrupt("bad magic".into()));
         }
-        let version = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+        let version = read_u32_at(&hdr, 8)?;
         if version != VERSION {
             return Err(StorageError::Corrupt(format!(
                 "unsupported version {version}"
             )));
         }
-        let page_count = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
-        let free_head = u32::from_le_bytes(hdr[16..20].try_into().unwrap());
-        let dir_head = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+        let page_count = read_u32_at(&hdr, 12)?;
+        let free_head = read_u32_at(&hdr, 16)?;
+        let dir_head = read_u32_at(&hdr, 20)?;
         let mut inner = Inner {
             file,
             page_count,
@@ -168,6 +168,35 @@ impl DiskStore {
     pub fn page_count(&self) -> u32 {
         self.inner.lock().page_count
     }
+}
+
+/// Reads a little-endian `u32` at `off`, or reports corruption — header and
+/// page parsing must surface truncated files as [`StorageError::Corrupt`],
+/// never a panic.
+fn read_u32_at(bytes: &[u8], off: usize) -> Result<u32, StorageError> {
+    bytes
+        .get(off..off.saturating_add(4))
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| StorageError::Corrupt(format!("truncated u32 at byte {off}")))
+}
+
+/// Reads a little-endian `u16` at `off` (see [`read_u32_at`]).
+fn read_u16_at(bytes: &[u8], off: usize) -> Result<u16, StorageError> {
+    bytes
+        .get(off..off.saturating_add(2))
+        .and_then(|s| s.try_into().ok())
+        .map(u16::from_le_bytes)
+        .ok_or_else(|| StorageError::Corrupt(format!("truncated u16 at byte {off}")))
+}
+
+/// Reads a little-endian `u64` at `off` (see [`read_u32_at`]).
+fn read_u64_at(bytes: &[u8], off: usize) -> Result<u64, StorageError> {
+    bytes
+        .get(off..off.saturating_add(8))
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| StorageError::Corrupt(format!("truncated u64 at byte {off}")))
 }
 
 impl Inner {
@@ -195,13 +224,19 @@ impl Inner {
 
     fn evict_if_full(&mut self) -> Result<(), StorageError> {
         while self.pool.len() >= self.pool_capacity {
-            let victim = self
+            // The loop condition keeps the pool non-empty (capacity >= 2),
+            // so a missing victim just means there is nothing to evict.
+            let Some(victim) = self
                 .pool
                 .iter()
                 .min_by_key(|(_, p)| p.last_used)
                 .map(|(&n, _)| n)
-                .expect("pool not empty");
-            let page = self.pool.remove(&victim).unwrap();
+            else {
+                break;
+            };
+            let Some(page) = self.pool.remove(&victim) else {
+                break;
+            };
             if page.dirty {
                 self.file
                     .seek(SeekFrom::Start(victim as u64 * PAGE_SIZE as u64))?;
@@ -217,7 +252,10 @@ impl Inner {
         if self.pool.contains_key(&page) {
             self.stats.pool_hits += 1;
             self.touch(page);
-            return Ok(self.pool.get_mut(&page).unwrap());
+            return self
+                .pool
+                .get_mut(&page)
+                .ok_or_else(|| StorageError::Corrupt(format!("page {page} vanished from pool")));
         }
         self.evict_if_full()?;
         let mut data = Box::new([0u8; PAGE_SIZE]);
@@ -235,7 +273,9 @@ impl Inner {
                 last_used: tick,
             },
         );
-        Ok(self.pool.get_mut(&page).unwrap())
+        self.pool
+            .get_mut(&page)
+            .ok_or_else(|| StorageError::Corrupt(format!("page {page} vanished from pool")))
     }
 
     /// Installs a fresh zeroed page into the pool marked dirty (no disk read).
@@ -261,7 +301,7 @@ impl Inner {
             let page = self.free_head;
             let next = {
                 let p = self.read_page(page)?;
-                u32::from_le_bytes(p.data[0..4].try_into().unwrap())
+                read_u32_at(&p.data[..], 0)?
             };
             self.free_head = next;
             self.fresh_page(page)?;
@@ -284,7 +324,7 @@ impl Inner {
         while page != NIL {
             let next = {
                 let p = self.read_page(page)?;
-                u32::from_le_bytes(p.data[0..4].try_into().unwrap())
+                read_u32_at(&p.data[..], 0)?
             };
             // link into free list through the same next-pointer slot
             let free_head = self.free_head;
@@ -343,8 +383,8 @@ impl Inner {
         while page != NIL {
             let (next, chunk) = {
                 let p = self.read_page(page)?;
-                let next = u32::from_le_bytes(p.data[0..4].try_into().unwrap());
-                let used = u16::from_le_bytes(p.data[4..6].try_into().unwrap()) as usize;
+                let next = read_u32_at(&p.data[..], 0)?;
+                let used = read_u16_at(&p.data[..], 4)? as usize;
                 if used > PAGE_CAP {
                     return Err(StorageError::Corrupt(format!(
                         "page {page} claims {used} used bytes"
@@ -374,17 +414,17 @@ impl Inner {
         if bytes.len() < 4 {
             return Err(StorageError::Corrupt("directory truncated".into()));
         }
-        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let n = read_u32_at(&bytes, 0)? as usize;
         let mut off = 4;
         for _ in 0..n {
             if bytes.len() < off + 26 {
                 return Err(StorageError::Corrupt("directory entry truncated".into()));
             }
-            let bucket = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-            let head = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap());
-            let tail = u32::from_le_bytes(bytes[off + 12..off + 16].try_into().unwrap());
-            let tail_used = u16::from_le_bytes(bytes[off + 16..off + 18].try_into().unwrap());
-            let records = u64::from_le_bytes(bytes[off + 18..off + 26].try_into().unwrap());
+            let bucket = read_u64_at(&bytes, off)?;
+            let head = read_u32_at(&bytes, off + 8)?;
+            let tail = read_u32_at(&bytes, off + 12)?;
+            let tail_used = read_u16_at(&bytes, off + 16)?;
+            let records = read_u64_at(&bytes, off + 18)?;
             self.directory.insert(
                 BucketId(bucket),
                 BucketMeta {
@@ -495,12 +535,16 @@ impl Inner {
             .map(|(&n, _)| n)
             .collect();
         for page in dirty {
-            let data = self.pool.get(&page).unwrap().data.clone();
+            let Some(data) = self.pool.get(&page).map(|p| p.data.clone()) else {
+                continue;
+            };
             self.file
                 .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
             self.file.write_all(&data[..])?;
             self.stats.page_writes += 1;
-            self.pool.get_mut(&page).unwrap().dirty = false;
+            if let Some(p) = self.pool.get_mut(&page) {
+                p.dirty = false;
+            }
         }
         self.write_header()?;
         self.file.sync_data()?;

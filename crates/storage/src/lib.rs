@@ -15,7 +15,6 @@
 //! plaintext structure — consistent with the paper's layering where storage
 //! is the least trusted component.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod disk;

@@ -26,7 +26,6 @@
 //!
 //! Frame format (both transports): `u32 LE length || payload`.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod stats;

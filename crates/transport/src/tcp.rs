@@ -34,7 +34,9 @@ use crate::transport::{RequestHandler, SharedRequestHandler, Transport, FRAME_HE
 use crate::{TransportError, TransportStats};
 
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::other("frame exceeds u32::MAX bytes"))?;
+    stream.write_all(&len.to_le_bytes())?;
     stream.write_all(payload)?;
     stream.flush()
 }
@@ -65,6 +67,7 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, TransportError> {
 
 /// Handle to a running TCP server; dropping it stops the accept loop.
 /// Active connections finish serving their current client independently.
+#[derive(Debug)]
 pub struct TcpServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -109,7 +112,7 @@ pub fn serve_tcp<H: RequestHandler + 'static>(handler: H) -> std::io::Result<Tcp
     let handler = Arc::new(Mutex::new(handler));
     serve_with(move |stream| {
         let handler = Arc::clone(&handler);
-        serve_connection(stream, move |req| handler.lock().handle(req))
+        serve_connection(stream, move |req| handler.lock().handle(req));
     })
 }
 
@@ -125,7 +128,7 @@ pub fn serve_tcp_shared<H: SharedRequestHandler + 'static>(
 ) -> std::io::Result<TcpServerHandle> {
     serve_with(move |stream| {
         let handler = Arc::clone(&handler);
-        serve_connection(stream, move |req| handler.handle_shared(req))
+        serve_connection(stream, move |req| handler.handle_shared(req));
     })
 }
 
@@ -170,7 +173,7 @@ fn serve_connection(mut stream: TcpStream, mut handle: impl FnMut(&[u8]) -> Vec<
     while let Ok(request) = read_frame(&mut stream) {
         let start = Instant::now();
         let response = handle(&request);
-        let server_ns = start.elapsed().as_nanos() as u64;
+        let server_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut framed = Vec::with_capacity(8 + response.len());
         framed.extend_from_slice(&server_ns.to_le_bytes());
         framed.extend_from_slice(&response);
@@ -181,6 +184,7 @@ fn serve_connection(mut stream: TcpStream, mut handle: impl FnMut(&[u8]) -> Vec<
 }
 
 /// Client side of the TCP deployment.
+#[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
     stats: TransportStats,
@@ -204,14 +208,13 @@ impl Transport for TcpTransport {
         write_frame(&mut self.stream, request)?;
         let framed = read_frame(&mut self.stream)?;
         let elapsed = start.elapsed();
-        if framed.len() < 8 {
+        let Some((ns_bytes, rest)) = framed.split_first_chunk::<8>() else {
             return Err(TransportError::BadFrame(
                 "missing server-time header".into(),
             ));
-        }
-        let server_ns = u64::from_le_bytes(framed[0..8].try_into().unwrap());
-        let server_time = Duration::from_nanos(server_ns);
-        let response = framed[8..].to_vec();
+        };
+        let server_time = Duration::from_nanos(u64::from_le_bytes(*ns_bytes));
+        let response = rest.to_vec();
         self.stats.requests += 1;
         self.stats.bytes_sent += (request.len() + FRAME_HEADER) as u64;
         // The 8-byte server-time header is measurement apparatus, not

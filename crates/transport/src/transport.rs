@@ -50,6 +50,12 @@ impl<H: SharedRequestHandler + ?Sized> SharedRequestHandler for std::sync::Arc<H
 /// [`InProcessTransport`] clients sharing one server.
 pub struct Shared<H>(pub H);
 
+impl<H> std::fmt::Debug for Shared<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
 impl<H: SharedRequestHandler> RequestHandler for Shared<H> {
     fn handle(&mut self, request: &[u8]) -> Vec<u8> {
         self.0.handle_shared(request)
@@ -127,6 +133,12 @@ pub struct InProcessTransport<H> {
     handler: H,
     model: NetworkModel,
     stats: TransportStats,
+}
+
+impl<H> std::fmt::Debug for InProcessTransport<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcessTransport").finish_non_exhaustive()
+    }
 }
 
 impl<H: RequestHandler> InProcessTransport<H> {

@@ -69,7 +69,8 @@ fn main() {
     });
     println!("\n— per-shard occupancy after 4 concurrent insert connections —");
     for i in 0..sharded.index().shard_count() {
-        println!("  shard {i}: {} entries", sharded.index().shard(i).len());
+        let len = sharded.index().shard(i).map_or(0, |s| s.len());
+        println!("  shard {i}: {len} entries");
     }
 
     // Build the single-index twin (one connection suffices).

@@ -30,8 +30,6 @@
 //! assert!(costs.candidates <= 100);
 //! ```
 
-#![forbid(unsafe_code)]
-
 /// Metric-space toolkit (vectors, metrics, pivots, permutations).
 pub use simcloud_metric as metric;
 

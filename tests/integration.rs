@@ -233,6 +233,54 @@ fn tampered_candidates_are_rejected() {
     );
 }
 
+/// A malicious server cannot drive client (or server) memory with forged
+/// length headers: claimed counts are capped by the bytes actually present,
+/// and a frame above the per-message cap is rejected before any allocation.
+#[test]
+fn forged_length_headers_are_rejected_cheaply() {
+    use simcloud_core::protocol::{Request, Response, MAX_DECODE_BYTES};
+    use simcloud_transport::{InProcessTransport, RequestHandler};
+
+    // Allocation bombs: a valid tag followed by a u32::MAX element count
+    // and no element bodies. Decode must fail fast, not reserve gigabytes.
+    let mut bomb = vec![0x01]; // Request::Insert
+    bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Request::decode(&bomb).is_err());
+    let mut bomb = vec![0x02]; // Response::Candidates
+    bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Response::decode(&bomb).is_err());
+
+    // Over-cap frames are rejected outright by the size gate.
+    let huge = vec![0u8; MAX_DECODE_BYTES + 1];
+    assert!(Request::decode(&huge).is_err());
+    assert!(Response::decode(&huge).is_err());
+
+    // End to end: a tampering transport replacing every answer with a
+    // forged phase-1 header list claiming u32::MAX candidates must surface
+    // as a client error, never a panic or runaway allocation.
+    struct Bomber<H>(H);
+    impl<H: RequestHandler> RequestHandler for Bomber<H> {
+        fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+            let _ = self.0.handle(request);
+            let mut forged = vec![0x07]; // Response::CandidateList tag
+            forged.extend_from_slice(&u32::MAX.to_le_bytes());
+            forged
+        }
+    }
+
+    let dataset = simcloud::datasets::yeast_like(41, Some(60));
+    let data = &dataset.vectors;
+    let (key, _) = SecretKey::generate(data, 5, &L1, PivotSelection::Random, 42);
+    let mut cfg = MIndexConfig::yeast();
+    cfg.num_pivots = 5;
+    let server = simcloud_core::CloudServer::new(cfg, MemoryStore::new()).unwrap();
+    let transport = InProcessTransport::new(Bomber(server));
+    let mut client =
+        simcloud_core::EncryptedClient::new(key, L1, transport, ClientConfig::distances())
+            .with_rng_seed(43);
+    assert!(client.knn_approx(&data[0], 5, 20).is_err());
+}
+
 /// The index works for non-vector data too (the metric approach is
 /// generic): edit distance over strings through the plain M-Index layer.
 #[test]
