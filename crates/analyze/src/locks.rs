@@ -10,7 +10,22 @@
 //!    held — the documented order is map *before* shard;
 //! 2. holding **two shard write guards** at once;
 //! 3. calling `stage_candidates` (or the `.stage(` helper) while *any*
-//!    guard is held.
+//!    lock guard is held.
+//!
+//! The frontier refactor added candidate **cursors** (`.knn_cursor(` /
+//! `.range_cursor(`), which are tracked like guards and bring two more
+//! rules:
+//!
+//! 4. acquiring a **shard write lock** while a cursor is live — a cursor
+//!    must own all its staged data before writers run, otherwise the
+//!    stream could observe a half-mutated shard;
+//! 5. pulling a cursor (`.next_candidate(`) while **two or more shard
+//!    guards** are held — the coordinator's heap pull is lock-free by
+//!    design, and holding a guard pair across a pull reintroduces the
+//!    pairwise-deadlock shape rule 2 exists to prevent.
+//!
+//! A cursor binding dies at its block's end, at `drop(name)`, or when it
+//! is consumed by `name.collect_up_to(`.
 //!
 //! The tracker is lexical, not a borrow checker: `let`-bound guards live to
 //! the end of their block (or an explicit `drop(name)`), scrutinee
@@ -45,6 +60,9 @@ enum Class {
     Index,
     /// Anything else (stats counters, buffer-pool latches, ...).
     Other,
+    /// Not a lock at all: a live candidate cursor (`.knn_cursor(` /
+    /// `.range_cursor(`), tracked with guard lifetimes.
+    Cursor,
 }
 
 #[derive(Debug, Clone)]
@@ -154,9 +172,15 @@ fn walk_body(
                 } else {
                     pending.clear();
                 }
-                // drop(name) releases a named guard early.
+                // drop(name) releases a named guard early; consuming a
+                // cursor with name.collect_up_to(..) ends its life too.
                 if let Some(dropped) = dropped_name(trimmed) {
                     guards.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+                }
+                if let Some(consumed) = consumed_cursor_name(trimmed) {
+                    guards.retain(|g| {
+                        g.class != Class::Cursor || g.name.as_deref() != Some(consumed.as_str())
+                    });
                 }
                 stmt.clear();
             }
@@ -206,6 +230,18 @@ fn check_events(
         let recv = stmt.get(..stmt.len() - pat.len()).unwrap_or_default();
         let class = classify(recv);
         for g in guards.iter().chain(pending.iter()) {
+            if class == Class::Shard && write && g.class == Class::Cursor {
+                out.push(LockViolation {
+                    path: path.to_owned(),
+                    line: line + 1,
+                    function: fn_name.to_owned(),
+                    message: format!(
+                        "shard write lock acquired while candidate cursor (line {}) is \
+                         live; a cursor must own its staged data before writers run",
+                        g.line + 1
+                    ),
+                });
+            }
             if class == Class::Map && g.class == Class::Shard {
                 out.push(LockViolation {
                     path: path.to_owned(),
@@ -240,10 +276,50 @@ fn check_events(
         });
         return;
     }
+    // Opening a cursor starts a tracked lifetime (leading dot excludes the
+    // `fn knn_cursor(` definitions themselves).
+    if stmt.ends_with(".knn_cursor(") || stmt.ends_with(".range_cursor(") {
+        pending.push(Guard {
+            class: Class::Cursor,
+            write: false,
+            name: None,
+            depth: 0,
+            line,
+        });
+        return;
+    }
+    // The coordinator's heap pull must be lock-free: pulling a cursor with
+    // a pair of shard guards held reintroduces the deadlock shape that the
+    // double-write rule exists to prevent.
+    if stmt.ends_with(".next_candidate(") {
+        let shard_guards: Vec<&Guard> = guards
+            .iter()
+            .chain(pending.iter())
+            .filter(|g| g.class == Class::Shard)
+            .collect();
+        if let (2.., Some(first)) = (shard_guards.len(), shard_guards.first()) {
+            out.push(LockViolation {
+                path: path.to_owned(),
+                line: line + 1,
+                function: fn_name.to_owned(),
+                message: format!(
+                    "cursor pulled while {} shard guards are held (first at line {}); \
+                     the coordinator heap pull must be lock-free",
+                    shard_guards.len(),
+                    first.line + 1
+                ),
+            });
+        }
+        return;
+    }
     if (stmt.ends_with("stage_candidates(") && !stmt.trim_start().starts_with("fn "))
         || stmt.ends_with(".stage(")
     {
-        if let Some(g) = guards.iter().chain(pending.iter()).next() {
+        let lock_guard = guards
+            .iter()
+            .chain(pending.iter())
+            .find(|g| g.class != Class::Cursor);
+        if let Some(g) = lock_guard {
             out.push(LockViolation {
                 path: path.to_owned(),
                 line: line + 1,
@@ -312,6 +388,25 @@ fn let_binding_name(stmt: &str) -> Option<String> {
     let name: String = rest
         .chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// `name.collect_up_to(` → `name` (the consuming drain that ends a
+/// cursor's lexical life mid-block).
+fn consumed_cursor_name(stmt: &str) -> Option<String> {
+    let (before, _) = stmt.split_once(".collect_up_to(")?;
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
         .collect();
     if name.is_empty() {
         None

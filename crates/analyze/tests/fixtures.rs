@@ -211,6 +211,103 @@ fn answer(&mut self) {
     );
 }
 
+/// Seeded violation: a shard write lock taken while a candidate cursor is
+/// still live — the stream could observe a half-mutated shard.
+#[test]
+fn seeded_shard_write_under_live_cursor_is_found() {
+    let bad = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn compact(&self, ev: &PromiseEvaluator) {
+    let cursor = self.index.knn_cursor(ev, 32);
+    let guard = self.shards[1].write();
+    drop(cursor);
+}
+"#,
+    );
+    assert!(
+        lock_violations(&bad)
+            .iter()
+            .any(|v| v.message.contains("candidate cursor")),
+        "write-under-cursor not caught: {:?}",
+        lock_violations(&bad)
+    );
+
+    // Compliant twin: the cursor is consumed (collect_up_to takes self)
+    // before the writer runs.
+    let good = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn compact(&self, ev: &PromiseEvaluator) {
+    let cursor = self.index.knn_cursor(ev, 32);
+    let drained = cursor.collect_up_to(Some(32));
+    let guard = self.shards[1].write();
+}
+"#,
+    );
+    assert!(
+        lock_violations(&good).is_empty(),
+        "false positive: {:?}",
+        lock_violations(&good)
+    );
+
+    // Also compliant: explicit drop before the writer.
+    let dropped = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn compact(&self, ev: &PromiseEvaluator) {
+    let cursor = self.index.range_cursor(ev, 1.5);
+    drop(cursor);
+    let guard = self.shards[1].write();
+}
+"#,
+    );
+    assert!(
+        lock_violations(&dropped).is_empty(),
+        "false positive after drop: {:?}",
+        lock_violations(&dropped)
+    );
+}
+
+/// Seeded violation: pulling a cursor while two shard guards are held —
+/// the coordinator's k-way heap pull must stay lock-free.
+#[test]
+fn seeded_cursor_pull_under_guard_pair_is_found() {
+    let bad = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn drain(&self, mut cursor: CandidateCursor) {
+    let a = self.shards[0].read();
+    let b = self.shards[1].read();
+    let head = cursor.next_candidate();
+}
+"#,
+    );
+    assert!(
+        lock_violations(&bad)
+            .iter()
+            .any(|v| v.message.contains("lock-free")),
+        "pull-under-guard-pair not caught: {:?}",
+        lock_violations(&bad)
+    );
+
+    // Compliant twin: at most one shard guard held across the pull.
+    let good = SourceFile::from_source(
+        "crates/shard/src/fixture.rs",
+        r#"
+fn drain(&self, mut cursor: CandidateCursor) {
+    let a = self.shards[0].read();
+    let head = cursor.next_candidate();
+}
+"#,
+    );
+    assert!(
+        lock_violations(&good).is_empty(),
+        "false positive: {:?}",
+        lock_violations(&good)
+    );
+}
+
 // ---- wire-conformance pass ----------------------------------------------
 
 const FIXTURE_PROTOCOL: &str = r#"

@@ -8,11 +8,15 @@
 //!    single index's through the unmodified client. Asserted, not just
 //!    reported.
 //! 2. **Query throughput** — steady-state encrypted 30-NN against 1/2/4
-//!    shards vs the single index. On a single-vCPU container scatter-gather
-//!    adds thread-spawn overhead and no parallel win (physics); the bench
-//!    asserts the 4-shard deployment stays within noise of single-index
-//!    (≥ 0.5×) and leaves the parallel-speedup re-measure to a multi-core
-//!    runner, as PR 2 did for concurrent reads.
+//!    shards (hash and pivot routers) vs the single index. With the
+//!    incremental candidate frontier each shard stages headers but only
+//!    decodes what the coordinator's bound-ordered pull actually consumes
+//!    (~`cand_size / N` per shard), so even on a single-vCPU container the
+//!    4-shard deployment must stay within noise of single-index: at CI
+//!    (`--quick`) scale the bench asserts hash-routed 4-shard throughput
+//!    ≥ 0.95× single, and at both scales that the summed
+//!    `candidates_generated` work counter shows sub-linear amplification
+//!    (< 1.5× the single index's decode work).
 //! 3. **Insert throughput** — 4 concurrent connections streaming inserts
 //!    against 1/2/4 shards over a latency-modelled store (fixed write delay
 //!    inside the index write lock). Per-shard locks must overlap the
@@ -39,6 +43,15 @@ struct Config {
     rounds: usize,
     cand: usize,
     inserts_per_thread: usize,
+}
+
+/// Cumulative `candidates_generated` (the decode-work counter summed
+/// across shards) on either deployment kind.
+fn generated(server: &simcloud_bench::SteadyServer) -> u64 {
+    match server {
+        simcloud_bench::SteadyServer::Single(s) => s.total_search_stats().candidates_generated,
+        simcloud_bench::SteadyServer::Sharded(s) => s.total_search_stats().candidates_generated,
+    }
 }
 
 fn assert_identical(label: &str, sharded: &[Neighbor], single: &[Neighbor]) {
@@ -157,36 +170,65 @@ fn main() {
     ));
 
     // ---- 2. query throughput -------------------------------------------
+    let gen_before = generated(&single.server);
     let single_q = steady_state_encrypted(&single, cfg.cand, k, 1, cfg.rounds, 7);
     let single_qps = single_q.queries_per_second();
-    println!("  query  shards=1          {single_qps:>8.1} queries/s (reference)");
+    let single_generated = generated(&single.server) - gen_before;
+    println!(
+        "  query  shards=1          {single_qps:>8.1} queries/s (reference, {single_generated} generated)"
+    );
     json.push_str(&format!(
-        "  \"query_yeast_30nn/cand{}/shards1\": {{ \"queries_per_s\": {single_qps:.1}, \"vs_single\": 1.00 }},\n",
+        "  \"query_yeast_30nn/cand{}/shards1\": {{ \"queries_per_s\": {single_qps:.1}, \"vs_single\": 1.00, \"generated\": {single_generated} }},\n",
         cfg.cand
     ));
-    for shards in [2usize, 4] {
-        let pre = prebuild_sharded(
-            ds.clone(),
-            cfg.queries,
-            3,
-            ServerConfig::default(),
-            shards,
-            RouterKind::Hash,
-        );
-        let run = steady_state_encrypted(&pre, cfg.cand, k, 1, cfg.rounds, 7);
-        let qps = run.queries_per_second();
-        let ratio = qps / single_qps;
-        println!("  query  shards={shards} (hash)   {qps:>8.1} queries/s ({ratio:.2}x vs single)");
-        json.push_str(&format!(
-            "  \"query_yeast_30nn/cand{}/shards{shards}\": {{ \"queries_per_s\": {qps:.1}, \"vs_single\": {ratio:.2} }},\n",
-            cfg.cand
-        ));
-        if shards == 4 {
-            assert!(
-                ratio > 0.5,
-                "4-shard query throughput {ratio:.2}x fell out of the noise band \
-                 vs single-index (scatter-gather overhead regression)"
+    for router in [RouterKind::Hash, RouterKind::Pivot] {
+        for shards in [2usize, 4] {
+            let pre = prebuild_sharded(
+                ds.clone(),
+                cfg.queries,
+                3,
+                ServerConfig::default(),
+                shards,
+                router,
             );
+            let run = steady_state_encrypted(&pre, cfg.cand, k, 1, cfg.rounds, 7);
+            let qps = run.queries_per_second();
+            let ratio = qps / single_qps;
+            let gen = generated(&pre.server);
+            let amp = gen as f64 / single_generated.max(1) as f64;
+            println!(
+                "  query  shards={shards} ({:<5})  {qps:>8.1} queries/s ({ratio:.2}x vs single, {amp:.2}x generated)",
+                router.label()
+            );
+            json.push_str(&format!(
+                "  \"query_yeast_30nn/cand{}/shards{shards}/{}\": {{ \"queries_per_s\": {qps:.1}, \"vs_single\": {ratio:.2}, \"generated\": {gen}, \"generated_vs_single\": {amp:.2} }},\n",
+                cfg.cand,
+                router.label()
+            ));
+            if shards == 4 && router == RouterKind::Hash {
+                // The frontier contract, asserted at CI (--quick) scale:
+                // pulling in bound order keeps per-shard decode work near
+                // cand_size / N, so the scatter-gather deployment must
+                // match single-index throughput even on one vCPU. The
+                // full-scale row is reported unasserted — opening four
+                // best-first walks serially carries a fixed per-shard cost
+                // that the larger config doesn't amortize, and the
+                // reference and sharded windows are minutes apart on a
+                // shared machine...
+                assert!(
+                    !quick || ratio >= 0.95,
+                    "4-shard query throughput {ratio:.2}x vs single-index fell below the \
+                     0.95x frontier floor (per-shard work no longer bounded by the pull)"
+                );
+                // ...and the summed work counter must show the sub-linear
+                // amplification directly (4 shards would be ~4x under the
+                // old gather-everything merge).
+                assert!(
+                    amp < 1.5,
+                    "4-shard candidates_generated amplification {amp:.2}x >= 1.5x \
+                     (shards are decoding past the coordinator's pull again)"
+                );
+            }
         }
     }
 

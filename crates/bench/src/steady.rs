@@ -352,6 +352,31 @@ pub fn steady_state_encrypted_with(
     rounds: usize,
     seed: u64,
 ) -> SteadyState {
+    // One untimed pass over the workload first: a freshly built server pays
+    // first-touch costs (page faults, lazy allocations, cold caches) on its
+    // first queries, and a *steady-state* measurement should not charge
+    // them to round one.
+    {
+        let server = pre.server.clone();
+        let key = pre.key.clone();
+        let metric = pre.dataset.metric.clone();
+        match server {
+            SteadyServer::Single(s) => knn_rounds(
+                &mut client_for(key, metric, s, config.clone()).with_rng_seed(seed),
+                &pre.workload,
+                1,
+                k,
+                cand_size,
+            ),
+            SteadyServer::Sharded(s) => knn_rounds(
+                &mut client_for_sharded(key, metric, s, config.clone()).with_rng_seed(seed),
+                &pre.workload,
+                1,
+                k,
+                cand_size,
+            ),
+        };
+    }
     let start = Instant::now();
     let per_thread: u64 = (rounds * pre.workload.len()) as u64;
     let totals: Vec<CostReport> = std::thread::scope(|scope| {

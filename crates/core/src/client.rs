@@ -221,6 +221,65 @@ impl Ord for WorstNeighbor {
     }
 }
 
+/// One query's suspended decrypt-on-demand refinement — the Alg. 2 loop of
+/// [`EncryptedClient::refine`] in resumable form.
+///
+/// `advance_refine` runs the exit-check / decrypt / rank loop until the
+/// candidate at the cursor has no payload staged and reports how far the
+/// stall's fetch should reach; the driver performs the phase-2 fetch — a
+/// solo query immediately, the batch driver after **coalescing every
+/// stalled sibling's plan into one [`Request::FetchObjects`] round trip**
+/// — and resumes. The task borrows only the query vector, never the
+/// client, so any number of tasks can be suspended while the client's
+/// transport is busy fetching for all of them.
+struct RefineTask<'a> {
+    q: &'a Vector,
+    goal: RefineGoal,
+    headers: Vec<CandidateHeader>,
+    payloads: Vec<Option<Vec<u8>>>,
+    /// Minimum lower bound over `headers[i..]` (lazy mode only).
+    suffix_min: Vec<f64>,
+    lazy: bool,
+    /// Eager refinement stages the whole remainder in one fetch before the
+    /// loop; this flag makes that stall fire exactly once.
+    eager_prefetched: bool,
+    heap: BinaryHeap<WorstNeighbor>,
+    /// Next header position the loop will examine.
+    cursor: usize,
+    grown: usize,
+    decrypted: u64,
+    bad: u64,
+    first_bad: Option<ClientError>,
+    /// Wall time spent inside the loop (fetch round trips excluded) —
+    /// lands in `costs.decryption` when the task settles.
+    loop_time: std::time::Duration,
+}
+
+/// Which still-missing payload slots a stall's fetch should cover: up to
+/// `limit` missing positions starting at `from`, as (ids, positions).
+/// Shared by the solo fetch path and the batch coalescer so both request
+/// exactly the same ids for the same stall.
+fn plan_fetch(
+    headers: &[CandidateHeader],
+    payloads: &[Option<Vec<u8>>],
+    from: usize,
+    limit: usize,
+) -> (Vec<u64>, Vec<usize>) {
+    let limit = limit.max(1);
+    let mut ids = Vec::with_capacity(limit);
+    let mut positions = Vec::with_capacity(limit);
+    for (i, p) in payloads.iter().enumerate().skip(from) {
+        if p.is_none() {
+            ids.push(headers[i].id);
+            positions.push(i);
+            if ids.len() == limit {
+                break;
+            }
+        }
+    }
+    (ids, positions)
+}
+
 /// The authorized client.
 pub struct EncryptedClient<M: Metric<Vector>, T: Transport> {
     key: SecretKey,
@@ -426,18 +485,7 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         costs: &mut CostReport,
         rt_elapsed: &mut std::time::Duration,
     ) -> Result<(), ClientError> {
-        let limit = limit.max(1);
-        let mut ids = Vec::with_capacity(limit);
-        let mut slots = Vec::with_capacity(limit);
-        for (i, p) in payloads.iter().enumerate().skip(from) {
-            if p.is_none() {
-                ids.push(headers[i].id);
-                slots.push(i);
-                if ids.len() == limit {
-                    break;
-                }
-            }
-        }
+        let (ids, slots) = plan_fetch(headers, payloads, from, limit);
         if ids.is_empty() {
             return Ok(());
         }
@@ -565,8 +613,31 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         goal: RefineGoal,
         rt_elapsed: &mut std::time::Duration,
     ) -> Result<Vec<Neighbor>, ClientError> {
-        let refine_start = Instant::now();
-        let mut fetch_elapsed = std::time::Duration::ZERO;
+        let mut task = self.start_refine(q, list, costs, goal);
+        while let Some((from, limit)) = self.advance_refine(&mut task)? {
+            self.fetch_payloads(
+                &task.headers,
+                &mut task.payloads,
+                from,
+                limit,
+                costs,
+                rt_elapsed,
+            )?;
+        }
+        self.settle_refine(task, costs)
+    }
+
+    /// Opens a [`RefineTask`] over a phase-1 candidate list: counts the
+    /// candidates, stages the inlined payload prefix and runs the
+    /// suffix-min pre-pass. No I/O and no decryption happen here.
+    fn start_refine<'a>(
+        &self,
+        q: &'a Vector,
+        list: CandidateList,
+        costs: &mut CostReport,
+        goal: RefineGoal,
+    ) -> RefineTask<'a> {
+        let start = Instant::now();
         let CandidateList { headers, payloads } = list;
         costs.candidates += headers.len() as u64;
         let mut payloads: Vec<Option<Vec<u8>>> = payloads.into_iter().map(Some).collect();
@@ -592,34 +663,60 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         } else {
             Vec::new()
         };
-        if !lazy {
+        RefineTask {
+            q,
+            goal,
+            headers,
+            payloads,
+            suffix_min,
+            lazy,
+            // Lazy tasks never run the eager whole-remainder prefetch.
+            eager_prefetched: lazy,
+            heap: BinaryHeap::new(),
+            cursor: 0,
+            grown: 0,
+            decrypted: 0,
+            bad: 0,
+            first_bad: None,
+            loop_time: start.elapsed(),
+        }
+    }
+
+    /// Resumes a task's refinement loop. Returns `Ok(Some((from, limit)))`
+    /// when the loop needs payloads it does not hold — the stall's fetch
+    /// plan, exactly what the pre-refactor loop passed to
+    /// [`Self::fetch_payloads`] — and `Ok(None)` when the task ran to its
+    /// early exit or the end of the candidate list. An `Err` (tampering /
+    /// key mismatch) abandons the task: like the pre-refactor early
+    /// return, none of its counters reach the cost report.
+    fn advance_refine(
+        &self,
+        task: &mut RefineTask<'_>,
+    ) -> Result<Option<(usize, usize)>, ClientError> {
+        let start = Instant::now();
+        let stall = self.advance_refine_loop(task);
+        task.loop_time += start.elapsed();
+        stall
+    }
+
+    fn advance_refine_loop(
+        &self,
+        task: &mut RefineTask<'_>,
+    ) -> Result<Option<(usize, usize)>, ClientError> {
+        if !task.eager_prefetched {
             // Eager refinement decrypts everything, so stage the whole
             // remainder in one phase-2 round trip instead of adaptive
             // batches.
-            let fetch_start = Instant::now();
-            self.fetch_payloads(
-                &headers,
-                &mut payloads,
-                0,
-                headers.len().max(1),
-                costs,
-                rt_elapsed,
-            )?;
-            fetch_elapsed += fetch_start.elapsed();
+            task.eager_prefetched = true;
+            if task.payloads.iter().any(Option::is_none) {
+                return Ok(Some((0, task.headers.len().max(1))));
+            }
         }
-        let mut grown = 0usize;
-
-        // Worst-of-the-best-k ordering matches the eager sort exactly:
-        // by true distance, ties by id.
-        let mut heap: BinaryHeap<WorstNeighbor> = BinaryHeap::new();
-        let mut decrypted = 0u64;
-        let mut bad = 0u64;
-        let mut first_bad: Option<ClientError> = None;
-
-        for i in 0..headers.len() {
-            if lazy {
-                let remaining = suffix_min[i];
-                let done = match goal {
+        while task.cursor < task.headers.len() {
+            let i = task.cursor;
+            if task.lazy {
+                let remaining = task.suffix_min[i];
+                let done = match task.goal {
                     // lb > τ ⇒ every remaining true distance exceeds the
                     // radius; `>` keeps exact-boundary objects.
                     RefineGoal::Within { wire_radius, .. } => remaining > wire_radius,
@@ -627,87 +724,107 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                     // d > d_k, so it can neither enter the top-k nor tie.
                     RefineGoal::TopK(k) => {
                         k == 0
-                            || (heap.len() == k
+                            || (task.heap.len() == k
                                 // PANIC-SAFE: guarded by `heap.len() == k` with `k > 0` on this branch.
-                                && self.to_wire_distance(heap.peek().expect("k > 0").0) < remaining)
+                                && self.to_wire_distance(task.heap.peek().expect("k > 0").0)
+                                    < remaining)
                     }
                 };
                 if done {
                     break;
                 }
             }
-            if payloads[i].is_none() {
+            if task.payloads[i].is_none() {
                 // Phase 2: this candidate survived the exit check, so its
                 // payload — and, speculatively, its batch's — is really
                 // needed. The threshold the exit compares against also
                 // tells us how far the need can possibly extend.
-                let threshold = match goal {
+                let threshold = match task.goal {
                     RefineGoal::Within { wire_radius, .. } => Some(wire_radius),
-                    RefineGoal::TopK(k) if k > 0 && heap.len() == k => {
+                    RefineGoal::TopK(k) if k > 0 && task.heap.len() == k => {
                         // PANIC-SAFE: arm guard requires `heap.len() == k` and `k > 0`.
-                        Some(self.to_wire_distance(heap.peek().expect("heap full").0))
+                        Some(self.to_wire_distance(task.heap.peek().expect("heap full").0))
                     }
                     RefineGoal::TopK(_) => None,
                 };
-                let batch = self.fetch_batch_size(goal, i, threshold, &suffix_min, &mut grown);
-                let fetch_start = Instant::now();
-                self.fetch_payloads(&headers, &mut payloads, i, batch, costs, rt_elapsed)?;
-                fetch_elapsed += fetch_start.elapsed();
+                let batch = self.fetch_batch_size(
+                    task.goal,
+                    i,
+                    threshold,
+                    &task.suffix_min,
+                    &mut task.grown,
+                );
+                return Ok(Some((i, batch)));
             }
-            let id = headers[i].id;
-            // PANIC-SAFE: the `is_none()` branch above fetched this slot (`fetch_payloads` fills `i..i + batch` or errors).
-            let payload = payloads[i].take().expect("payload just fetched");
+            task.cursor += 1;
+            let id = task.headers[i].id;
+            // PANIC-SAFE: the `is_none()` branch above stalled until the driver fetched this slot.
+            let payload = task.payloads[i].take().expect("payload just fetched");
             // Alg. 2 line 13: decrypt. An authentication failure is active
             // tampering (or a key mismatch) — that aborts immediately, as
             // silently dropping a tampered-with candidate would let a
             // malicious server censor specific neighbors undetected. Only
             // *decode* failures below (a buggy authorized writer) are
             // skip-and-record.
-            decrypted += 1;
+            task.decrypted += 1;
             let plain = self
                 .key
                 .cipher()
                 .unseal_with_aad(&payload, &id.to_le_bytes())?;
             let Ok((o, _)) = Vector::decode(&plain) else {
-                bad += 1;
-                first_bad.get_or_insert(ClientError::BadObject(id));
+                task.bad += 1;
+                task.first_bad.get_or_insert(ClientError::BadObject(id));
                 continue;
             };
             // Alg. 2 line 14: true distance. A non-finite distance means the
             // payload decoded to garbage (e.g. NaN coordinates) — reject it
             // instead of letting it poison the order.
-            let d = self.metric.distance(q, &o);
+            let d = self.metric.distance(task.q, &o);
             if !d.is_finite() {
-                bad += 1;
-                first_bad.get_or_insert(ClientError::BadObject(id));
+                task.bad += 1;
+                task.first_bad.get_or_insert(ClientError::BadObject(id));
                 continue;
             }
-            match goal {
+            match task.goal {
                 RefineGoal::Within { radius, .. } => {
                     if d <= radius {
-                        heap.push(WorstNeighbor(d, id));
+                        task.heap.push(WorstNeighbor(d, id));
                     }
                 }
                 RefineGoal::TopK(k) => {
                     if k > 0 {
-                        heap.push(WorstNeighbor(d, id));
-                        if heap.len() > k {
-                            heap.pop();
+                        task.heap.push(WorstNeighbor(d, id));
+                        if task.heap.len() > k {
+                            task.heap.pop();
                         }
                     }
                 }
             }
         }
-        let result: Vec<Neighbor> = heap
+        Ok(None)
+    }
+
+    /// Closes a finished task: sorts the surviving heap into the answer
+    /// and books the task's counters and loop time into the cost report.
+    fn settle_refine(
+        &self,
+        task: RefineTask<'_>,
+        costs: &mut CostReport,
+    ) -> Result<Vec<Neighbor>, ClientError> {
+        let start = Instant::now();
+        // Worst-of-the-best-k ordering matches the eager sort exactly:
+        // by true distance, ties by id.
+        let result: Vec<Neighbor> = task
+            .heap
             .into_sorted_vec()
             .into_iter()
             .map(|WorstNeighbor(d, id)| (ObjectId(id), d))
             .collect();
-        costs.decrypted += decrypted;
-        costs.bad_candidates += bad;
-        costs.decryption += refine_start.elapsed().saturating_sub(fetch_elapsed);
-        if let Some(e) = first_bad {
-            let damaging = match goal {
+        costs.decrypted += task.decrypted;
+        costs.bad_candidates += task.bad;
+        costs.decryption += task.loop_time + start.elapsed();
+        if let Some(e) = task.first_bad {
+            let damaging = match task.goal {
                 // A skipped range candidate could have been a true result.
                 RefineGoal::Within { .. } => true,
                 RefineGoal::TopK(k) => result.len() < k,
@@ -822,6 +939,14 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
     /// `Result` still covers batch-level failures — transport errors and
     /// malformed responses.
     ///
+    /// Phase-2 fetches are **coalesced across the batch**: all queries
+    /// refine as suspended [`RefineTask`]s in lock-step rounds, and each
+    /// round ships every stalled query's fetch plan as one
+    /// [`Request::FetchObjects`] — per-query `fetched`/`decrypted` costs
+    /// are identical to refining each query alone, but the round-trip
+    /// count drops from the sum of per-query fetches to the number of
+    /// rounds (typically one or two).
+    ///
     /// The wire format carries at most `u16::MAX` queries per message;
     /// larger batches are transparently split into multiple round trips.
     #[allow(clippy::type_complexity)]
@@ -861,14 +986,146 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
                 }
                 other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
             };
+            // Open one refinement task per successful slot; failed slots
+            // settle immediately. Tasks then run in **rounds**: every task
+            // advances to its next stall (or to completion), the stalled
+            // tasks' fetch plans are concatenated into ONE phase-2
+            // `FetchObjects` round trip, the answer is split back per task,
+            // and the next round begins. Each task's decision sequence —
+            // which candidates it decrypts, which ids it fetches — is
+            // exactly the solo path's, so `fetched`/`decrypted` accounting
+            // is unchanged; only the round-trip count drops.
+            let mut tasks: Vec<Option<RefineTask<'_>>> = Vec::with_capacity(chunk.len());
+            let mut outcomes: Vec<Option<Result<Vec<Neighbor>, ClientError>>> =
+                Vec::with_capacity(chunk.len());
             for (q, per_query) in chunk.iter().zip(sets) {
-                results.push(match per_query {
+                match per_query {
                     Ok(list) => {
-                        self.refine(q, list, &mut costs, RefineGoal::TopK(k), &mut rt_elapsed)
+                        tasks.push(Some(self.start_refine(
+                            q,
+                            list,
+                            &mut costs,
+                            RefineGoal::TopK(k),
+                        )));
+                        outcomes.push(None);
                     }
-                    Err(msg) => Err(ClientError::Server(msg)),
-                });
+                    Err(msg) => {
+                        tasks.push(None);
+                        outcomes.push(Some(Err(ClientError::Server(msg))));
+                    }
+                }
             }
+            loop {
+                // Advance every live task; collect the stalled ones' plans.
+                let mut plans: Vec<(usize, Vec<u64>, Vec<usize>)> = Vec::new();
+                for si in 0..tasks.len() {
+                    let Some(task) = tasks[si].as_mut() else {
+                        continue;
+                    };
+                    match self.advance_refine(task) {
+                        // Tampering/key mismatch aborts this slot only — a
+                        // malicious answer for one query must not censor
+                        // its siblings' results.
+                        Err(e) => {
+                            tasks[si] = None;
+                            outcomes[si] = Some(Err(e));
+                        }
+                        Ok(None) => {
+                            // PANIC-SAFE: `as_mut` above proved the slot is occupied.
+                            let task = tasks[si].take().expect("task just advanced");
+                            outcomes[si] = Some(self.settle_refine(task, &mut costs));
+                        }
+                        Ok(Some((from, limit))) => {
+                            let (ids, positions) =
+                                plan_fetch(&task.headers, &task.payloads, from, limit);
+                            // A stall always names a missing payload, so the
+                            // plan is never empty; fold a violation into the
+                            // slot rather than looping forever.
+                            if ids.is_empty() {
+                                tasks[si] = None;
+                                outcomes[si] = Some(Err(ClientError::UnexpectedResponse(
+                                    "refinement stalled with nothing to fetch".into(),
+                                )));
+                            } else {
+                                plans.push((si, ids, positions));
+                            }
+                        }
+                    }
+                }
+                if plans.is_empty() {
+                    break;
+                }
+                // One coalesced phase-2 round trip for every stalled
+                // sibling. The server's answer must mirror the
+                // concatenated id list exactly; the total count is checked
+                // here, per-id order per task below.
+                let all_ids: Vec<u64> = plans
+                    .iter()
+                    .flat_map(|(_, ids, _)| ids.iter().copied())
+                    .collect();
+                let total = all_ids.len();
+                let resp = self.exchange(
+                    &Request::FetchObjects { ids: all_ids },
+                    &mut costs,
+                    &mut rt_elapsed,
+                )?;
+                let objects = match resp {
+                    Response::Objects(o) => o,
+                    other => return Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+                };
+                if objects.len() != total {
+                    return Err(ClientError::FetchMismatch(format!(
+                        "{} objects for {total} requested ids",
+                        objects.len(),
+                    )));
+                }
+                costs.fetch_requests += 1;
+                let mut supplied = objects.into_iter();
+                for (si, ids, positions) in plans {
+                    let mut mismatch: Option<ClientError> = None;
+                    for (&want, &pos) in ids.iter().zip(&positions) {
+                        // Consume this plan's span of the concatenated
+                        // answer fully even after a mismatch, so later
+                        // plans stay aligned.
+                        let Some(obj) = supplied.next() else {
+                            // Unreachable: the total count was checked.
+                            mismatch.get_or_insert(ClientError::FetchMismatch(
+                                "fetch answer exhausted mid-batch".into(),
+                            ));
+                            continue;
+                        };
+                        if mismatch.is_some() {
+                            continue;
+                        }
+                        if obj.id != want {
+                            mismatch = Some(ClientError::FetchMismatch(format!(
+                                "server answered id {} where {want} was requested",
+                                obj.id
+                            )));
+                            continue;
+                        }
+                        if let Some(task) = tasks[si].as_mut() {
+                            task.payloads[pos] = Some(obj.payload);
+                        }
+                    }
+                    match mismatch {
+                        Some(e) => {
+                            tasks[si] = None;
+                            outcomes[si] = Some(Err(e));
+                        }
+                        None => costs.fetched += ids.len() as u64,
+                    }
+                }
+            }
+            results.extend(outcomes.into_iter().map(|o| {
+                // Every slot settled: the round loop only exits when no
+                // task is live.
+                o.unwrap_or_else(|| {
+                    Err(ClientError::UnexpectedResponse(
+                        "refinement never completed".into(),
+                    ))
+                })
+            }));
         }
         // `costs.distance` covers only the query–pivot phase; refine()'s
         // loop time (including its metric evaluations) lands in

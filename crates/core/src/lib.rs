@@ -55,7 +55,7 @@ pub use cloud::{
 };
 pub use costs::CostReport;
 pub use key::SecretKey;
-pub use server::{evaluator_for, stage_candidates, CloudServer, ServerConfig};
+pub use server::{check_cand_size, evaluator_for, stage_candidates, CloudServer, ServerConfig};
 pub use transform::DistanceTransform;
 
 /// Recall measure re-exported from the index layer (paper §4.1).

@@ -251,6 +251,20 @@ fn err(msg: &str) -> CodecError {
 /// the bytes actually present (see [`cap_alloc`]).
 pub const MAX_DECODE_BYTES: usize = 64 << 20;
 
+/// Largest candidate-header count a phase-1 [`CandidateList`] can carry
+/// without its *headers-only* encoding busting [`MAX_DECODE_BYTES`] on the
+/// client's decoder.
+///
+/// A headers-only list costs `1` tag byte + `4` header-count bytes +
+/// `16` bytes per header + `4` payload-count bytes (see
+/// [`encode_candidate_list`]); the 9 framing bytes leave
+/// `(MAX_DECODE_BYTES - 9) / 16` header slots. Servers clamp `cand_size`
+/// to this before running a search — a request for more would produce an
+/// answer the requester itself could never decode, so it is refused up
+/// front with [`Response::Error`] instead of discovered as a codec error
+/// after the work is done.
+pub const MAX_CANDIDATE_HEADERS: usize = (MAX_DECODE_BYTES - 9) / 16;
+
 /// Caps a claimed element count before `Vec::with_capacity`: the count
 /// field is attacker-controlled, the buffer length bounds reality.
 /// `min_size` is the smallest wire footprint of one element, so the

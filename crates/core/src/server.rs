@@ -13,14 +13,15 @@
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use simcloud_mindex::{
-    IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing, SearchStats,
-    SharedSearchStats,
+    CandidateCursor, IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing,
+    SearchStats, SharedSearchStats, FIRST_CELL_ONLY,
 };
 use simcloud_storage::BucketStore;
 use simcloud_transport::{RequestHandler, SharedRequestHandler};
 
 use crate::protocol::{
     Candidate, CandidateHeader, CandidateList, FetchedObject, Request, Response,
+    MAX_CANDIDATE_HEADERS,
 };
 
 /// Server-side configuration beyond the index shape.
@@ -176,33 +177,62 @@ impl<S: BucketStore> CloudServer<S> {
                 let result = self.index.read().range_candidates(&distances, radius);
                 self.candidates_response(result)
             }
-            Request::ApproxKnn { routing, cand_size } => {
-                let evaluator = evaluator_for(routing);
-                let result = self
-                    .index
-                    .read()
-                    .knn_candidates(&evaluator, cand_size as usize);
-                self.candidates_response(result)
-            }
+            Request::ApproxKnn { routing, cand_size } => match check_cand_size(cand_size) {
+                // An oversized request is refused before any index work:
+                // its answer could never be decoded by the requester. A
+                // refused search did no accountable work, so the
+                // per-request stats are zeroed like any failed search.
+                Err(msg) => {
+                    *self.last_search_stats.lock() = SearchStats::default();
+                    Response::Error(msg)
+                }
+                Ok(()) => {
+                    let evaluator = evaluator_for(routing);
+                    let result = self
+                        .index
+                        .read()
+                        .knn_candidates(&evaluator, cand_size as usize);
+                    self.candidates_response(result)
+                }
+            },
             Request::BatchKnn(queries) => {
-                // One read-lock acquisition for the whole batch; queries
-                // from other connections still interleave freely. The
-                // guard is released before staging touches the storage
-                // layer (lock discipline: no guard across stage_candidates).
-                let results: Vec<_> = {
+                // One read-lock acquisition opens every query's cursor;
+                // queries from other connections still interleave freely.
+                // Cursors own their staged records, so the guard is
+                // released before any payload is decoded and before
+                // staging touches the storage layer (lock discipline: no
+                // guard across stage_candidates, no pull under a guard).
+                // Oversized queries are refused up front and never reach
+                // the index — their slots carry the clamp error.
+                let opened: Vec<Result<(CandidateCursor, Option<usize>), String>> = {
                     let index = self.index.read();
                     queries
                         .into_iter()
                         .map(|q| {
+                            check_cand_size(q.cand_size)?;
                             let evaluator = evaluator_for(q.routing);
-                            index.knn_candidates(&evaluator, q.cand_size as usize)
+                            let cand_size = q.cand_size as usize;
+                            // Same cap rule as `MIndex::knn_candidates`:
+                            // `FIRST_CELL_ONLY` drains the whole first cell.
+                            let cap = if cand_size == FIRST_CELL_ONLY {
+                                None
+                            } else {
+                                Some(cand_size)
+                            };
+                            index
+                                .knn_cursor(&evaluator, cand_size)
+                                .map(|cursor| (cursor, cap))
+                                .map_err(|e| e.to_string())
                         })
                         .collect()
                 };
-                let mut sets = Vec::with_capacity(results.len());
+                let mut sets = Vec::with_capacity(opened.len());
                 let mut batch_stats = SearchStats::default();
-                for result in results {
-                    match result {
+                for result in opened {
+                    let collected = result.and_then(|(cursor, cap)| {
+                        cursor.collect_up_to(cap).map_err(|e| e.to_string())
+                    });
+                    match collected {
                         Ok((entries, stats)) => {
                             batch_stats.merge(&stats);
                             sets.push(Ok(self.stage(entries)));
@@ -211,7 +241,7 @@ impl<S: BucketStore> CloudServer<S> {
                         // siblings' candidate sets still ship. The failed
                         // query did no accountable work, so the batch stats
                         // are exactly the successful queries' sum.
-                        Err(e) => sets.push(Err(e.to_string())),
+                        Err(e) => sets.push(Err(e)),
                     }
                 }
                 self.record_search(batch_stats);
@@ -302,6 +332,22 @@ fn candidate((e, lower_bound): (IndexEntry, f64)) -> Candidate {
         id: e.id,
         lower_bound,
         payload: e.payload,
+    }
+}
+
+/// Refuses a `cand_size` whose phase-1 header list could not fit the
+/// protocol's decode cap even with zero payloads inlined — the requester
+/// itself could never decode the answer, so the server rejects the
+/// request up front ([`Response::Error`]) instead of doing the search
+/// work and shipping an undecodable frame. Shared by every server front
+/// end so single and sharded deployments clamp identically.
+pub fn check_cand_size(cand_size: u32) -> Result<(), String> {
+    if cand_size as usize > MAX_CANDIDATE_HEADERS {
+        Err(format!(
+            "cand_size {cand_size} exceeds the {MAX_CANDIDATE_HEADERS}-header response cap"
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -732,6 +778,51 @@ mod tests {
             "stats cover the successful queries only"
         );
         assert_eq!(s.total_search_stats().candidates, 3);
+    }
+
+    /// A `cand_size` whose headers alone would bust the 64 MiB decode cap
+    /// is refused before any search work — solo requests get an error
+    /// response (with zeroed per-request stats), batch slots carry the
+    /// clamp error while their siblings still answer.
+    #[test]
+    fn oversized_cand_size_refused_before_search() {
+        let s = server();
+        s.process(Request::Insert(vec![entry(1, &[0.1, 0.5, 0.9])]));
+        s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: 1,
+        });
+        assert_eq!(s.last_search_stats().candidates, 1);
+        let before_total = s.total_search_stats();
+        let over = u32::try_from(MAX_CANDIDATE_HEADERS + 1).unwrap();
+        match s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: over,
+        }) {
+            Response::Error(msg) => assert!(msg.contains("header response cap"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats(), SearchStats::default());
+        assert_eq!(s.total_search_stats(), before_total);
+        match s.process(Request::BatchKnn(vec![
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: over,
+            },
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 1,
+            },
+        ])) {
+            Response::CandidateSets(sets) => {
+                assert_eq!(sets.len(), 2);
+                let msg = sets[0].as_ref().unwrap_err();
+                assert!(msg.contains("header response cap"), "{msg}");
+                assert_eq!(sets[1].as_ref().unwrap().headers.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats().candidates, 1, "successes only");
     }
 
     #[test]

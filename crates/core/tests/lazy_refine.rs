@@ -810,3 +810,46 @@ fn batch_two_phase_equals_eager() {
         "phase 2 must not re-ship the whole batch"
     );
 }
+
+/// Coalesced phase 2: a batch's stalled queries share one `FetchObjects`
+/// round trip per refinement round, so the batch's `fetch_requests` drops
+/// far below the sum of solo runs — while `fetched`/`decrypted` stay
+/// exactly the solo sums (the per-query decision sequences are unchanged).
+#[test]
+fn batch_coalesces_fetch_round_trips() {
+    let dep = build_with(
+        240,
+        3,
+        6,
+        55,
+        RoutingStrategy::Distances,
+        // Inline nothing: every query must go through real phase-2 fetches.
+        ServerConfig::budgeted(0),
+    );
+    let queries: Vec<Vector> = (0..12).map(|i| dep.data[i * 17].clone()).collect();
+    let cfg = ClientConfig::distances().with_fetch_batching(2, 8);
+    let mut batch = client(&dep, cfg.clone(), 56);
+    let (br, bc) = batch.knn_approx_batch(&queries, 10, 120).unwrap();
+    let mut solo = client(&dep, cfg, 57);
+    let mut solo_costs = simcloud_core::CostReport::default();
+    let mut sr = Vec::new();
+    for q in &queries {
+        let (r, c) = solo.knn_approx(q, 10, 120).unwrap();
+        sr.push(r);
+        solo_costs.merge(&c);
+    }
+    let br: Vec<_> = br.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(br, sr, "coalescing must not change any answer");
+    assert_eq!(bc.fetched, solo_costs.fetched, "same ids fetched");
+    assert_eq!(bc.decrypted, solo_costs.decrypted, "same decryption work");
+    assert!(
+        solo_costs.fetch_requests >= queries.len() as u64,
+        "every solo query on a zero-budget server fetches at least once"
+    );
+    assert!(
+        bc.fetch_requests < solo_costs.fetch_requests,
+        "batch rounds ({}) must undercut the solo round trips ({})",
+        bc.fetch_requests,
+        solo_costs.fetch_requests
+    );
+}

@@ -13,6 +13,7 @@ use std::collections::{BinaryHeap, HashMap};
 use simcloud_storage::{BucketId, BucketStore, Record, StorageError};
 
 use crate::config::{MIndexConfig, RoutingStrategy};
+use crate::cursor::{CandidateCursor, StagedEntry};
 use crate::entry::{IndexEntry, Routing};
 use crate::promise::PromiseEvaluator;
 use crate::pruning::{hyperplane_may_intersect, pivot_filter_keep, range_pivot_may_intersect};
@@ -239,11 +240,32 @@ impl<S: BucketStore> MIndex<S> {
     /// bound** on `d(q, o)` and the set is sorted by it ascending, so a
     /// refining client can stop decrypting as soon as the remaining bounds
     /// exceed the radius.
+    ///
+    /// Implemented as [`MIndex::range_cursor`] drained to completion — the
+    /// eager list is exactly the cursor's full yield sequence.
     pub fn range_candidates(
         &self,
         query_distances: &[f64],
         radius: f64,
     ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        self.range_cursor(query_distances, radius)?
+            .collect_up_to(None)
+    }
+
+    /// Opens a lazy, bound-ordered cursor over the precise range-query
+    /// candidate set (the streaming form of [`MIndex::range_candidates`]).
+    ///
+    /// The open phase runs the full Alg. 3 tree pruning and per-object
+    /// pivot filtering — the returned [`SearchStats`] carry the same
+    /// counters the eager function reports — but survivors are only
+    /// *staged* (routing parsed, payload bytes kept raw); payload decoding
+    /// happens lazily as the cursor is pulled. The cursor owns its data
+    /// and borrows nothing from the index.
+    pub fn range_cursor(
+        &self,
+        query_distances: &[f64],
+        radius: f64,
+    ) -> Result<CandidateCursor, MIndexError> {
         if self.config.strategy != RoutingStrategy::Distances {
             return Err(MIndexError::WrongStrategy {
                 required: RoutingStrategy::Distances,
@@ -257,7 +279,7 @@ impl<S: BucketStore> MIndex<S> {
             });
         }
         let mut stats = SearchStats::default();
-        let mut candidates = Vec::new();
+        let mut staged: Vec<StagedEntry> = Vec::new();
         // Iterative DFS carrying (node, prefix, used-pivot mask).
         let tree = &self.tree;
         let store = &self.store;
@@ -317,30 +339,28 @@ impl<S: BucketStore> MIndex<S> {
                     let records = store.read_bucket(leaf.bucket)?;
                     for rec in records {
                         stats.entries_scanned += 1;
-                        let entry =
-                            IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
+                        let mut entry =
+                            StagedEntry::parse(rec.id, rec.payload).ok_or_else(|| {
                                 MIndexError::Corrupt(format!("record {} undecodable", rec.id))
                             })?;
-                        match entry.routing.distances() {
+                        match entry.routing.as_ref().and_then(Routing::distances) {
                             Some(ds) if !pivot_filter_keep(query_distances, ds, radius) => {
                                 stats.entries_filtered += 1;
                             }
                             Some(ds) => {
-                                let lb = crate::pruning::pivot_filter_safe_lower_bound(
+                                entry.bound = crate::pruning::pivot_filter_safe_lower_bound(
                                     query_distances,
                                     ds,
                                 );
-                                candidates.push((entry, lb));
+                                staged.push(entry);
                             }
-                            None => candidates.push((entry, 0.0)),
+                            None => staged.push(entry),
                         }
                     }
                 }
             }
         }
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
-        stats.candidates = candidates.len() as u64;
-        Ok((candidates, stats))
+        CandidateCursor::new(staged, stats)
     }
 
     /// Approximate k-NN candidates (paper Alg. 4): enumerates Voronoi cells
@@ -359,11 +379,39 @@ impl<S: BucketStore> MIndex<S> {
     /// setting: "the server-side M-Index was limited to access only one
     /// M-Index Voronoi cell which then forms the candidate set" — the whole
     /// most-promising leaf is returned untrimmed.
+    ///
+    /// Implemented as [`MIndex::knn_cursor`] drained to the trim point —
+    /// the eager list is exactly the cursor's yield prefix.
     pub fn knn_candidates(
         &self,
         evaluator: &PromiseEvaluator,
         cand_size: usize,
     ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        let cap = if cand_size == FIRST_CELL_ONLY {
+            None
+        } else {
+            // Trim to the requested size (Alg. 4 line 5).
+            Some(cand_size)
+        };
+        self.knn_cursor(evaluator, cand_size)?.collect_up_to(cap)
+    }
+
+    /// Opens a lazy, bound-ordered cursor over the approximate-k-NN
+    /// candidate set (the streaming form of [`MIndex::knn_candidates`]).
+    ///
+    /// The open phase enumerates Voronoi cells in promise order until
+    /// `cand_size` entries are gathered — identical cell walk, stop
+    /// condition and [`SearchStats`] counters as the eager function — and
+    /// ranks the staged records by wire bound without decoding payloads.
+    /// The cursor may hold slightly more than `cand_size` entries (the
+    /// last cell is staged whole); eager callers trim, while a
+    /// scatter-gather coordinator's *global* cap makes the per-shard
+    /// excess unreachable, so both see the eager wire ordering.
+    pub fn knn_cursor(
+        &self,
+        evaluator: &PromiseEvaluator,
+        cand_size: usize,
+    ) -> Result<CandidateCursor, MIndexError> {
         // A distance evaluator must cover every pivot: the tree may hold a
         // root cell for any pivot index, and ranking it would read past the
         // end of a short query vector (a remote caller could crash the
@@ -378,7 +426,7 @@ impl<S: BucketStore> MIndex<S> {
             }
         }
         let mut stats = SearchStats::default();
-        let mut candidates: Vec<(IndexEntry, f64)> = Vec::with_capacity(cand_size);
+        let mut staged: Vec<StagedEntry> = Vec::with_capacity(cand_size);
         let tree = &self.tree;
         let store = &self.store;
 
@@ -442,21 +490,21 @@ impl<S: BucketStore> MIndex<S> {
                     let records = store.read_bucket(leaf.bucket)?;
                     for rec in records {
                         stats.entries_scanned += 1;
-                        let entry =
-                            IndexEntry::decode_payload(rec.id, &rec.payload).ok_or_else(|| {
+                        let mut entry =
+                            StagedEntry::parse(rec.id, rec.payload).ok_or_else(|| {
                                 MIndexError::Corrupt(format!("record {} undecodable", rec.id))
                             })?;
                         // Rank = wire-safe pivot-filter lower bound when
                         // distances are available on both sides; the cell
                         // penalty (heuristic) otherwise.
-                        let rank = match (&entry.routing, evaluator) {
+                        entry.bound = match (entry.routing.as_ref(), evaluator) {
                             (
-                                Routing::Distances(ds),
+                                Some(Routing::Distances(ds)),
                                 PromiseEvaluator::Distances { distances, .. },
                             ) => crate::pruning::pivot_filter_safe_lower_bound(distances, ds),
                             _ => item.penalty,
                         };
-                        candidates.push((entry, rank));
+                        staged.push(entry);
                     }
                     gathered += leaf.count;
                     if first_cell_only || gathered >= cand_size {
@@ -465,13 +513,7 @@ impl<S: BucketStore> MIndex<S> {
                 }
             }
         }
-        // Pre-rank and trim to the requested size (Alg. 4 line 5).
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
-        if !first_cell_only {
-            candidates.truncate(cand_size);
-        }
-        stats.candidates = candidates.len() as u64;
-        Ok((candidates, stats))
+        CandidateCursor::new(staged, stats)
     }
 
     /// Re-reads the stored entries with the given external ids — the server

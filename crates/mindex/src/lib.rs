@@ -12,6 +12,10 @@
 //!   part), precise range candidates with double-pivot / range-pivot
 //!   pruning and object pivot filtering (Alg. 3), and pre-ranked
 //!   approximate k-NN candidates by cell promise (Alg. 4);
+//! * [`CandidateCursor`] — the lazy, bound-ordered streaming form of both
+//!   candidate searches: open walks the same cells and ranks the staged
+//!   records, yield decodes payloads on demand — a scatter-gather
+//!   coordinator pulls the global frontier and stops at the budget;
 //! * [`PlainMIndex`] — the non-encrypted deployment used as the paper's
 //!   efficiency baseline (Tables 4, 7, 8): the server owns pivots, metric
 //!   and plaintext objects and refines results itself;
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod cursor;
 pub mod entry;
 pub mod index;
 pub mod keys;
@@ -36,6 +41,7 @@ pub mod stats;
 pub mod tree;
 
 pub use config::{MIndexConfig, RoutingStrategy};
+pub use cursor::CandidateCursor;
 pub use entry::{IndexEntry, Routing};
 pub use index::{MIndex, MIndexError, FIRST_CELL_ONLY};
 pub use plain::{recall, Neighbor, PlainMIndex};

@@ -18,6 +18,13 @@ pub struct SearchStats {
     pub entries_filtered: u64,
     /// Entries returned in the candidate set.
     pub candidates: u64,
+    /// Entries actually *materialized* (payload decoded) by candidate
+    /// cursors. With the eager path this equals the gathered-set size;
+    /// with the streaming frontier a coordinator stops pulling at the
+    /// global budget, so the per-shard sum directly measures work
+    /// amplification — the quantity the shard bench asserts stays
+    /// sub-linear in the shard count.
+    pub candidates_generated: u64,
 }
 
 impl SearchStats {
@@ -29,6 +36,7 @@ impl SearchStats {
         self.entries_scanned += other.entries_scanned;
         self.entries_filtered += other.entries_filtered;
         self.candidates += other.candidates;
+        self.candidates_generated += other.candidates_generated;
     }
 
     /// Folds one *fan-out sub-query's* stats in — the aggregation a
@@ -39,12 +47,17 @@ impl SearchStats {
     /// `candidates` from the merged list's length. Summing it here would
     /// report up to `shards × cand_size` candidates for a query whose
     /// answer carries `cand_size`.
+    ///
+    /// `candidates_generated` *does* sum: it is a work counter (entries a
+    /// shard actually materialized), not a result-set size, and its whole
+    /// point is exposing the aggregate generation cost of a fan-out.
     pub fn merge_from(&mut self, shard: &SearchStats) {
         self.cells_visited += shard.cells_visited;
         self.pruned_hyperplane += shard.pruned_hyperplane;
         self.pruned_range_pivot += shard.pruned_range_pivot;
         self.entries_scanned += shard.entries_scanned;
         self.entries_filtered += shard.entries_filtered;
+        self.candidates_generated += shard.candidates_generated;
     }
 }
 
@@ -52,13 +65,14 @@ impl std::fmt::Display for SearchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} cells visited ({} pruned hyperplane, {} pruned range), {} scanned, {} filtered, {} candidates",
+            "{} cells visited ({} pruned hyperplane, {} pruned range), {} scanned, {} filtered, {} candidates ({} generated)",
             self.cells_visited,
             self.pruned_hyperplane,
             self.pruned_range_pivot,
             self.entries_scanned,
             self.entries_filtered,
-            self.candidates
+            self.candidates,
+            self.candidates_generated
         )
     }
 }
@@ -79,6 +93,7 @@ pub struct SharedSearchStats {
     entries_scanned: AtomicU64,
     entries_filtered: AtomicU64,
     candidates: AtomicU64,
+    candidates_generated: AtomicU64,
 }
 
 impl SharedSearchStats {
@@ -100,6 +115,8 @@ impl SharedSearchStats {
         self.entries_filtered
             .fetch_add(s.entries_filtered, Ordering::Relaxed);
         self.candidates.fetch_add(s.candidates, Ordering::Relaxed);
+        self.candidates_generated
+            .fetch_add(s.candidates_generated, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot as a plain stats block.
@@ -111,6 +128,7 @@ impl SharedSearchStats {
             entries_scanned: self.entries_scanned.load(Ordering::Relaxed),
             entries_filtered: self.entries_filtered.load(Ordering::Relaxed),
             candidates: self.candidates.load(Ordering::Relaxed),
+            candidates_generated: self.candidates_generated.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +147,7 @@ mod tests {
             entries_scanned: 4,
             entries_filtered: 5,
             candidates: 6,
+            candidates_generated: 7,
         };
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -142,6 +161,7 @@ mod tests {
         let snap = shared.snapshot();
         assert_eq!(snap.cells_visited, 400);
         assert_eq!(snap.candidates, 2400);
+        assert_eq!(snap.candidates_generated, 2800);
     }
 
     /// The fan-out helper sums every per-shard cost counter but leaves
@@ -159,6 +179,7 @@ mod tests {
                 entries_scanned: 40,
                 entries_filtered: 10,
                 candidates: 30,
+                candidates_generated: 12,
             },
             SearchStats {
                 cells_visited: 3,
@@ -167,6 +188,7 @@ mod tests {
                 entries_scanned: 60,
                 entries_filtered: 20,
                 candidates: 30,
+                candidates_generated: 8,
             },
         ] {
             merged.merge_from(&shard);
@@ -177,6 +199,10 @@ mod tests {
         assert_eq!(merged.entries_scanned, 100, "bucket reads must sum");
         assert_eq!(merged.entries_filtered, 30);
         assert_eq!(merged.candidates, 0, "set by the capped merge, not summed");
+        assert_eq!(
+            merged.candidates_generated, 20,
+            "generation work sums across the fan-out"
+        );
     }
 
     #[test]
@@ -188,10 +214,12 @@ mod tests {
             entries_scanned: 4,
             entries_filtered: 5,
             candidates: 6,
+            candidates_generated: 7,
         };
         a.merge(&a.clone());
         assert_eq!(a.cells_visited, 2);
         assert_eq!(a.candidates, 12);
+        assert_eq!(a.candidates_generated, 14);
         assert!(a.to_string().contains("2 cells visited"));
     }
 }

@@ -3,10 +3,13 @@
 //! Each shard is a complete [`MIndex`] with its **own** bucket store and its
 //! own reader–writer lock, so an insert takes the write lock of exactly one
 //! shard — 1/N of the key space blocks while searches and inserts on every
-//! other shard proceed. Searches fan out to all shards in parallel (scoped
-//! threads over `&self`, the shared-read path), and the per-shard candidate
-//! lists — each sorted by its wire lower bound — are k-way merged into one
-//! list with the same sort invariant (see [`crate::merge`]).
+//! other shard proceed. Searches fan out to all shards (scoped threads over
+//! `&self`, the shared-read path): each shard **opens** a lazy
+//! [`CandidateCursor`] under its read guard, the guards drop with the
+//! fan-out, and the coordinator then drains the merged bound-ordered
+//! frontier lock-free until the global budget is met (see
+//! [`crate::merge::drain_frontier`]) — shards never materialize candidates
+//! the merge would discard.
 //!
 //! A shard-aware ownership map (`id → shard`) backs the two operations that
 //! address entries by external id: duplicate-id rejection at insert and the
@@ -17,11 +20,12 @@ use std::collections::HashMap;
 
 use parking_lot::{RwLock, RwLockReadGuard};
 use simcloud_mindex::{
-    IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, SearchStats, FIRST_CELL_ONLY,
+    CandidateCursor, IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, SearchStats,
+    FIRST_CELL_ONLY,
 };
 use simcloud_storage::{BucketStore, IoStats};
 
-use crate::merge::merge_ranked;
+use crate::merge::drain_frontier;
 use crate::router::ShardRouter;
 
 /// Aggregate shape of a sharded deployment (the `Info` view).
@@ -237,34 +241,50 @@ impl<S: BucketStore> ShardedMIndex<S> {
         })
     }
 
-    /// Gathers fan-out results: per-shard cost counters sum
-    /// (`SearchStats::merge_from`), the sorted lists k-way merge under
-    /// `cap`, and `candidates` reports the merged (capped) list — the set
-    /// the client actually receives. The first failing shard (in shard
-    /// order, deterministic) fails the query.
-    fn gather(
-        results: Vec<Result<RankedCandidates, MIndexError>>,
-        cap: Option<usize>,
-    ) -> Result<RankedCandidates, MIndexError> {
-        let mut stats = SearchStats::default();
-        let mut lists = Vec::with_capacity(results.len());
-        for r in results {
-            let (list, shard_stats) = r?;
-            stats.merge_from(&shard_stats);
-            lists.push(list);
-        }
-        let merged = merge_ranked(lists, cap);
-        stats.candidates = merged.len() as u64;
-        Ok((merged, stats))
+    /// Collects a cursor fan-out, failing on the first failing shard (in
+    /// shard order, deterministic). On success every shard guard has been
+    /// released — the cursors are owned values — so the drain that follows
+    /// runs lock-free.
+    fn open_cursors(
+        results: Vec<Result<CandidateCursor, MIndexError>>,
+    ) -> Result<Vec<CandidateCursor>, MIndexError> {
+        results.into_iter().collect()
     }
 
-    /// Scatter-gather approximate k-NN candidates: every shard enumerates
-    /// its own cells in promise order until it has `cand_size` entries, and
-    /// the merge keeps the `cand_size` globally smallest wire lower bounds.
+    /// Per-shard promise-walk budget for a k-NN cursor open.
+    ///
+    /// When the global candidate budget covers the whole collection, every
+    /// shard must walk to exhaustion — that is the regime where sharded
+    /// and single-index candidate sets provably coincide, and the
+    /// byte-identity the equivalence suite pins. Below it the frontier
+    /// contract applies instead: the coordinator stops after draining
+    /// `cand_size` entries globally, so each shard stages only its
+    /// `ceil(cand_size / N)` share of the budget in promise order. This is
+    /// where the `~N·cand_size` gather-everything amplification actually
+    /// fell: staging (walk + routing parse + bound computation), not just
+    /// the decode the lazy yield already avoids.
+    fn shard_open_budget(&self, cand_size: usize) -> usize {
+        if cand_size == FIRST_CELL_ONLY {
+            return cand_size;
+        }
+        let total = self.owners.read().len();
+        if cand_size >= total {
+            cand_size
+        } else {
+            cand_size.div_ceil(self.shards.len().max(1))
+        }
+    }
+
+    /// Scatter-gather approximate k-NN candidates: every shard *opens* a
+    /// cursor over its own cells in promise order (staging its
+    /// [`Self::shard_open_budget`] share of the global budget without
+    /// decoding payloads), and the coordinator drains the merged frontier
+    /// until it holds the `cand_size` globally smallest wire lower bounds
+    /// — entries past the global stopping point are never materialized.
     /// `FIRST_CELL_ONLY` returns the union of every shard's most promising
     /// cell, untrimmed (each shard's "first cell" is a fragment of the
-    /// global one under pivot routing, and an independent sample under hash
-    /// routing).
+    /// global one under pivot routing, and an independent sample under
+    /// hash routing).
     pub fn knn_candidates(
         &self,
         evaluator: &PromiseEvaluator,
@@ -275,26 +295,92 @@ impl<S: BucketStore> ShardedMIndex<S> {
         } else {
             Some(cand_size)
         };
-        Self::gather(
-            self.fan_out(|ix| ix.knn_candidates(evaluator, cand_size)),
-            cap,
-        )
+        let budget = self.shard_open_budget(cand_size);
+        let cursors = Self::open_cursors(self.fan_out(|ix| ix.knn_cursor(evaluator, budget)))?;
+        drain_frontier(cursors, cap)
     }
 
     /// Scatter-gather precise range candidates: the union of the per-shard
-    /// candidate supersets, uncapped — every true result lives in exactly
-    /// one shard and survives that shard's (triangle-inequality-safe)
-    /// pruning, so the merged list is a superset of the true results and
-    /// client refinement returns exactly what a single index would.
+    /// candidate supersets, drained uncapped — every true result lives in
+    /// exactly one shard and survives that shard's (triangle-inequality-
+    /// safe) pruning, so the merged list is a superset of the true results
+    /// and client refinement returns exactly what a single index would.
     pub fn range_candidates(
         &self,
         query_distances: &[f64],
         radius: f64,
     ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
-        Self::gather(
-            self.fan_out(|ix| ix.range_candidates(query_distances, radius)),
-            None,
-        )
+        let cursors =
+            Self::open_cursors(self.fan_out(|ix| ix.range_cursor(query_distances, radius)))?;
+        drain_frontier(cursors, None)
+    }
+
+    /// Scatter-gather for a whole k-NN batch in **one** fan-out pass: each
+    /// shard worker opens every query's cursor under a single guard
+    /// acquisition (instead of `batch × shards` lock crossings), then the
+    /// coordinator drains each query's frontier independently. One result
+    /// slot per query, in request order; a failing query (first failing
+    /// shard, deterministic) occupies only its own slot.
+    pub fn batch_knn_candidates(
+        &self,
+        queries: &[(PromiseEvaluator, usize)],
+    ) -> Vec<Result<RankedCandidates, MIndexError>> {
+        // Per shard: one cursor per query. The closure itself cannot fail —
+        // per-query errors stay in their slots — so a fan-out-level error
+        // only arises from a worker panic and poisons the whole batch.
+        let budgets: Vec<usize> = queries
+            .iter()
+            .map(|&(_, cand_size)| self.shard_open_budget(cand_size))
+            .collect();
+        let per_shard = self.fan_out(|ix| {
+            Ok(queries
+                .iter()
+                .zip(&budgets)
+                .map(|((evaluator, _), &budget)| ix.knn_cursor(evaluator, budget))
+                .collect::<Vec<Result<CandidateCursor, MIndexError>>>())
+        });
+        let mut shard_iters = Vec::with_capacity(per_shard.len());
+        for r in per_shard {
+            match r {
+                Ok(cursors) => shard_iters.push(cursors.into_iter()),
+                Err(e) => {
+                    let msg = e.to_string();
+                    return queries
+                        .iter()
+                        .map(|_| Err(MIndexError::Corrupt(msg.clone())))
+                        .collect();
+                }
+            }
+        }
+        queries
+            .iter()
+            .map(|&(_, cand_size)| {
+                let mut cursors = Vec::with_capacity(shard_iters.len());
+                let mut failed = None;
+                for it in &mut shard_iters {
+                    // Consume this query's slot from every shard even after
+                    // a failure, so later queries stay aligned.
+                    match it.next() {
+                        Some(Ok(c)) => cursors.push(c),
+                        Some(Err(e)) => failed = failed.or(Some(e)),
+                        None => {
+                            failed = failed.or_else(|| {
+                                Some(MIndexError::Corrupt("shard answered a short batch".into()))
+                            });
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                let cap = if cand_size == FIRST_CELL_ONLY {
+                    None
+                } else {
+                    Some(cand_size)
+                };
+                drain_frontier(cursors, cap)
+            })
+            .collect()
     }
 
     /// Phase 2 of the two-phase fetch, shard-routed: each requested id is
@@ -305,16 +391,30 @@ impl<S: BucketStore> ShardedMIndex<S> {
     pub fn fetch_entries(&self, ids: &[u64]) -> Result<Vec<Option<IndexEntry>>, MIndexError> {
         let mut out: Vec<Option<IndexEntry>> = Vec::with_capacity(ids.len());
         out.resize_with(ids.len(), || None);
-        let mut per_shard: HashMap<usize, Vec<(usize, u64)>> = HashMap::new();
+        // Group by owning shard into a flat per-shard vec — shard indices
+        // are small and dense, so indexing beats hashing on the phase-2
+        // hot path.
+        let mut per_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
         {
             let owners = self.owners.read();
             for (pos, id) in ids.iter().enumerate() {
                 if let Some(&s) = owners.get(id) {
-                    per_shard.entry(s).or_default().push((pos, *id));
+                    match per_shard.get_mut(s) {
+                        Some(bucket) => bucket.push((pos, *id)),
+                        None => {
+                            return Err(MIndexError::Corrupt(format!(
+                                "ownership map names shard {s} of {}",
+                                self.shards.len()
+                            )))
+                        }
+                    }
                 }
             }
         }
-        for (shard, items) in per_shard {
+        for (shard, items) in per_shard.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
             let Some(slot) = self.shards.get(shard) else {
                 return Err(MIndexError::Corrupt(format!(
                     "ownership map names shard {shard} of {}",

@@ -7,10 +7,12 @@
 //!
 //! * [`ShardedMIndex`] — N fully independent M-Index shards, each with its
 //!   own `BucketStore` and its own write lock. An insert blocks 1/N of the
-//!   key space; searches fan out to all shards in parallel (scoped threads
-//!   over `&self`, reusing the shared-read path) and the per-shard
-//!   candidate lists are k-way merged by wire lower bound into one list
-//!   capped at `cand_size` ([`merge::merge_ranked`]).
+//!   key space; searches fan out to all shards (scoped threads over
+//!   `&self`, reusing the shared-read path), each shard *opening* a lazy
+//!   `CandidateCursor`, and the coordinator drains the merged frontier by
+//!   wire lower bound until `cand_size` candidates are pulled globally
+//!   ([`merge::drain_frontier`]) — per-shard generation work drops toward
+//!   `cand_size / N` instead of every shard materializing a full list.
 //! * [`ShardedCloudServer`] — speaks the **existing wire protocol
 //!   unchanged**, so the unmodified `EncryptedClient` (including lazy
 //!   refinement and phase-2 `FetchObjects`) works against it byte for

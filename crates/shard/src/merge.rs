@@ -1,166 +1,254 @@
-//! K-way merge of per-shard candidate lists.
+//! K-way frontier merge over per-shard candidate cursors.
 //!
-//! Every shard answers a search with a candidate list sorted ascending by
-//! its wire lower bound (the contract of `MIndex::knn_candidates` /
-//! `range_candidates`). The gather side merges those sorted lists into one
-//! list with the same invariant, optionally capped at `cand_size`.
+//! Every shard answers a search by *opening* a
+//! [`CandidateCursor`](simcloud_mindex::CandidateCursor): an owned,
+//! lock-free stream of `(entry, lower_bound)` pairs in nondecreasing
+//! bound order (the contract of `MIndex::knn_cursor` / `range_cursor`).
+//! The coordinator pulls the globally smallest bound from whichever
+//! cursor holds it — a k-way heap keyed by each cursor's `peek_bound` —
+//! and stops the moment `cap` candidates are drained. Entries beyond the
+//! stopping point are never decoded, so per-shard generation work drops
+//! toward `cap / N` instead of every shard materializing a full list.
 //!
-//! **Exactness argument.** For range queries each shard returns *every*
-//! entry of its partition that survives pivot filtering, so the merged
-//! list is exactly the union — a superset of the true results over the
-//! whole collection, and client refinement makes the final answer
-//! identical to a single index's. For k-NN, each shard returns its locally
-//! best `cand_size` candidates by lower bound; keeping the `cand_size`
-//! smallest bounds of the union therefore yields at least as promising a
-//! candidate set as any single enumeration of the same cells (see the
-//! README's sharded-deployment section for when the sets coincide).
+//! **Exactness argument.** The pull sequence equals the old
+//! gather-everything merge wire for wire: each cursor yields exactly the
+//! (stably sorted) sequence the eager per-shard list contained, the heap
+//! uses the same min-bound-first, lower-shard-tie-break ordering, and a
+//! shard's eager trim to `cand_size` can never matter because the global
+//! cap bounds how deep any one cursor is pulled. For range queries each
+//! shard streams *every* entry of its partition that survives pivot
+//! filtering, so the uncapped drain is exactly the union — a superset of
+//! the true results over the whole collection, and client refinement
+//! makes the final answer identical to a single index's. For k-NN,
+//! keeping the `cand_size` smallest bounds of the union yields at least
+//! as promising a candidate set as any single enumeration of the same
+//! cells (see the README's sharded-deployment section for when the sets
+//! coincide).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-use simcloud_mindex::IndexEntry;
+use simcloud_mindex::{CandidateCursor, IndexEntry, MIndexError, SearchStats};
 
-/// One cursor into a shard's sorted candidate list. Ordered min-bound
-/// first (`BinaryHeap` is a max-heap, so comparisons are reversed), ties
-/// broken by shard index for a deterministic merge.
-struct Cursor {
+/// One shard's frontier head: the bound its cursor would yield next.
+#[derive(Clone, Copy)]
+struct Head {
     bound: f64,
     shard: usize,
 }
 
-impl PartialEq for Cursor {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
+/// The frontier's total order: lowest bound first, ties broken by shard
+/// index for a deterministic merge (earlier shards win).
+fn precedes(a: &Head, b: &Head) -> bool {
+    a.bound
+        .total_cmp(&b.bound)
+        .then_with(|| a.shard.cmp(&b.shard))
+        == Ordering::Less
 }
 
-impl Eq for Cursor {}
-
-impl PartialOrd for Cursor {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Cursor {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .bound
-            .total_cmp(&self.bound)
-            .then_with(|| other.shard.cmp(&self.shard))
-    }
-}
-
-/// Merges per-shard candidate lists (each sorted ascending by bound) into
-/// one ascending list of at most `cap` entries (`None` = no cap). Within
-/// equal bounds, earlier shards win — deterministic for a fixed shard
-/// layout.
-pub fn merge_ranked(
-    lists: Vec<Vec<(IndexEntry, f64)>>,
+/// Drains the per-shard cursors' merged frontier into one ascending list
+/// of at most `cap` entries (`None` = drain everything). Within equal
+/// bounds, earlier shards win — deterministic for a fixed shard layout.
+///
+/// The coordinator never holds a shard guard: cursors are owned values,
+/// so this loop runs entirely lock-free after the fan-out that opened
+/// them (the lock-discipline lint enforces that no pull happens with
+/// shard guards live).
+///
+/// Returns the merged list plus the fan-out stats: per-shard cost
+/// counters (including `candidates_generated`, the decoded-entry work
+/// counter) sum via [`SearchStats::merge_from`], and `candidates`
+/// reports the merged (capped) list — the set the client receives.
+pub fn drain_frontier(
+    mut cursors: Vec<CandidateCursor>,
     cap: Option<usize>,
-) -> Vec<(IndexEntry, f64)> {
-    let total: usize = lists.iter().map(Vec::len).sum();
+) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+    let total: usize = cursors.iter().map(CandidateCursor::remaining).sum();
     let want = cap.map_or(total, |c| c.min(total));
     let mut out = Vec::with_capacity(want);
-    let mut lists: Vec<std::vec::IntoIter<(IndexEntry, f64)>> =
-        lists.into_iter().map(Vec::into_iter).collect();
-    let mut heap = BinaryHeap::with_capacity(lists.len());
-    let mut heads: Vec<Option<(IndexEntry, f64)>> = Vec::with_capacity(lists.len());
-    for (shard, it) in lists.iter_mut().enumerate() {
-        match it.next() {
-            Some(head) => {
-                heap.push(Cursor {
-                    bound: head.1,
-                    shard,
-                });
-                heads.push(Some(head));
-            }
-            None => heads.push(None),
-        }
-    }
+    // Live frontier heads, one per non-empty cursor. A deployment has a
+    // handful of shards, so an argmin scan over a flat vec beats a binary
+    // heap's per-pull pop/sift/push — and the run-length inner loop below
+    // keeps pulling from the winning cursor without touching the other
+    // heads at all while it still holds the global minimum.
+    let mut heads: Vec<Head> = cursors
+        .iter()
+        .enumerate()
+        .filter_map(|(shard, c)| c.peek_bound().map(|bound| Head { bound, shard }))
+        .collect();
     while out.len() < want {
-        let Some(cur) = heap.pop() else { break };
-        // Every cursor in the heap was pushed alongside a live head for its
-        // shard, so a missing slot means the heap and heads diverged — drop
-        // the cursor rather than index past the end.
-        let Some(slot) = heads.get_mut(cur.shard) else {
+        // Argmin by (bound, shard) over the live heads, tracking the
+        // runner-up for the run-length pull below.
+        let mut best: Option<(usize, Head)> = None;
+        let mut runner_up: Option<Head> = None;
+        for (slot, &head) in heads.iter().enumerate() {
+            match best {
+                Some((_, b)) if !precedes(&head, &b) => {
+                    if runner_up.is_none_or(|r| precedes(&head, &r)) {
+                        runner_up = Some(head);
+                    }
+                }
+                prev => {
+                    // A new minimum demotes the previous one to runner-up
+                    // (it preceded every other head seen so far).
+                    runner_up = prev.map(|(_, b)| b);
+                    best = Some((slot, head));
+                }
+            }
+        }
+        let Some((slot, head)) = best else { break };
+        let Some(cursor) = cursors.get_mut(head.shard) else {
+            // Every head was built from a live cursor; a missing slot means
+            // the heads and cursors diverged — stop rather than index past
+            // the end.
             break;
         };
-        let Some(head) = slot.take() else { break };
-        out.push(head);
-        if let Some(next) = lists.get_mut(cur.shard).and_then(Iterator::next) {
-            heap.push(Cursor {
-                bound: next.1,
-                shard: cur.shard,
+        // Pull the whole run: the winning cursor stays the frontier
+        // minimum until its next bound passes the runner-up's head (or
+        // ties it from a later shard), which is exactly when the old
+        // k-way heap would have switched cursors.
+        while let Some(c) = cursor.next_candidate()? {
+            out.push(c);
+            if out.len() >= want {
+                break;
+            }
+            let run_continues = cursor.peek_bound().is_some_and(|bound| {
+                let next = Head {
+                    bound,
+                    shard: head.shard,
+                };
+                runner_up.is_none_or(|r| precedes(&next, &r))
             });
-            if let Some(slot) = heads.get_mut(cur.shard) {
-                *slot = Some(next);
+            if !run_continues {
+                break;
+            }
+        }
+        match cursor.peek_bound() {
+            Some(bound) => match heads.get_mut(slot) {
+                Some(h) => h.bound = bound,
+                None => break,
+            },
+            None => {
+                heads.swap_remove(slot);
             }
         }
     }
-    out
+    let mut stats = SearchStats::default();
+    for cursor in &cursors {
+        stats.merge_from(&cursor.stats());
+    }
+    stats.candidates = out.len() as u64;
+    Ok((out, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simcloud_mindex::Routing;
+    use simcloud_mindex::{MIndex, MIndexConfig, PromiseEvaluator, Routing, RoutingStrategy};
+    use simcloud_storage::MemoryStore;
 
-    fn e(id: u64, bound: f64) -> (IndexEntry, f64) {
-        (
-            IndexEntry::new(id, Routing::from_distances(&[bound]), vec![]),
-            bound,
+    /// A one-cell index whose entries carry the given bounds (1-pivot
+    /// world: the wire bound for query distance 0 is |d| minus slack, so
+    /// ordering follows the inserted distances).
+    fn cursor_over(points: &[(u64, f64)]) -> CandidateCursor {
+        let mut idx = MIndex::new(
+            MIndexConfig {
+                num_pivots: 1,
+                max_level: 1,
+                bucket_capacity: 1000,
+                strategy: RoutingStrategy::Distances,
+            },
+            MemoryStore::new(),
         )
+        .unwrap();
+        for &(id, d) in points {
+            idx.insert(IndexEntry::new(
+                id,
+                Routing::from_distances(&[d]),
+                vec![id as u8],
+            ))
+            .unwrap();
+        }
+        idx.knn_cursor(&PromiseEvaluator::from_distances(vec![0.0]), points.len())
+            .unwrap()
     }
 
-    fn bounds(list: &[(IndexEntry, f64)]) -> Vec<f64> {
-        list.iter().map(|(_, b)| *b).collect()
+    fn ids(list: &[(IndexEntry, f64)]) -> Vec<u64> {
+        list.iter().map(|(e, _)| e.id).collect()
     }
 
     #[test]
-    fn merges_sorted_lists_ascending() {
-        let merged = merge_ranked(
-            vec![
-                vec![e(1, 0.1), e(2, 0.5), e(3, 0.9)],
-                vec![e(4, 0.2), e(5, 0.6)],
-                vec![],
-                vec![e(6, 0.0)],
-            ],
-            None,
-        );
-        assert_eq!(bounds(&merged), vec![0.0, 0.1, 0.2, 0.5, 0.6, 0.9]);
-        assert_eq!(merged[0].0.id, 6);
+    fn merges_cursor_frontiers_ascending() {
+        let cursors = vec![
+            cursor_over(&[(1, 1.0), (2, 5.0), (3, 9.0)]),
+            cursor_over(&[(4, 2.0), (5, 6.0)]),
+            cursor_over(&[]),
+            cursor_over(&[(6, 0.5)]),
+        ];
+        let (merged, stats) = drain_frontier(cursors, None).unwrap();
+        assert_eq!(ids(&merged), vec![6, 1, 4, 2, 5, 3]);
+        assert!(merged.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(stats.candidates, 6);
     }
 
     #[test]
     fn cap_keeps_globally_smallest_bounds() {
-        let merged = merge_ranked(
-            vec![
-                vec![e(1, 0.3), e(2, 0.4)],
-                vec![e(3, 0.1), e(4, 0.2), e(5, 0.25)],
-            ],
-            Some(3),
-        );
-        assert_eq!(
-            merged.iter().map(|(c, _)| c.id).collect::<Vec<_>>(),
-            vec![3, 4, 5]
-        );
+        let cursors = vec![
+            cursor_over(&[(1, 3.0), (2, 4.0)]),
+            cursor_over(&[(3, 1.0), (4, 2.0), (5, 2.5)]),
+        ];
+        let (merged, stats) = drain_frontier(cursors, Some(3)).unwrap();
+        assert_eq!(ids(&merged), vec![3, 4, 5]);
+        assert_eq!(stats.candidates, 3);
     }
 
     #[test]
     fn ties_resolve_by_shard_order_deterministically() {
-        let a = merge_ranked(vec![vec![e(1, 0.5)], vec![e(2, 0.5)]], None);
-        let b = merge_ranked(vec![vec![e(1, 0.5)], vec![e(2, 0.5)]], None);
+        let make = || vec![cursor_over(&[(1, 0.5)]), cursor_over(&[(2, 0.5)])];
+        let (a, _) = drain_frontier(make(), None).unwrap();
+        let (b, _) = drain_frontier(make(), None).unwrap();
         assert_eq!(a[0].0.id, 1, "earlier shard wins the tie");
-        assert_eq!(
-            a.iter().map(|(c, _)| c.id).collect::<Vec<_>>(),
-            b.iter().map(|(c, _)| c.id).collect::<Vec<_>>()
-        );
+        assert_eq!(ids(&a), ids(&b));
     }
 
     #[test]
     fn empty_and_zero_cap() {
-        assert!(merge_ranked(vec![], Some(5)).is_empty());
-        assert!(merge_ranked(vec![vec![e(1, 0.1)]], Some(0)).is_empty());
+        let (merged, _) = drain_frontier(vec![], Some(5)).unwrap();
+        assert!(merged.is_empty());
+        let (merged, stats) = drain_frontier(vec![cursor_over(&[(1, 0.1)])], Some(0)).unwrap();
+        assert!(merged.is_empty());
+        assert_eq!(stats.candidates, 0);
+    }
+
+    /// The whole point of the frontier: a capped drain decodes little
+    /// more than `cap` entries in total, not `shards × cap`.
+    #[test]
+    fn capped_drain_generates_sublinearly() {
+        let big: Vec<(u64, f64)> = (0..200).map(|i| (i, i as f64)).collect();
+        let cursors = vec![
+            cursor_over(&big),
+            cursor_over(
+                &big.iter()
+                    .map(|&(i, d)| (1000 + i, d + 0.5))
+                    .collect::<Vec<_>>(),
+            ),
+            cursor_over(
+                &big.iter()
+                    .map(|&(i, d)| (2000 + i, d + 0.7))
+                    .collect::<Vec<_>>(),
+            ),
+            cursor_over(
+                &big.iter()
+                    .map(|&(i, d)| (3000 + i, d + 0.9))
+                    .collect::<Vec<_>>(),
+            ),
+        ];
+        let (merged, stats) = drain_frontier(cursors, Some(100)).unwrap();
+        assert_eq!(merged.len(), 100);
+        assert!(
+            stats.candidates_generated < 2 * 100,
+            "generated {} for a cap of 100 over 4 shards — the frontier \
+             must not materialize every shard's full list",
+            stats.candidates_generated
+        );
     }
 }

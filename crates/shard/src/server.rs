@@ -10,7 +10,7 @@
 
 use parking_lot::Mutex;
 use simcloud_core::protocol::{Candidate, FetchedObject, Request, Response};
-use simcloud_core::{evaluator_for, stage_candidates, ServerConfig};
+use simcloud_core::{check_cand_size, evaluator_for, stage_candidates, ServerConfig};
 use simcloud_mindex::{IndexEntry, MIndexConfig, MIndexError, SearchStats, SharedSearchStats};
 use simcloud_storage::BucketStore;
 use simcloud_transport::{RequestHandler, SharedRequestHandler};
@@ -144,26 +144,62 @@ impl<S: BucketStore> ShardedCloudServer<S> {
             Request::Range { distances, radius } => {
                 self.candidates_response(self.index.range_candidates(&distances, radius))
             }
-            Request::ApproxKnn { routing, cand_size } => {
-                let evaluator = evaluator_for(routing);
-                self.candidates_response(self.index.knn_candidates(&evaluator, cand_size as usize))
-            }
+            Request::ApproxKnn { routing, cand_size } => match check_cand_size(cand_size) {
+                // Refused before any fan-out: the answer could never be
+                // decoded by the requester. Per-request stats are zeroed
+                // like any failed search.
+                Err(msg) => {
+                    *self.last_search_stats.lock() = SearchStats::default();
+                    Response::Error(msg)
+                }
+                Ok(()) => {
+                    let evaluator = evaluator_for(routing);
+                    self.candidates_response(
+                        self.index.knn_candidates(&evaluator, cand_size as usize),
+                    )
+                }
+            },
             Request::BatchKnn(queries) => {
-                let mut sets = Vec::with_capacity(queries.len());
-                let mut batch_stats = SearchStats::default();
+                // Partition first: oversized queries are refused up front
+                // and never reach the index; every admissible query runs
+                // in **one** batch fan-out — each shard is locked once and
+                // opens all of the batch's cursors under that single guard
+                // (`ShardedMIndex::batch_knn_candidates`), then the
+                // coordinator drains each query's frontier lock-free.
+                let mut slots: Vec<Option<String>> = Vec::with_capacity(queries.len());
+                let mut plans = Vec::new();
                 for q in queries {
-                    let evaluator = evaluator_for(q.routing);
-                    match self.index.knn_candidates(&evaluator, q.cand_size as usize) {
-                        Ok((entries, stats)) => {
-                            batch_stats.merge(&stats);
-                            sets.push(Ok(stage_candidates(
-                                entries,
-                                self.config.max_inline_response_bytes,
-                            )));
+                    match check_cand_size(q.cand_size) {
+                        Ok(()) => {
+                            slots.push(None);
+                            plans.push((evaluator_for(q.routing), q.cand_size as usize));
                         }
-                        // A failing query answers in its own slot; batch
-                        // stats cover exactly the successful queries.
-                        Err(e) => sets.push(Err(e.to_string())),
+                        Err(msg) => slots.push(Some(msg)),
+                    }
+                }
+                let mut results = self.index.batch_knn_candidates(&plans).into_iter();
+                let mut sets = Vec::with_capacity(slots.len());
+                let mut batch_stats = SearchStats::default();
+                for slot in slots {
+                    match slot {
+                        Some(msg) => sets.push(Err(msg)),
+                        None => match results.next() {
+                            Some(Ok((entries, stats))) => {
+                                batch_stats.merge(&stats);
+                                sets.push(Ok(stage_candidates(
+                                    entries,
+                                    self.config.max_inline_response_bytes,
+                                )));
+                            }
+                            // A failing query answers in its own slot;
+                            // batch stats cover exactly the successful
+                            // queries.
+                            Some(Err(e)) => sets.push(Err(e.to_string())),
+                            // batch_knn_candidates answers one slot per
+                            // plan; a short answer would be a coordinator
+                            // bug — surface it per slot, never panic.
+                            None => sets.push(Err("batch answer missing a query slot".into())),
+                        },
                     }
                 }
                 self.record_search(batch_stats);
@@ -377,6 +413,47 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(s.last_search_stats().candidates, 3, "successes only");
+    }
+
+    /// The sharded server applies the same `cand_size` clamp as the single
+    /// server: oversized solo requests are refused with zeroed stats,
+    /// oversized batch slots never reach the fan-out while their siblings
+    /// still answer.
+    #[test]
+    fn oversized_cand_size_refused_before_fanout() {
+        let s = server(2);
+        s.process(Request::Insert(vec![
+            entry(1, &[0.1, 0.5, 0.9]),
+            entry(2, &[0.2, 0.6, 0.8]),
+        ]));
+        let over = u32::try_from(simcloud_core::protocol::MAX_CANDIDATE_HEADERS + 1).unwrap();
+        match s.process(Request::ApproxKnn {
+            routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+            cand_size: over,
+        }) {
+            Response::Error(msg) => assert!(msg.contains("header response cap"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats(), SearchStats::default());
+        match s.process(Request::BatchKnn(vec![
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: 2,
+            },
+            KnnQuery {
+                routing: Routing::from_distances(&[0.1, 0.5, 0.9]),
+                cand_size: over,
+            },
+        ])) {
+            Response::CandidateSets(sets) => {
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[0].as_ref().unwrap().headers.len(), 2);
+                let msg = sets[1].as_ref().unwrap_err();
+                assert!(msg.contains("header response cap"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.last_search_stats().candidates, 2, "successes only");
     }
 
     #[test]
