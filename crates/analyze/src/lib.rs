@@ -24,6 +24,11 @@
 //! * **client** — `core/src/client.rs`, the refine path a hostile server
 //!   reaches. Panic-family findings fail unless annotated; index/cast
 //!   findings are inventoried.
+//! * **storage** — everything in `storage/src`: the crash-recovery path
+//!   parses bytes that arbitrary disk corruption (or a tampering cloud
+//!   operator) controls, so it is enforced exactly like the server zone —
+//!   zero unannotated findings, and the committed tree keeps it at zero
+//!   findings outright.
 //! * **inventory** — everything else (bench harness, dataset generators,
 //!   shims, build-time code). Findings are counted against a committed
 //!   snapshot (`crates/analyze/inventory.txt`) that only ratchets down.
@@ -50,6 +55,9 @@ pub enum Zone {
     Server,
     /// Client refine path — panics must carry `PANIC-SAFE`.
     Client,
+    /// Storage engine / crash-recovery path — enforced like the server
+    /// zone (corrupt disk bytes are adversarial input).
+    Storage,
     /// Everything else — inventoried and ratcheted.
     Inventory,
 }
@@ -60,6 +68,7 @@ impl Zone {
         match self {
             Zone::Server => "server",
             Zone::Client => "client",
+            Zone::Storage => "storage",
             Zone::Inventory => "inventory",
         }
     }
@@ -90,6 +99,9 @@ pub fn zone_for(path: &str, function: Option<&str>) -> Zone {
     if path == "crates/core/src/client.rs" {
         return Zone::Client;
     }
+    if path.starts_with("crates/storage/src/") {
+        return Zone::Storage;
+    }
     Zone::Inventory
 }
 
@@ -111,8 +123,8 @@ pub struct Report {
     pub findings: Vec<(Zone, PanicFinding)>,
     /// Inventory counts: `(path, kind-name, annotated)` → count.
     pub inventory: BTreeMap<(String, String, bool), usize>,
-    /// Count of annotated (allowlisted) sites in the server zone — the
-    /// acceptance criterion keeps this at zero.
+    /// Count of annotated (allowlisted) sites in the hard-enforced zones
+    /// (server + storage) — the acceptance criterion keeps this at zero.
     pub server_allowlisted: usize,
 }
 
@@ -174,7 +186,7 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
         for f in panics::panic_findings(&src) {
             let zone = zone_for(&f.path, f.function.as_deref());
             let enforced = match zone {
-                Zone::Server => true,
+                Zone::Server | Zone::Storage => true,
                 Zone::Client => is_panic_family(f.kind),
                 Zone::Inventory => false,
             };
@@ -187,7 +199,7 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
                     zone.name(),
                 ));
             } else {
-                if zone == Zone::Server && f.annotated {
+                if matches!(zone, Zone::Server | Zone::Storage) && f.annotated {
                     report.server_allowlisted += 1;
                 }
                 *report

@@ -73,7 +73,7 @@ fn check(verbose: bool) -> ExitCode {
     let sites: usize = report.inventory.values().sum();
     println!(
         "simcloud-analyze: {} findings outside enforced zones across {} (file, kind) buckets; \
-         {} allowlisted in server zone; lock pass {}; wire pass {}",
+         {} allowlisted in server/storage zones; lock pass {}; wire pass {}",
         sites,
         report.inventory.len(),
         report.server_allowlisted,

@@ -110,6 +110,43 @@ fn widen(x: u32) -> usize {
     assert_eq!(findings[0].function.as_deref(), Some("narrow"));
 }
 
+/// The storage engine is a hard-enforced zone: its recovery path parses
+/// attacker-controllable disk bytes, so every storage source file maps to
+/// `Zone::Storage` and a seeded panic there is found like in the server
+/// zone.
+#[test]
+fn storage_sources_are_an_enforced_zone() {
+    for file in [
+        "crates/storage/src/disk.rs",
+        "crates/storage/src/wal.rs",
+        "crates/storage/src/pagefmt.rs",
+        "crates/storage/src/meta.rs",
+        "crates/storage/src/backend.rs",
+        "crates/storage/src/record.rs",
+    ] {
+        assert_eq!(zone_for(file, Some("recover")), Zone::Storage, "{file}");
+    }
+    // Test code and other crates stay out of the zone.
+    assert_eq!(
+        zone_for("crates/storage/tests/crash_points.rs", None),
+        Zone::Inventory
+    );
+    let src = SourceFile::from_source(
+        "crates/storage/src/wal.rs",
+        r#"
+fn recover(frame: &[u8]) -> u64 {
+    u64::from_le_bytes(frame[8..16].try_into().unwrap())
+}
+"#,
+    );
+    let findings = panic_findings(&src);
+    assert!(
+        findings.iter().any(|f| f.kind == PanicKind::SliceIndex)
+            && findings.iter().any(|f| f.kind == PanicKind::Unwrap),
+        "seeded recovery-path panic not found: {findings:?}"
+    );
+}
+
 // ---- lock-discipline pass ----------------------------------------------
 
 /// Seeded violation: taking the ownership-map lock while a shard write

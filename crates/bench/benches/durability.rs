@@ -1,0 +1,228 @@
+//! Durability cost and recovery speed — the bench behind
+//! `BENCH_durability.json`.
+//!
+//! Three measurements over the crash-safe paged store:
+//!
+//! 1. **Commit throughput, WAL on vs off** — identical append/flush
+//!    schedules against a real file; the WAL-on run pays a full-page
+//!    image plus fsync per dirty page per commit, the WAL-off run (for
+//!    rebuildable / scratch data) checkpoints directly. Both stores must
+//!    verify CRC-clean and hold identical data afterwards (asserted).
+//! 2. **Commit latency by batch size** — records committed per second as
+//!    the flush interval grows: the WAL amortizes, showing why the engine
+//!    batches instead of committing per append.
+//! 3. **Crash recovery** — a fault-injected run is killed mid-checkpoint
+//!    (after the WAL commit point); the reopen must replay the log and
+//!    serve every committed record (asserted), timed.
+//!
+//! ```text
+//! cargo bench -p simcloud-bench --bench durability            # full scale
+//! cargo bench -p simcloud-bench --bench durability -- --quick # CI scale
+//! ```
+
+use std::time::Instant;
+
+use simcloud_storage::{
+    BucketId, BucketStore, CrashMode, DiskStore, DiskStoreOptions, FaultEnv, FaultPlan, FileEnv,
+    Record,
+};
+
+struct Config {
+    records: usize,
+    payload: usize,
+    buckets: u64,
+    flush_every: usize,
+}
+
+fn rec(id: u64, len: usize) -> Record {
+    Record::new(
+        id,
+        (0..len).map(|i| ((id as usize + i) % 256) as u8).collect(),
+    )
+}
+
+/// Appends `cfg.records` records, flushing every `flush_every`, returns
+/// (records/s, flush count).
+fn run_schedule(store: &mut DiskStore, cfg: &Config, flush_every: usize) -> (f64, usize) {
+    let start = Instant::now();
+    let mut flushes = 0;
+    for i in 0..cfg.records {
+        let id = i as u64;
+        store
+            .append(BucketId(id % cfg.buckets), rec(id, cfg.payload))
+            .expect("append");
+        if (i + 1) % flush_every == 0 {
+            store.flush().expect("flush");
+            flushes += 1;
+        }
+    }
+    store.flush().expect("final flush");
+    flushes += 1;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (cfg.records as f64 / secs, flushes)
+}
+
+fn bucket_fingerprint(store: &DiskStore, buckets: u64) -> Vec<(u64, usize)> {
+    (0..buckets)
+        .map(|b| (b, store.read_bucket(BucketId(b)).expect("read").len()))
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Config {
+            records: 2_000,
+            payload: 256,
+            buckets: 8,
+            flush_every: 200,
+        }
+    } else {
+        Config {
+            records: 20_000,
+            payload: 512,
+            buckets: 16,
+            flush_every: 500,
+        }
+    };
+    println!(
+        "durability bench: {} records x {}B, {} buckets, commit every {} ({})",
+        cfg.records,
+        cfg.payload,
+        cfg.buckets,
+        cfg.flush_every,
+        if quick { "quick" } else { "full" },
+    );
+    let mut json = String::from("{\n");
+
+    // ---- 1. WAL on vs off over a real file --------------------------------
+    let dir = std::env::temp_dir();
+    let mut results = Vec::new();
+    for wal in [true, false] {
+        let path = dir.join(format!(
+            "simcloud-dur-{}-{}.db",
+            std::process::id(),
+            if wal { "wal" } else { "nowal" }
+        ));
+        let opts = DiskStoreOptions {
+            wal,
+            ..DiskStoreOptions::default()
+        };
+        let mut store = DiskStore::create_opts(&path, opts).expect("create");
+        let (rps, flushes) = run_schedule(&mut store, &cfg, cfg.flush_every);
+        store.verify().expect("store verifies after commits");
+        let stats = store.stats();
+        let label = if wal { "wal_on" } else { "wal_off" };
+        println!(
+            "  commit/{label:<8} {rps:>9.0} records/s  ({flushes} commits, {} WAL appends, {} page writes)",
+            stats.wal_appends, stats.page_writes
+        );
+        json.push_str(&format!(
+            "  \"commit/{label}\": {{ \"records_per_s\": {rps:.0}, \"commits\": {flushes}, \
+             \"wal_appends\": {}, \"page_writes\": {} }},\n",
+            stats.wal_appends, stats.page_writes
+        ));
+        results.push((wal, rps, bucket_fingerprint(&store, cfg.buckets)));
+        drop(store);
+        FileEnv::remove_sidecars(&path);
+        let _ = std::fs::remove_file(&path);
+    }
+    // Same schedule, same data — the WAL must change cost, not content.
+    assert_eq!(
+        results[0].2, results[1].2,
+        "WAL on/off stores diverged in content"
+    );
+    let overhead = results[1].1 / results[0].1.max(1e-9);
+    println!("  WAL overhead: {overhead:.2}x faster without the log (durability is the price)");
+    json.push_str(&format!("  \"wal_overhead_factor\": {overhead:.2},\n"));
+
+    // ---- 2. Commit latency by batch size ----------------------------------
+    for batch in [cfg.flush_every / 10, cfg.flush_every, cfg.flush_every * 4] {
+        let batch = batch.max(1);
+        let path = dir.join(format!("simcloud-dur-{}-b{batch}.db", std::process::id()));
+        let mut store = DiskStore::create(&path).expect("create");
+        let (rps, flushes) = run_schedule(&mut store, &cfg, batch);
+        drop(store);
+        FileEnv::remove_sidecars(&path);
+        let _ = std::fs::remove_file(&path);
+        println!("  commit_batch/{batch:<6} {rps:>9.0} records/s  ({flushes} commits)");
+        json.push_str(&format!(
+            "  \"commit_batch/{batch}\": {{ \"records_per_s\": {rps:.0}, \"commits\": {flushes} }},\n"
+        ));
+    }
+
+    // ---- 3. Crash recovery time -------------------------------------------
+    // Record the fault-free schedule, then crash mid-checkpoint (on the
+    // final flush's last in-place page write, with everything after the
+    // WAL commit point still unsynced) and time the reopen's replay.
+    // A half-batch tail makes the final (crashed) flush carry real page
+    // traffic instead of just the directory page.
+    let crash_records = cfg.records + cfg.flush_every / 2;
+    let drive = |store: &mut DiskStore| -> Result<(), simcloud_storage::StorageError> {
+        for i in 0..crash_records {
+            let id = i as u64;
+            store.append(BucketId(id % cfg.buckets), rec(id, cfg.payload))?;
+            if (i + 1) % cfg.flush_every == 0 {
+                store.flush()?;
+            }
+        }
+        store.flush()
+    };
+
+    let env = FaultEnv::new(FaultPlan::default());
+    let handle = env.handle();
+    let mut store =
+        DiskStore::create_in(Box::new(env), DiskStoreOptions::default()).expect("create");
+    drive(&mut store).expect("fault-free run");
+    let expected = store.total_records();
+    drop(store);
+    let total_ops = handle.ops();
+
+    // The flush epilogue is: …page checkpoints, pages.sync, store_meta,
+    // wal.set_len(0), wal.sync — so `total_ops - 5` is the last checkpoint
+    // write, and DropUnsynced discards the whole unsynced checkpoint.
+    let plan = FaultPlan {
+        crash_at: Some(total_ops - 5),
+        mode: CrashMode::DropUnsynced,
+        flip: None,
+    };
+    let env = FaultEnv::new(plan);
+    let handle = env.handle();
+    let mut store =
+        DiskStore::create_in(Box::new(env), DiskStoreOptions::default()).expect("create");
+    assert!(drive(&mut store).is_err(), "the injected crash must fire");
+    drop(store);
+
+    let image = handle.surviving();
+    let wal_bytes = image.wal.len();
+    let start = Instant::now();
+    let reopened = DiskStore::open_in(
+        Box::new(FaultEnv::from_images(image, FaultPlan::default())),
+        DiskStoreOptions::default(),
+    )
+    .expect("recovery");
+    let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(reopened.recovered_on_open(), "recovery must run");
+    reopened.verify().expect("recovered store verifies");
+    assert_eq!(
+        reopened.total_records(),
+        expected,
+        "crash after the commit point must lose nothing"
+    );
+    let stats = reopened.stats();
+    println!(
+        "  recovery: {recover_ms:.2} ms to replay {} pages from a {wal_bytes}-byte WAL \
+         ({expected} records intact)",
+        stats.pages_recovered
+    );
+    json.push_str(&format!(
+        "  \"recovery\": {{ \"ms\": {recover_ms:.2}, \"pages_replayed\": {}, \
+         \"wal_bytes\": {wal_bytes}, \"records\": {expected} }},\n",
+        stats.pages_recovered
+    ));
+
+    json.push_str("  \"scale\": \"");
+    json.push_str(if quick { "quick" } else { "full" });
+    json.push_str("\"\n}");
+    println!("\nJSON summary:\n{json}");
+}

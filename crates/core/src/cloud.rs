@@ -70,6 +70,27 @@ where
     Ok(EncryptedClient::new(key, metric, transport, client_config))
 }
 
+/// Re-attaches an in-process deployment to a store that already holds
+/// sealed records — the restart / crash-recovery path. The server rebuilds
+/// its cell tree from the stored entries ([`CloudServer::rebuilt`]); the
+/// client must present the same [`SecretKey`] that sealed them, or every
+/// later decryption fails authentication.
+pub fn in_process_rebuilt<M, S>(
+    key: SecretKey,
+    metric: M,
+    index_config: MIndexConfig,
+    store: S,
+    client_config: ClientConfig,
+) -> Result<InProcessCloud<M, S>, MIndexError>
+where
+    M: Metric<Vector>,
+    S: BucketStore,
+{
+    let server = CloudServer::rebuilt(index_config, store)?;
+    let transport = InProcessTransport::with_model(server, NetworkModel::loopback());
+    Ok(EncryptedClient::new(key, metric, transport, client_config))
+}
+
 /// A client sharing an `Arc`'d in-process server with other clients
 /// (typically one such client per query thread).
 pub type SharedCloud<M, S> = EncryptedClient<M, InProcessTransport<Shared<Arc<CloudServer<S>>>>>;

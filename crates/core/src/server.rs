@@ -96,6 +96,20 @@ impl<S: BucketStore> CloudServer<S> {
         })
     }
 
+    /// Creates a server over a store that already holds records (e.g. a
+    /// crash-recovered [`DiskStore`]), rebuilding the in-memory cell tree
+    /// from the stored entries via [`MIndex::rebuild`].
+    ///
+    /// [`DiskStore`]: https://docs.rs/simcloud-storage
+    pub fn rebuilt(config: MIndexConfig, store: S) -> Result<Self, MIndexError> {
+        Ok(Self {
+            index: RwLock::new(MIndex::rebuild(config, store)?),
+            config: ServerConfig::default(),
+            last_search_stats: Mutex::new(SearchStats::default()),
+            total_search_stats: SharedSearchStats::new(),
+        })
+    }
+
     /// The server configuration.
     pub fn server_config(&self) -> ServerConfig {
         self.config
@@ -105,6 +119,12 @@ impl<S: BucketStore> CloudServer<S> {
     /// Holds the shared lock for the guard's lifetime — keep it short.
     pub fn index(&self) -> RwLockReadGuard<'_, MIndex<S>> {
         self.index.read()
+    }
+
+    /// Commits the store to durable storage (see [`MIndex::flush`]).
+    /// Takes the index write lock, so in-flight queries drain first.
+    pub fn flush(&self) -> Result<(), MIndexError> {
+        self.index.write().flush()
     }
 
     /// Statistics of the most recent search request. Zeroed when the most

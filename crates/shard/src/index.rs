@@ -156,6 +156,17 @@ impl<S: BucketStore> ShardedMIndex<S> {
         out
     }
 
+    /// Flushes every shard's store to durable storage, shard by shard
+    /// (each under its own write lock). Shards commit independently: a
+    /// failure on shard `k` leaves shards `< k` committed and is returned
+    /// immediately.
+    pub fn flush(&self) -> Result<(), MIndexError> {
+        for s in &self.shards {
+            s.write().flush()?;
+        }
+        Ok(())
+    }
+
     /// Summed I/O statistics over all shard stores (each shard owns an
     /// independent store, so the deployment's cost is the sum — see
     /// `IoStats::merge_from`).

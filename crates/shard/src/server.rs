@@ -76,6 +76,12 @@ impl<S: BucketStore> ShardedCloudServer<S> {
         &self.index
     }
 
+    /// Commits every shard's store to durable storage (see
+    /// [`ShardedMIndex::flush`]).
+    pub fn flush(&self) -> Result<(), MIndexError> {
+        self.index.flush()
+    }
+
     /// Statistics of the most recent search request — per-shard cost
     /// counters summed, `candidates` the merged (capped) answer size.
     /// Zeroed when the most recent search failed.

@@ -1,46 +1,87 @@
 //! Single-file paged bucket store — the paper's "Disk storage" (Table 2,
-//! CoPhIR configuration).
+//! CoPhIR configuration), crash-safe since PR 8.
 //!
-//! Layout: a file of 4 KiB pages. Page 0 is the header (magic, version,
-//! page count, free-list head, directory chain head). Every other page is
-//! either on the free list or part of a chain: bucket chains carry record
-//! bytes, the directory chain persists the bucket table on flush.
+//! Layout (format v2): `<path>` is a file of 4 KiB pages. Slot 0 is a
+//! write-once stamp page; every other page carries the checksummed
+//! [`pagefmt`] header (crc, magic, page id, lsn, chain link, used bytes)
+//! and is either on the free list or part of a chain: bucket chains carry
+//! record bytes, the directory chain persists the bucket table on flush.
+//! The committed state (page count, free/directory heads, last LSN, clean
+//! flag) lives in the sidecar `<path>.meta` ([`Meta`]), replaced
+//! atomically; `<path>.wal` ([`wal`]) carries full-page images so a crash
+//! at *any* instant recovers to the last `flush()`.
 //!
-//! ```text
-//! page 0   : "SCLDSTOR" | version u32 | page_count u32 | free_head u32 | dir_head u32
-//! data page: next u32 | used u16 | payload bytes (PAGE_CAP = 4090)
-//! ```
+//! Durability contract:
 //!
-//! A small LRU buffer pool fronts the file; all reads/writes go through it
-//! and its hit/miss counts feed [`IoStats`], which the benches report as the
-//! server-side I/O component.
+//! * **Mutations never touch the file.** `append`/`delete_bucket` only
+//!   dirty pool pages; dirty pages are pinned (the pool evicts clean pages
+//!   only), so between flushes the on-disk bytes are exactly the last
+//!   committed state.
+//! * **`flush()` is the commit point.** It serializes the directory,
+//!   seals every dirty page (LSN + CRC), appends them plus a commit frame
+//!   (carrying the new meta) to the WAL, fsyncs the WAL — *that sync is
+//!   the commit* — then checkpoints the pages in place, fsyncs them,
+//!   atomically replaces the meta (`clean = 1`) and truncates the WAL.
+//! * **`open()` recovers automatically** when the meta is unclean or the
+//!   WAL is non-empty: committed WAL batches are replayed LSN-gated,
+//!   torn tails discarded, and the result is reported via
+//!   [`IoStats::pages_recovered`] / [`DiskStore::recovered_on_open`].
 //!
-//! Concurrency model: the file, directory and buffer pool live behind one
-//! [`parking_lot::Mutex`] — the disk model's latch. `&self` reads from many
-//! query threads are therefore *safe* but serialized at the device, exactly
-//! like a single spindle/buffer pool; the in-memory store is the backend
-//! that scales reads with threads.
+//! A small LRU buffer pool fronts the file; every pool miss re-verifies
+//! the page CRC. Concurrency model: the file, directory and buffer pool
+//! live behind one [`parking_lot::Mutex`] — the disk model's latch.
+//! `&self` reads from many query threads are therefore *safe* but
+//! serialized at the device, exactly like a single spindle/buffer pool.
+//!
+//! This module is part of the storage recovery path enforced at zero
+//! panic sites by `simcloud-analyze`.
+//!
+//! [`Meta`]: crate::meta::Meta
+//! [`wal`]: crate::wal
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use parking_lot::Mutex;
 
+use crate::backend::{FileEnv, StorageEnv};
+use crate::meta::Meta;
+use crate::pagefmt::{
+    self, get_bytes, read_u16, read_u32, read_u64, PAGE_CAP, PAGE_HDR, PAGE_SIZE,
+};
+use crate::wal;
 use crate::{BucketId, BucketStore, IoStats, Record, StorageError};
 
-const MAGIC: &[u8; 8] = b"SCLDSTOR";
-const VERSION: u32 = 1;
-/// Page size in bytes.
-pub const PAGE_SIZE: usize = 4096;
-const PAGE_HDR: usize = 6; // next: u32, used: u16
-const PAGE_CAP: usize = PAGE_SIZE - PAGE_HDR;
 const NIL: u32 = 0;
+/// Bytes per serialized directory entry: bucket u64, head u32, tail u32,
+/// tail_used u16, records u64.
+const DIR_ENTRY: usize = 26;
+
+/// Construction-time knobs of a [`DiskStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiskStoreOptions {
+    /// Buffer-pool capacity in pages (minimum 2). Dirty pages are pinned,
+    /// so the pool can temporarily exceed this between flushes.
+    pub pool_pages: usize,
+    /// Whether flushes are write-ahead logged. With the WAL off a crash
+    /// *during* `flush()` can corrupt the store (the data-before-meta
+    /// ordering still protects every other instant); the durability bench
+    /// measures what the log costs.
+    pub wal: bool,
+}
+
+impl Default for DiskStoreOptions {
+    fn default() -> Self {
+        DiskStoreOptions {
+            pool_pages: 1024,
+            wal: true,
+        }
+    }
+}
 
 #[derive(Clone)]
 struct CachedPage {
-    data: Box<[u8; PAGE_SIZE]>,
+    data: Vec<u8>,
     dirty: bool,
     last_used: u64,
 }
@@ -54,21 +95,33 @@ struct BucketMeta {
     records: u64,
 }
 
-/// The mutable paged state: file, directory, buffer pool, statistics.
-/// One mutex guards all of it (see the module docs).
+const EMPTY_BUCKET: BucketMeta = BucketMeta {
+    head: NIL,
+    tail: NIL,
+    tail_used: 0,
+    records: 0,
+};
+
+/// The mutable paged state: environment, directory, buffer pool,
+/// statistics. One mutex guards all of it (see the module docs).
 struct Inner {
-    file: File,
+    env: Box<dyn StorageEnv>,
     page_count: u32,
     free_head: u32,
     dir_head: u32,
+    /// Last committed batch; the next flush commits `lsn + 1`.
+    lsn: u64,
+    wal_enabled: bool,
     directory: HashMap<BucketId, BucketMeta>,
     pool: HashMap<u32, CachedPage>,
     pool_capacity: usize,
     tick: u64,
     stats: IoStats,
+    recovered: bool,
 }
 
-/// Paged single-file bucket store with an LRU buffer pool.
+/// Paged single-file bucket store with WAL-backed crash safety and an LRU
+/// buffer pool.
 pub struct DiskStore {
     inner: Mutex<Inner>,
 }
@@ -80,15 +133,16 @@ impl std::fmt::Debug for DiskStore {
             .field("pages", &inner.page_count)
             .field("buckets", &inner.directory.len())
             .field("pool", &inner.pool.len())
+            .field("lsn", &inner.lsn)
             .finish()
     }
 }
 
 impl DiskStore {
-    /// Creates a new store file (truncating any existing content) with the
-    /// default 1024-page (4 MiB) buffer pool.
+    /// Creates a new store file (truncating any existing content) with
+    /// default options (1024-page pool, WAL on).
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
-        Self::create_with_pool(path, 1024)
+        Self::create_opts(path, DiskStoreOptions::default())
     }
 
     /// Creates a new store with an explicit buffer-pool capacity in pages.
@@ -96,33 +150,27 @@ impl DiskStore {
         path: P,
         pool_capacity: usize,
     ) -> Result<Self, StorageError> {
-        assert!(pool_capacity >= 2, "pool must hold at least two pages");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        let mut inner = Inner {
-            file,
-            page_count: 1,
-            free_head: NIL,
-            dir_head: NIL,
-            directory: HashMap::new(),
-            pool: HashMap::new(),
-            pool_capacity,
-            tick: 0,
-            stats: IoStats::default(),
-        };
-        inner.write_header()?;
-        Ok(Self {
-            inner: Mutex::new(inner),
-        })
+        Self::create_opts(
+            path,
+            DiskStoreOptions {
+                pool_pages: pool_capacity,
+                ..DiskStoreOptions::default()
+            },
+        )
     }
 
-    /// Opens an existing store file and loads its directory.
+    /// Creates a new store with explicit options.
+    pub fn create_opts<P: AsRef<Path>>(
+        path: P,
+        opts: DiskStoreOptions,
+    ) -> Result<Self, StorageError> {
+        Self::create_in(Box::new(FileEnv::open(path.as_ref())?), opts)
+    }
+
+    /// Opens an existing store, recovering automatically if the last
+    /// shutdown was unclean.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
-        Self::open_with_pool(path, 1024)
+        Self::open_opts(path, DiskStoreOptions::default())
     }
 
     /// Opens with an explicit buffer-pool capacity.
@@ -130,33 +178,109 @@ impl DiskStore {
         path: P,
         pool_capacity: usize,
     ) -> Result<Self, StorageError> {
-        assert!(pool_capacity >= 2, "pool must hold at least two pages");
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut hdr = [0u8; PAGE_SIZE];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut hdr)?;
-        if &hdr[0..8] != MAGIC {
-            return Err(StorageError::Corrupt("bad magic".into()));
+        Self::open_opts(
+            path,
+            DiskStoreOptions {
+                pool_pages: pool_capacity,
+                ..DiskStoreOptions::default()
+            },
+        )
+    }
+
+    /// Opens with explicit options.
+    pub fn open_opts<P: AsRef<Path>>(
+        path: P,
+        opts: DiskStoreOptions,
+    ) -> Result<Self, StorageError> {
+        Self::open_in(Box::new(FileEnv::open(path.as_ref())?), opts)
+    }
+
+    /// Creates a fresh store over an arbitrary [`StorageEnv`] — the entry
+    /// point of the fault-injection harness.
+    pub fn create_in(
+        mut env: Box<dyn StorageEnv>,
+        opts: DiskStoreOptions,
+    ) -> Result<Self, StorageError> {
+        env.pages().set_len(0)?;
+        env.pages().write_at(0, &pagefmt::stamp_page())?;
+        env.pages().sync()?;
+        env.wal().set_len(0)?;
+        env.wal().sync()?;
+        // clean = false: a writer is live from the moment of creation.
+        env.store_meta(&Meta::initial().encode())?;
+        let mut stats = IoStats::default();
+        stats.page_writes += 1;
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                env,
+                page_count: 1,
+                free_head: NIL,
+                dir_head: NIL,
+                lsn: 0,
+                wal_enabled: opts.wal,
+                directory: HashMap::new(),
+                pool: HashMap::new(),
+                pool_capacity: opts.pool_pages.max(2),
+                tick: 0,
+                stats,
+                recovered: false,
+            }),
+        })
+    }
+
+    /// Opens a store over an arbitrary [`StorageEnv`], recovering if the
+    /// meta is unclean or the WAL is non-empty.
+    pub fn open_in(
+        mut env: Box<dyn StorageEnv>,
+        opts: DiskStoreOptions,
+    ) -> Result<Self, StorageError> {
+        let meta_bytes = env.load_meta()?.ok_or_else(|| {
+            StorageError::Corrupt("no meta document — not a crash-safe (v2) store".into())
+        })?;
+        let disk_meta = Meta::decode(&meta_bytes)?;
+        let mut stats = IoStats::default();
+        let mut stamp = vec![0u8; PAGE_SIZE];
+        env.pages()
+            .read_at(0, &mut stamp)
+            .map_err(|_| StorageError::Corrupt("page file too short for its stamp page".into()))?;
+        stats.page_reads += 1;
+        if !pagefmt::is_stamp(&stamp) {
+            return Err(StorageError::Corrupt("bad stamp page".into()));
         }
-        let version = read_u32_at(&hdr, 8)?;
-        if version != VERSION {
-            return Err(StorageError::Corrupt(format!(
-                "unsupported version {version}"
-            )));
+        let wal_len = env.wal().len()?;
+        let mut adopted = disk_meta;
+        let mut recovered = false;
+        if !disk_meta.clean || wal_len > 0 {
+            let (pages, wal_backend) = env.pages_and_wal();
+            let outcome = wal::recover(pages, wal_backend)?;
+            if let Some(committed) = outcome.meta {
+                // A WAL commit older than the meta is a stale remnant of
+                // an interrupted truncate; the meta already covers it.
+                if committed.lsn >= disk_meta.lsn {
+                    adopted = committed;
+                }
+            }
+            stats.pages_recovered += outcome.pages_applied;
+            recovered = true;
+            env.wal().set_len(0)?;
+            env.wal().sync()?;
         }
-        let page_count = read_u32_at(&hdr, 12)?;
-        let free_head = read_u32_at(&hdr, 16)?;
-        let dir_head = read_u32_at(&hdr, 20)?;
+        // Mark a writer live; flush() restores clean = true.
+        adopted.clean = false;
+        env.store_meta(&adopted.encode())?;
         let mut inner = Inner {
-            file,
-            page_count,
-            free_head,
-            dir_head,
+            env,
+            page_count: adopted.page_count,
+            free_head: adopted.free_head,
+            dir_head: adopted.dir_head,
+            lsn: adopted.lsn,
+            wal_enabled: opts.wal,
             directory: HashMap::new(),
             pool: HashMap::new(),
-            pool_capacity,
+            pool_capacity: opts.pool_pages.max(2),
             tick: 0,
-            stats: IoStats::default(),
+            stats,
+            recovered,
         };
         inner.load_directory()?;
         Ok(Self {
@@ -164,55 +288,27 @@ impl DiskStore {
         })
     }
 
-    /// Pages currently allocated in the backing file (header included).
+    /// Pages currently allocated in the backing file (stamp included).
     pub fn page_count(&self) -> u32 {
         self.inner.lock().page_count
     }
-}
 
-/// Reads a little-endian `u32` at `off`, or reports corruption — header and
-/// page parsing must surface truncated files as [`StorageError::Corrupt`],
-/// never a panic.
-fn read_u32_at(bytes: &[u8], off: usize) -> Result<u32, StorageError> {
-    bytes
-        .get(off..off.saturating_add(4))
-        .and_then(|s| s.try_into().ok())
-        .map(u32::from_le_bytes)
-        .ok_or_else(|| StorageError::Corrupt(format!("truncated u32 at byte {off}")))
-}
+    /// Whether `open()` found an unclean store and ran recovery (even a
+    /// recovery that had nothing to replay).
+    pub fn recovered_on_open(&self) -> bool {
+        self.inner.lock().recovered
+    }
 
-/// Reads a little-endian `u16` at `off` (see [`read_u32_at`]).
-fn read_u16_at(bytes: &[u8], off: usize) -> Result<u16, StorageError> {
-    bytes
-        .get(off..off.saturating_add(2))
-        .and_then(|s| s.try_into().ok())
-        .map(u16::from_le_bytes)
-        .ok_or_else(|| StorageError::Corrupt(format!("truncated u16 at byte {off}")))
-}
-
-/// Reads a little-endian `u64` at `off` (see [`read_u32_at`]).
-fn read_u64_at(bytes: &[u8], off: usize) -> Result<u64, StorageError> {
-    bytes
-        .get(off..off.saturating_add(8))
-        .and_then(|s| s.try_into().ok())
-        .map(u64::from_le_bytes)
-        .ok_or_else(|| StorageError::Corrupt(format!("truncated u64 at byte {off}")))
+    /// Full offline-style verification: every committed page re-read from
+    /// the file and CRC-checked, every bucket's record stream decoded and
+    /// counted against the directory. `Err` means corruption; failures
+    /// also bump [`IoStats::crc_failures`].
+    pub fn verify(&self) -> Result<(), StorageError> {
+        self.inner.lock().verify()
+    }
 }
 
 impl Inner {
-    fn write_header(&mut self) -> Result<(), StorageError> {
-        let mut hdr = [0u8; PAGE_SIZE];
-        hdr[0..8].copy_from_slice(MAGIC);
-        hdr[8..12].copy_from_slice(&VERSION.to_le_bytes());
-        hdr[12..16].copy_from_slice(&self.page_count.to_le_bytes());
-        hdr[16..20].copy_from_slice(&self.free_head.to_le_bytes());
-        hdr[20..24].copy_from_slice(&self.dir_head.to_le_bytes());
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&hdr)?;
-        self.stats.page_writes += 1;
-        Ok(())
-    }
-
     // ---- buffer pool ----------------------------------------------------
 
     fn touch(&mut self, page: u32) {
@@ -222,33 +318,33 @@ impl Inner {
         }
     }
 
-    fn evict_if_full(&mut self) -> Result<(), StorageError> {
+    /// Evicts least-recently-used *clean* pages down to capacity. Dirty
+    /// pages are pinned — they exist nowhere else until the next flush —
+    /// so a pool full of dirty pages simply grows past capacity.
+    fn evict_if_full(&mut self) {
         while self.pool.len() >= self.pool_capacity {
-            // The loop condition keeps the pool non-empty (capacity >= 2),
-            // so a missing victim just means there is nothing to evict.
-            let Some(victim) = self
+            let victim = self
                 .pool
                 .iter()
+                .filter(|(_, p)| !p.dirty)
                 .min_by_key(|(_, p)| p.last_used)
-                .map(|(&n, _)| n)
-            else {
-                break;
-            };
-            let Some(page) = self.pool.remove(&victim) else {
-                break;
-            };
-            if page.dirty {
-                self.file
-                    .seek(SeekFrom::Start(victim as u64 * PAGE_SIZE as u64))?;
-                self.file.write_all(&page.data[..])?;
-                self.stats.page_writes += 1;
+                .map(|(&n, _)| n);
+            match victim {
+                Some(n) => {
+                    self.pool.remove(&n);
+                }
+                None => break,
             }
         }
-        Ok(())
     }
 
     fn read_page(&mut self, page: u32) -> Result<&mut CachedPage, StorageError> {
-        debug_assert_ne!(page, NIL, "attempt to read nil page");
+        if page == NIL || page >= self.page_count {
+            return Err(StorageError::Corrupt(format!(
+                "reference to page {page} outside file of {} pages",
+                self.page_count
+            )));
+        }
         if self.pool.contains_key(&page) {
             self.stats.pool_hits += 1;
             self.touch(page);
@@ -257,11 +353,15 @@ impl Inner {
                 .get_mut(&page)
                 .ok_or_else(|| StorageError::Corrupt(format!("page {page} vanished from pool")));
         }
-        self.evict_if_full()?;
-        let mut data = Box::new([0u8; PAGE_SIZE]);
-        self.file
-            .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
-        self.file.read_exact(&mut data[..])?;
+        self.evict_if_full();
+        let mut data = vec![0u8; PAGE_SIZE];
+        self.env
+            .pages()
+            .read_at(u64::from(page) * PAGE_SIZE as u64, &mut data)?;
+        if let Err(e) = pagefmt::parse_page(&data, Some(page)) {
+            self.stats.crc_failures += 1;
+            return Err(e);
+        }
         self.stats.page_reads += 1;
         self.tick += 1;
         let tick = self.tick;
@@ -278,15 +378,18 @@ impl Inner {
             .ok_or_else(|| StorageError::Corrupt(format!("page {page} vanished from pool")))
     }
 
-    /// Installs a fresh zeroed page into the pool marked dirty (no disk read).
+    /// Installs a fresh initialized page into the pool marked dirty (no
+    /// disk read, no disk write — the page materializes at flush).
     fn fresh_page(&mut self, page: u32) -> Result<(), StorageError> {
-        self.evict_if_full()?;
+        self.evict_if_full();
+        let mut data = vec![0u8; PAGE_SIZE];
+        pagefmt::init_page(&mut data, page)?;
         self.tick += 1;
         let tick = self.tick;
         self.pool.insert(
             page,
             CachedPage {
-                data: Box::new([0u8; PAGE_SIZE]),
+                data,
                 dirty: true,
                 last_used: tick,
             },
@@ -301,19 +404,17 @@ impl Inner {
             let page = self.free_head;
             let next = {
                 let p = self.read_page(page)?;
-                read_u32_at(&p.data[..], 0)?
+                pagefmt::get_next(&p.data)?
             };
             self.free_head = next;
             self.fresh_page(page)?;
             Ok(page)
         } else {
             let page = self.page_count;
+            if page == u32::MAX {
+                return Err(StorageError::Corrupt("page address space exhausted".into()));
+            }
             self.page_count += 1;
-            // extend the file so read_exact on eviction-reload succeeds
-            self.file
-                .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
-            self.file.write_all(&[0u8; PAGE_SIZE])?;
-            self.stats.page_writes += 1;
             self.fresh_page(page)?;
             Ok(page)
         }
@@ -321,16 +422,23 @@ impl Inner {
 
     fn free_chain(&mut self, head: u32) -> Result<(), StorageError> {
         let mut page = head;
+        let mut hops = 0u64;
         while page != NIL {
+            hops += 1;
+            if hops > u64::from(self.page_count) {
+                return Err(StorageError::Corrupt(
+                    "page chain longer than the file — cycle".into(),
+                ));
+            }
             let next = {
                 let p = self.read_page(page)?;
-                read_u32_at(&p.data[..], 0)?
+                pagefmt::get_next(&p.data)?
             };
             // link into free list through the same next-pointer slot
             let free_head = self.free_head;
             let p = self.read_page(page)?;
-            p.data[0..4].copy_from_slice(&free_head.to_le_bytes());
-            p.data[4..6].copy_from_slice(&0u16.to_le_bytes());
+            pagefmt::set_next(&mut p.data, free_head)?;
+            pagefmt::set_used(&mut p.data, 0)?;
             p.dirty = true;
             self.free_head = page;
             page = next;
@@ -338,7 +446,7 @@ impl Inner {
         Ok(())
     }
 
-    // ---- chain I/O ---------------------------------------------------------
+    // ---- chain I/O -------------------------------------------------------
 
     /// Appends `bytes` to the chain ending at `meta.tail`, allocating pages
     /// as needed; updates `meta` in place.
@@ -351,53 +459,58 @@ impl Inner {
             meta.tail_used = 0;
         }
         while !remaining.is_empty() {
-            let space = PAGE_CAP - meta.tail_used as usize;
+            let space = PAGE_CAP - usize::from(meta.tail_used);
             if space == 0 {
                 let new_page = self.alloc_page()?;
                 let tail = meta.tail;
                 let p = self.read_page(tail)?;
-                p.data[0..4].copy_from_slice(&new_page.to_le_bytes());
+                pagefmt::set_next(&mut p.data, new_page)?;
                 p.dirty = true;
                 meta.tail = new_page;
                 meta.tail_used = 0;
                 continue;
             }
             let take = space.min(remaining.len());
+            let (chunk, rest) = remaining.split_at(take);
+            let used = usize::from(meta.tail_used);
+            let new_used = u16::try_from(used + take)
+                .map_err(|_| StorageError::Corrupt("page used-bytes overflow".into()))?;
             let tail = meta.tail;
-            let used = meta.tail_used as usize;
             let p = self.read_page(tail)?;
-            p.data[PAGE_HDR + used..PAGE_HDR + used + take].copy_from_slice(&remaining[..take]);
-            let new_used = (used + take) as u16;
-            p.data[4..6].copy_from_slice(&new_used.to_le_bytes());
+            pagefmt::put_bytes(&mut p.data, PAGE_HDR + used, chunk)?;
+            pagefmt::set_used(&mut p.data, new_used)?;
             p.dirty = true;
             meta.tail_used = new_used;
-            remaining = &remaining[take..];
+            remaining = rest;
         }
         Ok(())
     }
 
-    /// Reads the full byte stream of a chain.
+    /// Reads the full byte stream of a chain. The hop guard turns cycles
+    /// (including self-links) into typed corruption.
     fn chain_read(&mut self, head: u32) -> Result<Vec<u8>, StorageError> {
         let mut out = Vec::new();
         let mut page = head;
+        let mut hops = 0u64;
         while page != NIL {
+            hops += 1;
+            if hops > u64::from(self.page_count) {
+                return Err(StorageError::Corrupt(
+                    "page chain longer than the file — cycle".into(),
+                ));
+            }
             let (next, chunk) = {
                 let p = self.read_page(page)?;
-                let next = read_u32_at(&p.data[..], 0)?;
-                let used = read_u16_at(&p.data[..], 4)? as usize;
+                let next = pagefmt::get_next(&p.data)?;
+                let used = usize::from(pagefmt::get_used(&p.data)?);
                 if used > PAGE_CAP {
                     return Err(StorageError::Corrupt(format!(
                         "page {page} claims {used} used bytes"
                     )));
                 }
-                (next, p.data[PAGE_HDR..PAGE_HDR + used].to_vec())
+                (next, get_bytes(&p.data, PAGE_HDR, used)?.to_vec())
             };
             out.extend_from_slice(&chunk);
-            if next == page {
-                return Err(StorageError::Corrupt(format!(
-                    "page {page} links to itself"
-                )));
-            }
             page = next;
         }
         Ok(out)
@@ -414,17 +527,22 @@ impl Inner {
         if bytes.len() < 4 {
             return Err(StorageError::Corrupt("directory truncated".into()));
         }
-        let n = read_u32_at(&bytes, 0)? as usize;
+        let n = read_u32(&bytes, 0)? as usize;
+        // Clamp the claimed entry count to what the chain can actually
+        // hold — a corrupt count must not drive a huge loop or allocation.
+        let fits = (bytes.len() - 4) / DIR_ENTRY;
+        if n > fits {
+            return Err(StorageError::Corrupt(format!(
+                "directory claims {n} entries, chain holds at most {fits}"
+            )));
+        }
         let mut off = 4;
         for _ in 0..n {
-            if bytes.len() < off + 26 {
-                return Err(StorageError::Corrupt("directory entry truncated".into()));
-            }
-            let bucket = read_u64_at(&bytes, off)?;
-            let head = read_u32_at(&bytes, off + 8)?;
-            let tail = read_u32_at(&bytes, off + 12)?;
-            let tail_used = read_u16_at(&bytes, off + 16)?;
-            let records = read_u64_at(&bytes, off + 18)?;
+            let bucket = read_u64(&bytes, off)?;
+            let head = read_u32(&bytes, off + 8)?;
+            let tail = read_u32(&bytes, off + 12)?;
+            let tail_used = read_u16(&bytes, off + 16)?;
+            let records = read_u64(&bytes, off + 18)?;
             self.directory.insert(
                 BucketId(bucket),
                 BucketMeta {
@@ -434,7 +552,7 @@ impl Inner {
                     records,
                 },
             );
-            off += 26;
+            off += DIR_ENTRY;
         }
         Ok(())
     }
@@ -446,8 +564,14 @@ impl Inner {
         if old != NIL {
             self.free_chain(old)?;
         }
-        let mut bytes = Vec::with_capacity(4 + 26 * self.directory.len());
-        bytes.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
+        let mut bytes = Vec::with_capacity(4 + DIR_ENTRY * self.directory.len());
+        let n = u32::try_from(self.directory.len()).map_err(|_| {
+            StorageError::Corrupt(format!(
+                "{} buckets exceed the directory format",
+                self.directory.len()
+            ))
+        })?;
+        bytes.extend_from_slice(&n.to_le_bytes());
         let mut entries: Vec<(BucketId, BucketMeta)> =
             self.directory.iter().map(|(k, v)| (*k, *v)).collect();
         entries.sort_by_key(|(k, _)| *k);
@@ -458,31 +582,21 @@ impl Inner {
             bytes.extend_from_slice(&meta.tail_used.to_le_bytes());
             bytes.extend_from_slice(&meta.records.to_le_bytes());
         }
-        let mut dir_meta = BucketMeta {
-            head: NIL,
-            tail: NIL,
-            tail_used: 0,
-            records: 0,
-        };
+        let mut dir_meta = EMPTY_BUCKET;
         self.chain_append(&mut dir_meta, &bytes)?;
         self.dir_head = dir_meta.head;
         Ok(())
     }
-}
 
-impl Inner {
+    // ---- operations ------------------------------------------------------
+
     fn append(&mut self, bucket: BucketId, record: Record) -> Result<(), StorageError> {
         if record.payload.len() > crate::record::MAX_PAYLOAD {
             return Err(StorageError::RecordTooLarge(record.payload.len()));
         }
         let mut bytes = Vec::with_capacity(record.encoded_len());
         record.encode(&mut bytes);
-        let mut meta = self.directory.get(&bucket).copied().unwrap_or(BucketMeta {
-            head: NIL,
-            tail: NIL,
-            tail_used: 0,
-            records: 0,
-        });
+        let mut meta = self.directory.get(&bucket).copied().unwrap_or(EMPTY_BUCKET);
         self.chain_append(&mut meta, &bytes)?;
         meta.records += 1;
         self.directory.insert(bucket, meta);
@@ -496,10 +610,14 @@ impl Inner {
             .get(&bucket)
             .ok_or(StorageError::UnknownBucket(bucket))?;
         let bytes = self.chain_read(meta.head)?;
-        let mut records = Vec::with_capacity(meta.records as usize);
+        // Capacity clamped by what the chain can physically hold (a record
+        // is at least 12 bytes) — a corrupt count must not pre-allocate.
+        let cap = (meta.records as usize).min(bytes.len() / 12 + 1);
+        let mut records = Vec::with_capacity(cap);
         let mut off = 0;
         while off < bytes.len() {
-            let (r, used) = Record::decode(&bytes[off..]).ok_or_else(|| {
+            let tail = bytes.get(off..).unwrap_or(&[]);
+            let (r, used) = Record::decode(tail).ok_or_else(|| {
                 StorageError::Corrupt(format!("bucket {bucket} record stream truncated"))
             })?;
             records.push(r);
@@ -525,29 +643,127 @@ impl Inner {
         Ok(())
     }
 
+    /// The commit protocol (see the module docs for the crash analysis of
+    /// each window):
+    ///
+    /// 1. serialize the directory into its chain (pool only);
+    /// 2. seal every dirty page with the new LSN and its CRC;
+    /// 3. WAL: append one page frame per dirty page plus a commit frame
+    ///    carrying the new meta, then fsync — **the commit point**;
+    /// 4. checkpoint the sealed pages in place, fsync the page file;
+    /// 5. atomically replace the meta with `clean = 1`;
+    /// 6. truncate + fsync the WAL.
     fn flush(&mut self) -> Result<(), StorageError> {
         self.persist_directory()?;
-        // write all dirty pages
-        let dirty: Vec<u32> = self
+        let next_lsn = self.lsn + 1;
+        let mut dirty: Vec<u32> = self
             .pool
             .iter()
             .filter(|(_, p)| p.dirty)
             .map(|(&n, _)| n)
             .collect();
-        for page in dirty {
-            let Some(data) = self.pool.get(&page).map(|p| p.data.clone()) else {
-                continue;
-            };
-            self.file
-                .seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))?;
-            self.file.write_all(&data[..])?;
-            self.stats.page_writes += 1;
+        dirty.sort_unstable();
+        for &page in &dirty {
+            let p = self
+                .pool
+                .get_mut(&page)
+                .ok_or_else(|| StorageError::Corrupt(format!("page {page} vanished from pool")))?;
+            pagefmt::seal_page(&mut p.data, next_lsn)?;
+        }
+        let new_meta = Meta {
+            lsn: next_lsn,
+            page_count: self.page_count,
+            free_head: self.free_head,
+            dir_head: self.dir_head,
+            clean: false,
+        };
+        if self.wal_enabled {
+            let wal_backend = self.env.wal();
+            let mut off = 0u64;
+            for &page in &dirty {
+                let image = self.pool.get(&page).ok_or_else(|| {
+                    StorageError::Corrupt(format!("page {page} vanished from pool"))
+                })?;
+                off = wal::append_page_frame(&mut *wal_backend, off, next_lsn, page, &image.data)?;
+                self.stats.wal_appends += 1;
+            }
+            wal::append_commit_frame(&mut *wal_backend, off, next_lsn, &new_meta.encode())?;
+            self.stats.wal_appends += 1;
+            // The batch is durable from here: any later crash replays it.
+            wal_backend.sync()?;
+        }
+        {
+            let pages_backend = self.env.pages();
+            for &page in &dirty {
+                let image = self.pool.get(&page).ok_or_else(|| {
+                    StorageError::Corrupt(format!("page {page} vanished from pool"))
+                })?;
+                pages_backend.write_at(u64::from(page) * PAGE_SIZE as u64, &image.data)?;
+                self.stats.page_writes += 1;
+            }
+            // Data pages reach the platter before any pointer to them is
+            // published — the pre-WAL flush-ordering hazard is gone.
+            pages_backend.sync()?;
+        }
+        self.env.store_meta(
+            &Meta {
+                clean: true,
+                ..new_meta
+            }
+            .encode(),
+        )?;
+        if self.wal_enabled {
+            self.env.wal().set_len(0)?;
+            self.env.wal().sync()?;
+        }
+        for &page in &dirty {
             if let Some(p) = self.pool.get_mut(&page) {
                 p.dirty = false;
             }
         }
-        self.write_header()?;
-        self.file.sync_data()?;
+        self.lsn = next_lsn;
+        Ok(())
+    }
+
+    fn verify(&mut self) -> Result<(), StorageError> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.env.pages().read_at(0, &mut buf)?;
+        if !pagefmt::is_stamp(&buf) {
+            self.stats.crc_failures += 1;
+            return Err(StorageError::Corrupt("bad stamp page".into()));
+        }
+        for page in 1..self.page_count {
+            self.env
+                .pages()
+                .read_at(u64::from(page) * PAGE_SIZE as u64, &mut buf)?;
+            if let Err(e) = pagefmt::parse_page(&buf, Some(page)) {
+                self.stats.crc_failures += 1;
+                return Err(e);
+            }
+        }
+        let buckets: Vec<(BucketId, BucketMeta)> =
+            self.directory.iter().map(|(k, v)| (*k, *v)).collect();
+        for (bucket, meta) in buckets {
+            let bytes = self.chain_read(meta.head)?;
+            let mut off = 0;
+            let mut seen = 0u64;
+            while off < bytes.len() {
+                let tail = bytes.get(off..).unwrap_or(&[]);
+                let Some((_, _, used)) = Record::peek(tail) else {
+                    return Err(StorageError::Corrupt(format!(
+                        "bucket {bucket} record stream truncated"
+                    )));
+                };
+                seen += 1;
+                off += used;
+            }
+            if seen != meta.records {
+                return Err(StorageError::Corrupt(format!(
+                    "bucket {bucket}: directory claims {} records, found {seen}",
+                    meta.records
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -583,14 +799,13 @@ impl BucketStore for DiskStore {
         let mut seen = 0u64;
         let mut off = 0;
         while off < bytes.len() {
-            let (id, payload_off, used) = Record::peek(&bytes[off..]).ok_or_else(|| {
+            let tail = bytes.get(off..).unwrap_or(&[]);
+            let (id, payload_off, used) = Record::peek(tail).ok_or_else(|| {
                 StorageError::Corrupt(format!("bucket {bucket} record stream truncated"))
             })?;
             if wanted(id) {
-                out.push(Record::new(
-                    id,
-                    bytes[off + payload_off..off + used].to_vec(),
-                ));
+                let payload = get_bytes(tail, payload_off, used - payload_off)?.to_vec();
+                out.push(Record::new(id, payload));
             }
             seen += 1;
             off += used;
@@ -647,11 +862,17 @@ impl BucketStore for DiskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{CrashMode, FaultEnv, FaultPlan};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("simcloud-storage-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(format!("{name}-{}.db", std::process::id()))
+    }
+
+    fn cleanup(path: &std::path::Path) {
+        let _ = std::fs::remove_file(path);
+        FileEnv::remove_sidecars(path);
     }
 
     fn rec(id: u64, len: usize) -> Record {
@@ -674,7 +895,7 @@ mod tests {
         assert_eq!(s.total_records(), 3);
         let only2 = s.read_matching(BucketId(1), &|id| id == 2).unwrap();
         assert_eq!(only2, vec![rec(2, 50)]);
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
     }
 
     /// The targeted read materializes only wanted records — including when
@@ -704,7 +925,7 @@ mod tests {
             s.read_matching(BucketId(99), &|_| true),
             Err(StorageError::UnknownBucket(_))
         ));
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -720,7 +941,7 @@ mod tests {
         for (i, r) in back.iter().enumerate() {
             assert_eq!(*r, rec(i as u64, 3000));
         }
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -737,6 +958,7 @@ mod tests {
         }
         {
             let mut s = DiskStore::open(&path).unwrap();
+            assert!(!s.recovered_on_open(), "clean store must not recover");
             assert_eq!(s.total_records(), 100);
             let mut ids = s.bucket_ids();
             ids.sort();
@@ -744,11 +966,12 @@ mod tests {
             let b3 = s.read_bucket(BucketId(3)).unwrap();
             assert_eq!(b3.len(), 20);
             assert_eq!(b3[0], rec(300, 200));
+            s.verify().unwrap();
             // store remains writable after reopen
             s.append(BucketId(3), rec(999, 10)).unwrap();
             assert_eq!(s.bucket_len(BucketId(3)), 21);
         }
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -773,7 +996,9 @@ mod tests {
         );
         assert!(s.read_bucket(BucketId(1)).is_err());
         assert_eq!(s.bucket_len(BucketId(2)), 50);
-        std::fs::remove_file(path).unwrap();
+        s.flush().unwrap();
+        s.verify().unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -784,6 +1009,9 @@ mod tests {
             for i in 0..10u64 {
                 s.append(BucketId(b), rec(b * 10 + i, 500)).unwrap();
             }
+            // Commit per bucket so clean pages become evictable and the
+            // tiny pool actually exercises misses.
+            s.flush().unwrap();
         }
         for b in 0..8u64 {
             let recs = s.read_bucket(BucketId(b)).unwrap();
@@ -795,18 +1023,19 @@ mod tests {
         let st = s.stats();
         assert!(st.page_reads > 0, "tiny pool must miss");
         assert!(st.page_writes > 0);
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
     fn open_rejects_garbage() {
         let path = tmp("garbage");
+        cleanup(&path);
         std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
         match DiskStore::open(&path) {
-            Err(StorageError::Corrupt(msg)) => assert!(msg.contains("magic")),
+            Err(StorageError::Corrupt(msg)) => assert!(msg.contains("meta")),
             other => panic!("expected corrupt error, got {other:?}"),
         }
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -820,7 +1049,8 @@ mod tests {
         assert_eq!(s.total_records(), 0);
         assert!(s.bucket_ids().is_empty());
         assert_eq!(s.backend_name(), "Disk storage");
-        std::fs::remove_file(path).unwrap();
+        s.verify().unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -831,6 +1061,123 @@ mod tests {
         let _ = s.read_bucket(BucketId(1)).unwrap();
         let _ = s.read_bucket(BucketId(1)).unwrap();
         assert!(s.stats().pool_hits > 0);
-        std::fs::remove_file(path).unwrap();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unclean_open_reports_recovery() {
+        let path = tmp("unclean");
+        {
+            let mut s = DiskStore::create(&path).unwrap();
+            s.append(BucketId(1), rec(1, 10)).unwrap();
+            s.flush().unwrap();
+            s.append(BucketId(1), rec(2, 10)).unwrap();
+            // Dropped without a second flush: the on-disk meta was last
+            // written by flush() with clean = true, and the unflushed
+            // append never touched the file — so reopen must NOT recover.
+        }
+        {
+            let s = DiskStore::open(&path).unwrap();
+            assert!(!s.recovered_on_open());
+            assert_eq!(s.total_records(), 1, "unflushed append is lost");
+        }
+        // Now an open that never flushes leaves clean = false behind.
+        {
+            let _s = DiskStore::open(&path).unwrap();
+        }
+        {
+            let s = DiskStore::open(&path).unwrap();
+            assert!(
+                s.recovered_on_open(),
+                "meta says writer was live — recovery must run"
+            );
+            assert_eq!(s.stats().pages_recovered, 0, "nothing to replay");
+            assert_eq!(s.total_records(), 1);
+            s.verify().unwrap();
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_off_store_works_and_skips_the_log() {
+        let path = tmp("waloff");
+        let opts = DiskStoreOptions {
+            wal: false,
+            ..DiskStoreOptions::default()
+        };
+        {
+            let mut s = DiskStore::create_opts(&path, opts).unwrap();
+            for i in 0..30u64 {
+                s.append(BucketId(1), rec(i, 400)).unwrap();
+            }
+            s.flush().unwrap();
+            assert_eq!(s.stats().wal_appends, 0);
+        }
+        {
+            let s = DiskStore::open_opts(&path, opts).unwrap();
+            assert_eq!(s.total_records(), 30);
+            s.verify().unwrap();
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn fault_env_store_round_trips() {
+        let mut s = DiskStore::create_in(
+            Box::new(FaultEnv::new(FaultPlan::default())),
+            DiskStoreOptions::default(),
+        )
+        .unwrap();
+        for i in 0..20u64 {
+            s.append(BucketId(i % 3), rec(i, 777)).unwrap();
+        }
+        s.flush().unwrap();
+        s.verify().unwrap();
+        assert_eq!(s.total_records(), 20);
+        assert!(s.stats().wal_appends > 0);
+    }
+
+    #[test]
+    fn reopen_after_crash_recovers_last_flush() {
+        // Run a schedule against a fault env, crash after the WAL commit
+        // but before the checkpoint finishes, and reopen over what
+        // survives: the flushed state must be fully there.
+        let env = FaultEnv::new(FaultPlan::default());
+        let handle = env.handle();
+        let mut s = DiskStore::create_in(Box::new(env), DiskStoreOptions::default()).unwrap();
+        for i in 0..10u64 {
+            s.append(BucketId(1), rec(i, 600)).unwrap();
+        }
+        s.flush().unwrap();
+        let ops_after_flush = handle.ops();
+        drop(s);
+
+        // Replay the same schedule, crashing mid-checkpoint (a few ops
+        // after the WAL sync that `flush` performs).
+        let plan = FaultPlan {
+            crash_at: Some(ops_after_flush - 2),
+            mode: CrashMode::DropUnsynced,
+            flip: None,
+        };
+        let env = FaultEnv::new(plan);
+        let handle = env.handle();
+        let mut s = DiskStore::create_in(Box::new(env), DiskStoreOptions::default()).unwrap();
+        for i in 0..10u64 {
+            s.append(BucketId(1), rec(i, 600)).unwrap();
+        }
+        let flush_result = s.flush();
+        assert!(flush_result.is_err(), "crash must surface as an error");
+        drop(s);
+
+        let image = handle.surviving();
+        let reopened = DiskStore::open_in(
+            Box::new(FaultEnv::from_images(image, FaultPlan::default())),
+            DiskStoreOptions::default(),
+        )
+        .unwrap();
+        assert!(reopened.recovered_on_open());
+        reopened.verify().unwrap();
+        assert_eq!(reopened.total_records(), 10);
+        assert_eq!(reopened.read_bucket(BucketId(1)).unwrap().len(), 10);
     }
 }

@@ -17,11 +17,19 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod disk;
 pub mod memory;
+pub mod meta;
+pub mod pagefmt;
 pub mod record;
+pub mod wal;
 
-pub use disk::DiskStore;
+pub use backend::{
+    Backend, BitFlip, CrashMode, FaultEnv, FaultHandle, FaultPlan, FileEnv, StorageEnv,
+    SurvivingImage,
+};
+pub use disk::{DiskStore, DiskStoreOptions};
 pub use memory::MemoryStore;
 pub use record::Record;
 
@@ -82,6 +90,13 @@ pub struct IoStats {
     pub records_appended: u64,
     /// Records read back.
     pub records_read: u64,
+    /// Write-ahead-log frames appended (disk store with WAL enabled).
+    pub wal_appends: u64,
+    /// Page images replayed from the WAL during `open()` recovery.
+    pub pages_recovered: u64,
+    /// Checksum verification failures observed (each surfaced as a typed
+    /// [`StorageError::Corrupt`], never silent).
+    pub crc_failures: u64,
 }
 
 impl IoStats {
@@ -95,6 +110,9 @@ impl IoStats {
         self.pool_hits += shard.pool_hits;
         self.records_appended += shard.records_appended;
         self.records_read += shard.records_read;
+        self.wal_appends += shard.wal_appends;
+        self.pages_recovered += shard.pages_recovered;
+        self.crc_failures += shard.crc_failures;
     }
 }
 
@@ -174,6 +192,9 @@ mod tests {
             pool_hits: 3,
             records_appended: 4,
             records_read: 5,
+            wal_appends: 6,
+            pages_recovered: 7,
+            crc_failures: 8,
         };
         total.merge_from(&IoStats {
             page_reads: 10,
@@ -181,6 +202,9 @@ mod tests {
             pool_hits: 30,
             records_appended: 40,
             records_read: 50,
+            wal_appends: 60,
+            pages_recovered: 70,
+            crc_failures: 80,
         });
         assert_eq!(
             total,
@@ -190,6 +214,9 @@ mod tests {
                 pool_hits: 33,
                 records_appended: 44,
                 records_read: 55,
+                wal_appends: 66,
+                pages_recovered: 77,
+                crc_failures: 88,
             }
         );
     }

@@ -1,0 +1,174 @@
+//! The store's meta document: one small, checksummed, atomically-replaced
+//! record of the committed state.
+//!
+//! v1 kept this state in the page file's own page 0 and rewrote it in
+//! place — the flush-ordering hazard PR 8 removes. v2 stores it in a
+//! sidecar `<path>.meta` written via temp-file + rename (see
+//! [`StorageEnv::store_meta`](crate::backend::StorageEnv::store_meta)),
+//! so the meta is always either the old or the new document, never torn:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     crc32      — CRC of bytes 4..48, little-endian
+//! 4       8     magic      — "SCLDMET2"
+//! 12      4     version    — 2
+//! 16      8     lsn        — last committed batch
+//! 24      4     page_count — pages in the file, including the stamp
+//! 28      4     free_head  — head of the free-page chain (0 = none)
+//! 32      4     dir_head   — head of the directory chain (0 = none)
+//! 36      1     clean      — 1 = no writer active since last commit
+//! 37      11    reserved, zero
+//! ```
+//!
+//! Part of the zero-panic-site storage recovery zone.
+
+use crate::pagefmt::{crc32, get_bytes, put_bytes, read_u32, read_u64};
+use crate::StorageError;
+
+/// Magic of a v2 meta document.
+pub const META_MAGIC: [u8; 8] = *b"SCLDMET2";
+/// Format version stored in the document.
+pub const META_VERSION: u32 = 2;
+/// Encoded size in bytes.
+pub const META_LEN: usize = 48;
+
+const OFF_CRC: usize = 0;
+const OFF_MAGIC: usize = 4;
+const OFF_VERSION: usize = 12;
+const OFF_LSN: usize = 16;
+const OFF_PAGE_COUNT: usize = 24;
+const OFF_FREE_HEAD: usize = 28;
+const OFF_DIR_HEAD: usize = 32;
+const OFF_CLEAN: usize = 36;
+
+/// The committed state of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// Last committed batch number.
+    pub lsn: u64,
+    /// Pages in the file, including the slot-0 stamp page.
+    pub page_count: u32,
+    /// Head of the free-page chain (0 = none).
+    pub free_head: u32,
+    /// Head of the directory chain (0 = none).
+    pub dir_head: u32,
+    /// Whether the store was cleanly committed with no writer active
+    /// since (false = `open()` must run recovery).
+    pub clean: bool,
+}
+
+impl Meta {
+    /// Meta of a freshly created store: one stamp page, nothing committed.
+    pub fn initial() -> Self {
+        Meta {
+            lsn: 0,
+            page_count: 1,
+            free_head: 0,
+            dir_head: 0,
+            clean: false,
+        }
+    }
+
+    /// Serializes to the checksummed 48-byte document.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; META_LEN];
+        let fields: Result<(), StorageError> = (|| {
+            put_bytes(&mut buf, OFF_MAGIC, &META_MAGIC)?;
+            put_bytes(&mut buf, OFF_VERSION, &META_VERSION.to_le_bytes())?;
+            put_bytes(&mut buf, OFF_LSN, &self.lsn.to_le_bytes())?;
+            put_bytes(&mut buf, OFF_PAGE_COUNT, &self.page_count.to_le_bytes())?;
+            put_bytes(&mut buf, OFF_FREE_HEAD, &self.free_head.to_le_bytes())?;
+            put_bytes(&mut buf, OFF_DIR_HEAD, &self.dir_head.to_le_bytes())?;
+            put_bytes(&mut buf, OFF_CLEAN, &[u8::from(self.clean)])?;
+            let crc = crc32(buf.get(OFF_MAGIC..).unwrap_or(&[]));
+            put_bytes(&mut buf, OFF_CRC, &crc.to_le_bytes())
+        })();
+        // META_LEN covers every field above; the closure cannot fail.
+        debug_assert!(fields.is_ok());
+        buf
+    }
+
+    /// Parses and verifies a meta document.
+    pub fn decode(buf: &[u8]) -> Result<Meta, StorageError> {
+        if buf.len() != META_LEN {
+            return Err(StorageError::Corrupt(format!(
+                "meta document of {} bytes (want {META_LEN})",
+                buf.len()
+            )));
+        }
+        if get_bytes(buf, OFF_MAGIC, 8)? != META_MAGIC {
+            return Err(StorageError::Corrupt("bad meta magic".into()));
+        }
+        let stored_crc = read_u32(buf, OFF_CRC)?;
+        let actual_crc = crc32(get_bytes(buf, OFF_MAGIC, META_LEN - OFF_MAGIC)?);
+        if stored_crc != actual_crc {
+            return Err(StorageError::Corrupt(format!(
+                "meta crc mismatch (stored {stored_crc:08x}, computed {actual_crc:08x})"
+            )));
+        }
+        let version = read_u32(buf, OFF_VERSION)?;
+        if version != META_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "meta version {version} (want {META_VERSION})"
+            )));
+        }
+        let page_count = read_u32(buf, OFF_PAGE_COUNT)?;
+        if page_count == 0 {
+            return Err(StorageError::Corrupt("meta claims zero pages".into()));
+        }
+        Ok(Meta {
+            lsn: read_u64(buf, OFF_LSN)?,
+            page_count,
+            free_head: read_u32(buf, OFF_FREE_HEAD)?,
+            dir_head: read_u32(buf, OFF_DIR_HEAD)?,
+            clean: get_bytes(buf, OFF_CLEAN, 1)? != [0],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let meta = Meta {
+            lsn: 123_456_789,
+            page_count: 42,
+            free_head: 7,
+            dir_head: 9,
+            clean: true,
+        };
+        let bytes = meta.encode();
+        assert_eq!(bytes.len(), META_LEN);
+        assert_eq!(Meta::decode(&bytes).unwrap(), meta);
+        let unclean = Meta {
+            clean: false,
+            ..meta
+        };
+        assert_eq!(Meta::decode(&unclean.encode()).unwrap(), unclean);
+    }
+
+    #[test]
+    fn decode_rejects_every_flipped_bit() {
+        let bytes = Meta::initial().encode();
+        for byte in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                Meta::decode(&bad).is_err(),
+                "flip at byte {byte} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_sizes_and_zero_pages() {
+        assert!(Meta::decode(&[]).is_err());
+        assert!(Meta::decode(&[0u8; META_LEN - 1]).is_err());
+        assert!(Meta::decode(&[0u8; META_LEN + 1]).is_err());
+        let mut zero_pages = Meta::initial();
+        zero_pages.page_count = 0;
+        assert!(Meta::decode(&zero_pages.encode()).is_err());
+    }
+}

@@ -29,11 +29,15 @@ impl Record {
         8 + 4 + self.payload.len()
     }
 
-    /// Appends the binary encoding to `out`.
+    /// Appends the binary encoding to `out`. A payload longer than
+    /// [`MAX_PAYLOAD`] encodes a saturated length marker that `peek`
+    /// rejects on read — the write side stays total, the read side
+    /// refuses rather than mis-frame the stream.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.reserve(self.encoded_len());
         out.extend_from_slice(&self.id.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let len = u32::try_from(self.payload.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&self.payload);
     }
 
@@ -43,11 +47,10 @@ impl Record {
     /// to skip unwanted records without cloning their payloads — the
     /// payload of a wanted record is `buf[offset..consumed]`.
     pub fn peek(buf: &[u8]) -> Option<(u64, usize, usize)> {
-        if buf.len() < 12 {
-            return None;
-        }
-        let id = u64::from_le_bytes(buf[0..8].try_into().unwrap());
-        let len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let id = u64::from_le_bytes(buf.get(0..8)?.try_into().ok()?);
+        let len = u32::from_le_bytes(buf.get(8..12)?.try_into().ok()?) as usize;
+        // The length clamp runs before any allocation or slicing: a
+        // hostile header can never drive a huge allocation downstream.
         if len > MAX_PAYLOAD || buf.len() < 12 + len {
             return None;
         }
@@ -57,20 +60,13 @@ impl Record {
     /// Decodes one record from the front of `buf`; returns record and bytes
     /// consumed, or `None` if truncated.
     pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
-        if buf.len() < 12 {
-            return None;
-        }
-        let id = u64::from_le_bytes(buf[0..8].try_into().unwrap());
-        let len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
-        if len > MAX_PAYLOAD || buf.len() < 12 + len {
-            return None;
-        }
+        let (id, payload_off, used) = Self::peek(buf)?;
         Some((
             Self {
                 id,
-                payload: buf[12..12 + len].to_vec(),
+                payload: buf.get(payload_off..used)?.to_vec(),
             },
-            12 + len,
+            used,
         ))
     }
 }

@@ -85,6 +85,7 @@ proptest! {
             prop_assert_eq!(&got, expected);
         }
         drop(store);
+        simcloud_storage::FileEnv::remove_sidecars(&path);
         let _ = std::fs::remove_file(path);
     }
 }
@@ -137,6 +138,7 @@ fn corrupted_file_errors_instead_of_panicking() {
             }
         }
     }
+    simcloud_storage::FileEnv::remove_sidecars(&path);
     let _ = std::fs::remove_file(&path);
 }
 

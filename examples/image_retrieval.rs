@@ -91,5 +91,6 @@ fn main() {
     println!(
         "\nserver state: {entries} sealed descriptors in {leaves} Voronoi cells (depth {depth})"
     );
+    simcloud::storage::FileEnv::remove_sidecars(&store_path);
     let _ = std::fs::remove_file(store_path);
 }

@@ -71,7 +71,7 @@ pub mod prelude {
         client_for_sharded, memory_stores, sharded_in_process, HashRouter, PivotRouter,
         ShardedCloudServer,
     };
-    pub use simcloud_storage::{DiskStore, MemoryStore};
+    pub use simcloud_storage::{DiskStore, DiskStoreOptions, MemoryStore};
 }
 
 #[cfg(test)]

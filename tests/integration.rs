@@ -92,6 +92,7 @@ fn disk_backed_cloud_survives_data_volume() {
     let (res, _) = cloud.knn_approx(q, 10, 200).unwrap();
     assert_eq!(res[0].0, ObjectId(5));
     assert!(res[0].1.abs() < 1e-6);
+    simcloud::storage::FileEnv::remove_sidecars(&path);
     let _ = std::fs::remove_file(path);
 }
 
