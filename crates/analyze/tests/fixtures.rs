@@ -461,3 +461,71 @@ fn seeded_opcode_gap_is_found() {
         "opcode gap not caught: {issues:?}"
     );
 }
+
+// ---- fault-tolerance code stays inside the zero-panic gate ---------------
+
+/// The retry state machine and the fault-injection wrappers live in
+/// `crates/transport/src/` — the Server zone, whose panic gate is pinned at
+/// zero findings. This fixture is shaped like that code (attempt loop,
+/// backoff arithmetic, byte-corruption at an offset) written the panic-free
+/// way; the analyzer must stay quiet on it, and must still fire on its
+/// careless twin. A regression in either direction would let a future
+/// retry/fault patch slip a panic site into the request path.
+#[test]
+fn retry_state_machine_fixture_is_server_zone_and_panic_free() {
+    let clean = SourceFile::from_source(
+        "crates/transport/src/fixture_retry.rs",
+        r#"
+fn round_trip_with(max_attempts: u32, frame: &mut [u8]) -> Result<(), ()> {
+    let mut attempt: u32 = 0;
+    loop {
+        attempt = attempt.saturating_add(1);
+        let shift = attempt.saturating_sub(2).min(16);
+        let backoff_ms = 10u64.saturating_mul(1u64 << shift);
+        if let Some(byte) = frame.get_mut(backoff_ms as usize % frame.len().max(1)) {
+            *byte ^= 1;
+            return Ok(());
+        }
+        if attempt >= max_attempts.max(1) {
+            return Err(());
+        }
+    }
+}
+"#,
+    );
+    assert_eq!(
+        zone_for(
+            "crates/transport/src/fixture_retry.rs",
+            Some("round_trip_with")
+        ),
+        Zone::Server,
+        "retry/fault code must sit in the zero-panic Server zone"
+    );
+    assert!(
+        panic_findings(&clean).is_empty(),
+        "panic-free retry fixture must stay clean: {:?}",
+        panic_findings(&clean)
+    );
+
+    // The careless twin: indexing and unwrap in the same shapes the real
+    // retry loop would be tempted to use.
+    let careless = SourceFile::from_source(
+        "crates/transport/src/fixture_retry.rs",
+        r#"
+fn round_trip_with(max_attempts: u32, frame: &mut [u8]) -> Result<(), ()> {
+    let at = usize::try_from(max_attempts).unwrap();
+    frame[at] ^= 1;
+    Ok(())
+}
+"#,
+    );
+    let findings = panic_findings(&careless);
+    assert!(
+        findings.iter().any(|f| f.kind == PanicKind::Unwrap),
+        "unwrap in retry fixture not caught: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.kind == PanicKind::SliceIndex),
+        "indexing in retry fixture not caught: {findings:?}"
+    );
+}

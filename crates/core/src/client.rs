@@ -7,12 +7,12 @@
 
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use simcloud_crypto::SealError;
 use simcloud_metric::{CountingMetric, Metric, ObjectId, Vector};
 use simcloud_mindex::{IndexEntry, Routing, RoutingStrategy};
-use simcloud_transport::{Stopwatch, Transport, TransportError};
+use simcloud_transport::{RequestClass, Stopwatch, Transport, TransportError};
 
 use crate::costs::CostReport;
 use crate::key::SecretKey;
@@ -29,14 +29,41 @@ pub enum ClientError {
     Transport(TransportError),
     /// The server answered with an error message.
     Server(String),
-    /// A bulk insert failed mid-batch. Bulk inserts are **not atomic**:
-    /// `inserted` entries of the batch prefix are stored on the server; the
-    /// caller decides whether to retry the remainder or compensate.
+    /// A bulk insert failed mid-batch **with a server answer**: the server
+    /// processed the batch in order, stored the `inserted`-entry prefix,
+    /// and rejected the next entry (e.g. a duplicate id).
+    ///
+    /// Bulk inserts are **not atomic**. The safe retry recipe: skip the
+    /// acked prefix and resubmit only the remainder —
+    /// `client.insert_bulk(&objects[inserted as usize..])` after fixing
+    /// (or dropping) the offending entry. Never resubmit the full batch:
+    /// the stored prefix would collide on duplicate ids and the retry
+    /// would fail on its very first entry.
     PartialInsert {
         /// Entries of the batch that the server stored before failing.
         inserted: u32,
         /// The server's failure description.
         message: String,
+    },
+    /// A bulk insert failed **without a server answer**: the transport
+    /// died mid-exchange (connection cut, timeout, torn frame), so the
+    /// client cannot know whether the server stored nothing, the whole
+    /// batch, or — had a server-side error raced the disconnect — some
+    /// prefix. Inserts are never auto-retried by the transport precisely
+    /// because a blind replay of an already-stored batch turns into a
+    /// duplicate-id rejection.
+    ///
+    /// `acked` is the number of entries positively acknowledged before the
+    /// failure; with the single-frame bulk wire this is always 0 — the
+    /// server acks a batch as a whole. To recover, call
+    /// [`EncryptedClient::insert_bulk_resume`] with the same batch: it
+    /// probes the server for the stored prefix and resubmits only the
+    /// remainder, giving exactly-once ingest over a lossy network.
+    InsertInterrupted {
+        /// Entries known stored on the server (a batch-order prefix).
+        acked: u32,
+        /// The transport failure that interrupted the exchange.
+        error: TransportError,
     },
     /// The server's response did not match the request type.
     UnexpectedResponse(String),
@@ -63,6 +90,11 @@ impl std::fmt::Display for ClientError {
             ClientError::PartialInsert { inserted, message } => write!(
                 f,
                 "bulk insert failed after {inserted} stored entries: {message}"
+            ),
+            ClientError::InsertInterrupted { acked, error } => write!(
+                f,
+                "bulk insert interrupted by the transport after {acked} acked entries \
+                 (stored prefix unknown — resume with insert_bulk_resume): {error}"
             ),
             ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
             ClientError::Seal(e) => write!(f, "candidate rejected: {e}"),
@@ -142,6 +174,11 @@ pub struct ClientConfig {
     /// queries never use it: their fetches are always bound-guided by the
     /// wire radius.) Default 32.
     pub fetch_min_batch: usize,
+    /// Per-request deadline handed to the transport on every exchange.
+    /// Bounds one logical request *including* all retries and backoff; the
+    /// transport surfaces a breach as [`TransportError::TimedOut`]. `None`
+    /// (the default) leaves only the transport's own socket timeouts.
+    pub request_deadline: Option<Duration>,
 }
 
 impl ClientConfig {
@@ -154,6 +191,7 @@ impl ClientConfig {
             lazy_refine: LazyRefine::Sound,
             fetch_alpha: 4,
             fetch_min_batch: 32,
+            request_deadline: None,
         }
     }
 
@@ -166,6 +204,7 @@ impl ClientConfig {
             lazy_refine: LazyRefine::Sound,
             fetch_alpha: 4,
             fetch_min_batch: 32,
+            request_deadline: None,
         }
     }
 
@@ -187,6 +226,13 @@ impl ClientConfig {
     pub fn with_fetch_batching(mut self, alpha: usize, min_batch: usize) -> Self {
         self.fetch_alpha = alpha;
         self.fetch_min_batch = min_batch;
+        self
+    }
+
+    /// Bounds every request (including the transport's retries and backoff)
+    /// by `deadline`; breaches surface as [`TransportError::TimedOut`].
+    pub fn with_request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = Some(deadline);
         self
     }
 }
@@ -363,9 +409,22 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
         rt_elapsed: &mut std::time::Duration,
     ) -> Result<Response, ClientError> {
         let bytes = request.encode();
+        // Classify for the transport's retry machinery: every request is a
+        // pure read except Insert, whose blind replay after an ambiguous
+        // failure could double-store a batch (surfacing as a duplicate-id
+        // rejection). The transport auto-retries only idempotent requests;
+        // interrupted inserts come back as a typed transport error that
+        // [`EncryptedClient::insert_bulk`] wraps into
+        // [`ClientError::InsertInterrupted`].
+        let class = match request {
+            Request::Insert(_) => RequestClass::NonIdempotent,
+            _ => RequestClass::Idempotent,
+        };
         let before = self.transport.stats();
         let rt_start = Instant::now();
-        let resp_bytes = self.transport.round_trip(&bytes)?;
+        let resp_bytes =
+            self.transport
+                .round_trip_with(&bytes, class, self.config.request_deadline)?;
         *rt_elapsed += rt_start.elapsed();
         let delta = self.transport.stats().since(&before);
         costs.server += delta.server_time;
@@ -418,7 +477,16 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             entries.push(IndexEntry::new(id.0, routing, sealed));
         }
         let request = Request::Insert(entries);
-        let resp = self.exchange(&request, &mut costs, &mut rt_elapsed)?;
+        let resp = self
+            .exchange(&request, &mut costs, &mut rt_elapsed)
+            .map_err(|e| match e {
+                // The transport died mid-exchange: the server stored either
+                // nothing (request lost) or a prefix/all (response lost).
+                // Surface the ambiguity as a typed, resumable error instead
+                // of a bare transport failure.
+                ClientError::Transport(error) => ClientError::InsertInterrupted { acked: 0, error },
+                other => other,
+            })?;
         match resp {
             Response::Inserted(n) if n as usize == objects.len() => {}
             Response::Inserted(n) => {
@@ -442,6 +510,76 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
     /// Convenience single insert.
     pub fn insert(&mut self, id: ObjectId, object: &Vector) -> Result<CostReport, ClientError> {
         self.insert_bulk(std::slice::from_ref(&(id, object.clone())))
+    }
+
+    /// Probes whether `id` is stored on the server with a single-id phase-2
+    /// fetch — an idempotent read the transport retries freely. The
+    /// server's typed "unknown object id" answer distinguishes *not stored*
+    /// from a genuine failure.
+    fn id_stored(
+        &mut self,
+        id: ObjectId,
+        costs: &mut CostReport,
+        rt_elapsed: &mut Duration,
+    ) -> Result<bool, ClientError> {
+        let request = Request::FetchObjects { ids: vec![id.0] };
+        match self.exchange(&request, costs, rt_elapsed) {
+            Ok(Response::Objects(_)) => Ok(true),
+            Ok(other) => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+            Err(ClientError::Server(msg)) if msg.contains("unknown object id") => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resumes a bulk insert after [`ClientError::InsertInterrupted`],
+    /// giving exactly-once ingest over a lossy network.
+    ///
+    /// The server processes a bulk in batch order and a torn request frame
+    /// stores nothing, so after an interrupted exchange the stored portion
+    /// of `objects` is always a (possibly empty, possibly complete) prefix.
+    /// This probes that prefix's length with `O(log n)` idempotent
+    /// single-id fetches — binary search over "is `objects[i]` stored?" —
+    /// then resubmits only the remainder. Returns the prefix length found
+    /// (entries already stored, *not* re-sent) and the combined cost of the
+    /// probes plus the resumed insert.
+    ///
+    /// Call it with exactly the batch that was interrupted. The probe
+    /// assumes the batch's ids were not on the server before the
+    /// interrupted attempt (the normal unique-id ingest case); ids that
+    /// pre-existed would read as "stored" and silently shrink the resend.
+    /// The resend itself may fail the same way — loop on
+    /// [`ClientError::InsertInterrupted`] until it returns `Ok`.
+    pub fn insert_bulk_resume(
+        &mut self,
+        objects: &[(ObjectId, Vector)],
+    ) -> Result<(usize, CostReport), ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt_elapsed = Duration::ZERO;
+        let op_start = Instant::now();
+        // Largest `lo` with objects[..lo] all stored; prefix-monotonicity
+        // (batch-order server processing) makes the binary search sound.
+        let mut lo = 0usize;
+        let mut hi = objects.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let id = match objects.get(mid) {
+                Some((id, _)) => *id,
+                None => break,
+            };
+            if self.id_stored(id, &mut costs, &mut rt_elapsed)? {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        costs.client = op_start.elapsed().saturating_sub(rt_elapsed);
+        self.total.merge(&costs);
+        let remainder = objects.get(lo..).unwrap_or(&[]);
+        if !remainder.is_empty() {
+            let insert_costs = self.insert_bulk(remainder)?;
+            costs.merge(&insert_costs);
+        }
+        Ok((lo, costs))
     }
 
     /// True when the wire lower bounds of the next candidate set are sound

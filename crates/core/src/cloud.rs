@@ -18,7 +18,8 @@ use simcloud_metric::{Metric, Vector};
 use simcloud_mindex::{MIndexConfig, MIndexError};
 use simcloud_storage::BucketStore;
 use simcloud_transport::{
-    serve_tcp, serve_tcp_shared, InProcessTransport, NetworkModel, Shared, TcpTransport,
+    serve_tcp, serve_tcp_shared, serve_tcp_shared_with, InProcessTransport, NetworkModel,
+    ServeOptions, Shared, TcpClientConfig, TcpTransport,
 };
 
 use crate::client::{ClientConfig, EncryptedClient};
@@ -141,6 +142,19 @@ where
     serve_tcp_shared(server)
 }
 
+/// [`serve_tcp_concurrent`] with explicit [`ServeOptions`]: per-connection
+/// read/idle deadlines, a connection-count limit with typed load shedding,
+/// a bounded shutdown drain — and, in tests, server-side fault injection.
+pub fn serve_tcp_concurrent_with<S>(
+    server: Arc<CloudServer<S>>,
+    options: ServeOptions,
+) -> std::io::Result<simcloud_transport::tcp::TcpServerHandle>
+where
+    S: BucketStore + 'static,
+{
+    serve_tcp_shared_with(server, options)
+}
+
 /// Connects one more authorized client to a running TCP server (started
 /// with [`over_tcp`] or [`serve_tcp_concurrent`]).
 pub fn connect_tcp<M>(
@@ -153,6 +167,23 @@ where
     M: Metric<Vector>,
 {
     let transport = TcpTransport::connect(addr)?;
+    Ok(EncryptedClient::new(key, metric, transport, client_config))
+}
+
+/// [`connect_tcp`] with an explicit [`TcpClientConfig`]: socket timeouts, a
+/// per-request deadline, and the retry/reconnect policy the transport
+/// applies to idempotent requests.
+pub fn connect_tcp_with<M>(
+    key: SecretKey,
+    metric: M,
+    addr: std::net::SocketAddr,
+    client_config: ClientConfig,
+    tcp_config: TcpClientConfig,
+) -> std::io::Result<EncryptedClient<M, TcpTransport>>
+where
+    M: Metric<Vector>,
+{
+    let transport = TcpTransport::connect_with(addr, tcp_config)?;
     Ok(EncryptedClient::new(key, metric, transport, client_config))
 }
 

@@ -50,8 +50,9 @@ pub mod transform;
 
 pub use client::{ClientConfig, ClientError, EncryptedClient, LazyRefine, Neighbor};
 pub use cloud::{
-    client_for, client_for_with_model, connect_tcp, in_process, in_process_rebuilt,
-    in_process_with_model, over_tcp, serve_tcp_concurrent, InProcessCloud, SharedCloud,
+    client_for, client_for_with_model, connect_tcp, connect_tcp_with, in_process,
+    in_process_rebuilt, in_process_with_model, over_tcp, serve_tcp_concurrent,
+    serve_tcp_concurrent_with, InProcessCloud, SharedCloud,
 };
 pub use costs::CostReport;
 pub use key::SecretKey;

@@ -249,7 +249,11 @@ fn err(msg: &str) -> CodecError {
 /// (full-dataset exports included) before any count field is trusted;
 /// within the cap, every `Vec::with_capacity` is additionally bounded by
 /// the bytes actually present (see [`cap_alloc`]).
-pub const MAX_DECODE_BYTES: usize = 64 << 20;
+///
+/// Defined as the transport layer's frame cap so the two bounds cannot
+/// drift: the framing code rejects a hostile length prefix before
+/// allocating, and the codec rejects the same sizes before decoding.
+pub const MAX_DECODE_BYTES: usize = simcloud_transport::MAX_FRAME_BYTES;
 
 /// Largest candidate-header count a phase-1 [`CandidateList`] can carry
 /// without its *headers-only* encoding busting [`MAX_DECODE_BYTES`] on the

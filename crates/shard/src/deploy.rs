@@ -10,7 +10,8 @@ use simcloud_metric::{Metric, Vector};
 use simcloud_mindex::{MIndexConfig, MIndexError};
 use simcloud_storage::{BucketStore, MemoryStore};
 use simcloud_transport::{
-    serve_tcp_shared, InProcessTransport, NetworkModel, Shared, TcpTransport,
+    serve_tcp_shared, serve_tcp_shared_with, InProcessTransport, NetworkModel, ServeOptions,
+    Shared, TcpTransport,
 };
 
 use crate::router::ShardRouter;
@@ -95,6 +96,20 @@ where
     S: BucketStore + 'static,
 {
     serve_tcp_shared(server)
+}
+
+/// [`serve_tcp_concurrent_sharded`] with explicit [`ServeOptions`]: the
+/// sharded scatter-gather server gets the same per-connection deadlines,
+/// connection limit with typed load shedding, and bounded shutdown drain as
+/// the single-node one.
+pub fn serve_tcp_concurrent_sharded_with<S>(
+    server: Arc<ShardedCloudServer<S>>,
+    options: ServeOptions,
+) -> std::io::Result<simcloud_transport::tcp::TcpServerHandle>
+where
+    S: BucketStore + 'static,
+{
+    serve_tcp_shared_with(server, options)
 }
 
 /// TCP sharded deployment in one call: spawns the (concurrent) server,

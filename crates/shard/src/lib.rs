@@ -46,7 +46,8 @@ pub mod server;
 
 pub use deploy::{
     client_for_sharded, client_for_sharded_with_model, memory_stores, over_tcp_sharded,
-    serve_tcp_concurrent_sharded, sharded_in_process, ShardedInProcessCloud, SharedShardedCloud,
+    serve_tcp_concurrent_sharded, serve_tcp_concurrent_sharded_with, sharded_in_process,
+    ShardedInProcessCloud, SharedShardedCloud,
 };
 pub use index::{ShardedMIndex, ShardedShape};
 pub use router::{HashRouter, PivotRouter, ShardRouter};

@@ -22,23 +22,51 @@
 //! * [`TransportStats`] — requests, exact bytes in both directions,
 //!   accumulated server and communication time;
 //! * [`Stopwatch`] — the timing primitive the experiment harness uses for
-//!   the client-side components.
+//!   the client-side components;
+//! * [`fault`] — a network fault-injection harness ([`FaultScript`] /
+//!   [`FaultStream`] / [`FaultTransport`]), the counterpart to the storage
+//!   crate's `FaultEnv`: scripted cuts, delays, truncations, drops and bit
+//!   flips at operation N in either direction, usable in-process and around
+//!   real TCP streams.
 //!
-//! Frame format (both transports): `u32 LE length || payload`.
+//! Frame format (both transports): `u32 LE length || payload`. Frames are
+//! capped at [`MAX_FRAME_BYTES`] (plus the 8-byte server-time header on
+//! responses), matching the protocol layer's decode cap, so a hostile
+//! length prefix cannot force a huge allocation.
+//!
+//! The TCP client is fault tolerant: per-socket read/write timeouts, a
+//! per-request deadline ([`Transport::round_trip_with`]), and — for
+//! requests the caller declares [`RequestClass::Idempotent`] — transparent
+//! reconnect + retry with capped exponential backoff and deterministic
+//! jitter ([`RetryPolicy`]). The server protects itself with idle/read
+//! deadlines, a connection limit with typed load-shedding refusal
+//! ([`TransportError::Rejected`]) and a graceful bounded drain on shutdown
+//! ([`ServeOptions`]).
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod stats;
 pub mod stopwatch;
 pub mod tcp;
 pub mod transport;
 
+pub use fault::{Direction, FaultAction, FaultRule, FaultScript, FaultStream, FaultTransport};
 pub use stats::TransportStats;
 pub use stopwatch::Stopwatch;
-pub use tcp::{serve_tcp, serve_tcp_shared, TcpTransport};
-pub use transport::{
-    InProcessTransport, NetworkModel, RequestHandler, Shared, SharedRequestHandler, Transport,
+pub use tcp::{
+    serve_tcp, serve_tcp_shared, serve_tcp_shared_with, serve_tcp_with, RetryPolicy, ServeOptions,
+    TcpClientConfig, TcpTransport,
 };
+pub use transport::{
+    InProcessTransport, NetworkModel, RequestClass, RequestHandler, Shared, SharedRequestHandler,
+    Transport,
+};
+
+/// Largest accepted frame payload, aligned with the protocol layer's
+/// 64 MiB decode cap (`MAX_DECODE_BYTES` re-exports this constant), so the
+/// transport rejects a hostile length prefix before allocating.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// Transport-level errors.
 #[derive(Debug)]
@@ -49,6 +77,13 @@ pub enum TransportError {
     BadFrame(String),
     /// The connection was closed mid-exchange.
     Disconnected,
+    /// A read, write or whole-request deadline expired.
+    TimedOut,
+    /// The server refused the request before reading it (load shedding at
+    /// the connection limit). Always safe to retry — the request was never
+    /// processed — which the TCP client does automatically for every
+    /// request class.
+    Rejected(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -57,6 +92,8 @@ impl std::fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::BadFrame(s) => write!(f, "bad frame: {s}"),
             TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::TimedOut => write!(f, "request deadline exceeded"),
+            TransportError::Rejected(s) => write!(f, "server refused request: {s}"),
         }
     }
 }
@@ -83,5 +120,9 @@ mod tests {
             .contains("x"));
         let e: TransportError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
+        assert!(TransportError::TimedOut.to_string().contains("deadline"));
+        assert!(TransportError::Rejected("limit".into())
+            .to_string()
+            .contains("limit"));
     }
 }

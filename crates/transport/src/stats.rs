@@ -16,6 +16,10 @@ pub struct TransportStats {
     pub server_time: Duration,
     /// Accumulated communication time (modelled or measured).
     pub comm_time: Duration,
+    /// Attempts beyond the first, across all requests (TCP retry loop).
+    pub retries: u64,
+    /// Connections re-established after a failure (TCP reconnect).
+    pub reconnects: u64,
 }
 
 impl TransportStats {
@@ -33,6 +37,8 @@ impl TransportStats {
             bytes_received: self.bytes_received - earlier.bytes_received,
             server_time: self.server_time.saturating_sub(earlier.server_time),
             comm_time: self.comm_time.saturating_sub(earlier.comm_time),
+            retries: self.retries - earlier.retries,
+            reconnects: self.reconnects - earlier.reconnects,
         }
     }
 
@@ -43,6 +49,8 @@ impl TransportStats {
         self.bytes_received += other.bytes_received;
         self.server_time += other.server_time;
         self.comm_time += other.comm_time;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
     }
 }
 
@@ -72,6 +80,7 @@ mod tests {
             bytes_received: 300,
             server_time: Duration::from_millis(5),
             comm_time: Duration::from_millis(2),
+            ..TransportStats::default()
         };
         assert_eq!(a.total_bytes(), 400);
         let mut b = a;
@@ -92,6 +101,8 @@ mod tests {
             bytes_received: 20,
             server_time: Duration::from_micros(7),
             comm_time: Duration::from_micros(3),
+            retries: 1,
+            reconnects: 1,
         };
         a.merge(&b);
         a.merge(&b);

@@ -62,10 +62,46 @@ impl<H: SharedRequestHandler> RequestHandler for Shared<H> {
     }
 }
 
+/// Whether a request may be transparently retried after a transport
+/// failure whose outcome is unknown (connection cut after the request was
+/// sent, deadline expired mid-read, …).
+///
+/// The encrypted client classifies every protocol request: kNN / Range /
+/// BatchKnn / FetchObjects / ExportAll are read-only and replay-safe
+/// ([`RequestClass::Idempotent`]); `Insert` is not — the server rejects
+/// duplicate ids, so a blind replay of a request that *was* applied turns
+/// into a spurious error, and the client must instead surface a typed
+/// error carrying what is known about the acked prefix
+/// ([`RequestClass::NonIdempotent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Replay-safe: the transport may retry/reconnect transparently.
+    Idempotent,
+    /// Replay-unsafe: retried only when the request provably never
+    /// reached the server (dial failure, typed load-shed refusal).
+    NonIdempotent,
+}
+
 /// Client side: a byte-level request/response channel with cost accounting.
 pub trait Transport {
     /// Sends a request and waits for the response.
     fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>, TransportError>;
+
+    /// [`Transport::round_trip`] with a retry class and an optional
+    /// whole-request deadline (spanning every attempt, backoff included).
+    ///
+    /// The default implementation ignores both and delegates — correct
+    /// for in-process transports, which cannot lose a connection.
+    /// Fault-tolerant transports (TCP) override it.
+    fn round_trip_with(
+        &mut self,
+        request: &[u8],
+        class: RequestClass,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, TransportError> {
+        let _ = (class, deadline);
+        self.round_trip(request)
+    }
 
     /// Cumulative statistics.
     fn stats(&self) -> TransportStats;

@@ -16,8 +16,9 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use simcloud::core::{connect_tcp, serve_tcp_concurrent, CloudServer};
+use simcloud::core::{connect_tcp, connect_tcp_with, serve_tcp_concurrent_with, CloudServer};
 use simcloud::prelude::*;
 use simcloud::transport::Transport;
 
@@ -31,17 +32,44 @@ fn main() {
     // Concurrent serving mode: the server is shared, the accept loop puts
     // no lock around it — request processing from different connections
     // overlaps.
+    // Production-shaped serving: per-connection read deadline, an idle
+    // timeout that reaps silent connections, a connection cap that sheds
+    // excess load with a typed refusal instead of queueing it.
     let server = Arc::new(CloudServer::new(cfg, MemoryStore::new()).expect("valid config"));
-    let handle = serve_tcp_concurrent(Arc::clone(&server)).expect("tcp server");
+    let handle = serve_tcp_concurrent_with(
+        Arc::clone(&server),
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(10)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_connections: Some(64),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("tcp server");
     println!(
         "similarity cloud listening on {} (concurrent mode)",
         handle.addr()
     );
 
-    // Data owner connection: outsource the collection.
-    let mut owner = connect_tcp(key.clone(), L1, handle.addr(), ClientConfig::distances())
-        .expect("connect")
-        .with_rng_seed(4);
+    // Data owner connection, fault-tolerant: socket timeouts, a hard
+    // per-request deadline, retry/reconnect with capped backoff for
+    // idempotent requests. Inserts are never auto-retried — an interrupted
+    // bulk surfaces as ClientError::InsertInterrupted and would be resumed
+    // with insert_bulk_resume.
+    let tcp_config = TcpClientConfig {
+        read_timeout: Some(Duration::from_secs(10)),
+        retry: RetryPolicy::default(),
+        ..TcpClientConfig::default()
+    };
+    let mut owner = connect_tcp_with(
+        key.clone(),
+        L1,
+        handle.addr(),
+        ClientConfig::distances().with_request_deadline(Duration::from_secs(30)),
+        tcp_config,
+    )
+    .expect("connect")
+    .with_rng_seed(4);
     let objects: Vec<(ObjectId, Vector)> = data
         .iter()
         .cloned()
@@ -96,6 +124,11 @@ fn main() {
         answers.len(),
         owner.transport().stats().requests - before,
         costs.averaged(answers.len() as u32)
+    );
+    let stats = owner.transport().stats();
+    println!(
+        "owner transport: {} requests, {} retries, {} reconnects (clean wire)",
+        stats.requests, stats.retries, stats.reconnects
     );
 
     drop(owner);

@@ -60,8 +60,8 @@ pub use simcloud_datasets as datasets;
 /// Convenience prelude with the most common types.
 pub mod prelude {
     pub use simcloud_core::{
-        in_process, over_tcp, ClientConfig, CostReport, DistanceTransform, EncryptedClient,
-        SecretKey,
+        connect_tcp_with, in_process, over_tcp, ClientConfig, ClientError, CostReport,
+        DistanceTransform, EncryptedClient, SecretKey,
     };
     pub use simcloud_metric::{
         CombinedMetric, Lp, Metric, ObjectId, PivotSelection, Vector, L1, L2,
@@ -72,6 +72,7 @@ pub mod prelude {
         ShardedCloudServer,
     };
     pub use simcloud_storage::{DiskStore, DiskStoreOptions, MemoryStore};
+    pub use simcloud_transport::{RetryPolicy, ServeOptions, TcpClientConfig, TransportError};
 }
 
 #[cfg(test)]
