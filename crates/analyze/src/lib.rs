@@ -86,8 +86,10 @@ const DECODE_ZONE_FILES: [&str; 3] = [
 pub fn zone_for(path: &str, function: Option<&str>) -> Zone {
     if path == "crates/core/src/server.rs"
         || path == "crates/core/src/protocol.rs"
+        || path == "crates/core/src/telemetry.rs"
         || path.starts_with("crates/transport/src/")
         || path.starts_with("crates/shard/src/")
+        || path.starts_with("crates/telemetry/src/")
     {
         return Zone::Server;
     }

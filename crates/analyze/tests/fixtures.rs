@@ -110,6 +110,43 @@ fn widen(x: u32) -> usize {
     assert_eq!(findings[0].function.as_deref(), Some("narrow"));
 }
 
+/// The telemetry crate and the core telemetry module run inside every
+/// request (span drops, snapshot rendering), so they are server zone: a
+/// seeded panic there is found and attributed like one in the server
+/// itself.
+#[test]
+fn telemetry_sources_are_server_zone() {
+    for file in [
+        "crates/telemetry/src/metrics.rs",
+        "crates/telemetry/src/registry.rs",
+        "crates/telemetry/src/span.rs",
+        "crates/telemetry/src/slowlog.rs",
+        "crates/core/src/telemetry.rs",
+    ] {
+        assert_eq!(zone_for(file, Some("record")), Zone::Server, "{file}");
+    }
+    // Telemetry test code stays inventory-only.
+    assert_eq!(
+        zone_for("crates/telemetry/tests/primitives.rs", None),
+        Zone::Inventory
+    );
+    let src = SourceFile::from_source(
+        "crates/telemetry/src/fixture.rs",
+        r#"
+fn quantile(buckets: &[u64], q: f64) -> u64 {
+    let rank = (q * buckets.len() as f64) as u32;
+    buckets[rank as usize]
+}
+"#,
+    );
+    let findings = panic_findings(&src);
+    assert!(
+        findings.iter().any(|f| f.kind == PanicKind::SliceIndex)
+            && findings.iter().any(|f| f.kind == PanicKind::AsNarrowing),
+        "seeded telemetry-zone panic not found: {findings:?}"
+    );
+}
+
 /// The storage engine is a hard-enforced zone: its recovery path parses
 /// attacker-controllable disk bytes, so every storage source file maps to
 /// `Zone::Storage` and a seeded panic there is found like in the server

@@ -1366,4 +1366,56 @@ impl<M: Metric<Vector>, T: Transport> EncryptedClient<M, T> {
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
+
+    /// Health probe (ops surface, wire v2): the server answers from
+    /// pre-aggregated atomics without taking the index lock, so this
+    /// stays fast even while a bulk insert holds the write lock.
+    pub fn health(&mut self) -> Result<ServerHealth, ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt = std::time::Duration::ZERO;
+        match self.exchange(&Request::Health, &mut costs, &mut rt)? {
+            Response::Health {
+                status,
+                protocol,
+                entries,
+                shards,
+                uptime_nanos,
+            } => Ok(ServerHealth {
+                status,
+                protocol,
+                entries,
+                shards,
+                uptime_nanos,
+            }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Telemetry snapshot (ops surface, wire v2): the server's metric
+    /// registry, search totals and slow-query log rendered in the
+    /// plaintext exposition format. Like [`EncryptedClient::health`],
+    /// answered without the index lock.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let mut costs = CostReport::default();
+        let mut rt = std::time::Duration::ZERO;
+        match self.exchange(&Request::MetricsSnapshot, &mut costs, &mut rt)? {
+            Response::MetricsSnapshot(text) => Ok(text),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}
+
+/// Decoded [`Response::Health`] as returned by [`EncryptedClient::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHealth {
+    /// `0` = serving; nonzero values reserved for degraded states.
+    pub status: u8,
+    /// The server's wire protocol version.
+    pub protocol: u32,
+    /// Entries resident across all shards.
+    pub entries: u64,
+    /// Shard count (`1` for an unsharded server).
+    pub shards: u32,
+    /// Nanoseconds since the server started its telemetry registry.
+    pub uptime_nanos: u64,
 }

@@ -46,9 +46,10 @@ pub mod costs;
 pub mod key;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 pub mod transform;
 
-pub use client::{ClientConfig, ClientError, EncryptedClient, LazyRefine, Neighbor};
+pub use client::{ClientConfig, ClientError, EncryptedClient, LazyRefine, Neighbor, ServerHealth};
 pub use cloud::{
     client_for, client_for_with_model, connect_tcp, connect_tcp_with, in_process,
     in_process_rebuilt, in_process_with_model, over_tcp, serve_tcp_concurrent,
@@ -57,6 +58,7 @@ pub use cloud::{
 pub use costs::CostReport;
 pub use key::SecretKey;
 pub use server::{check_cand_size, evaluator_for, stage_candidates, CloudServer, ServerConfig};
+pub use telemetry::{request_label, ServerTelemetry, SLOW_LOG_CAPACITY};
 pub use transform::DistanceTransform;
 
 /// Recall measure re-exported from the index layer (paper §4.1).

@@ -15,6 +15,8 @@
 //!           | 0x05                                      export all
 //!           | 0x06 u16 n { routing; u32 cand_size }*n   batched approx k-NN
 //!           | 0x07 u32 n { u64 id }*n                   fetch objects (phase 2)
+//!           | 0x08                                      health probe
+//!           | 0x09                                      metrics snapshot
 //! response := 0x01 u32 inserted_count
 //!           | 0x02 u32 n { u64 id; f64 lb;
 //!                          u32 len; bytes }*n           full candidate set (export)
@@ -26,6 +28,10 @@
 //!           | 0x06 u32 inserted; u16 len utf8           partial-insert error
 //!           | 0x07 candidate list                       search answer (phase 1)
 //!           | 0x08 u32 n { u64 id; u32 len; bytes }*n   fetched objects (phase 2)
+//!           | 0x09 u8 status; u32 protocol;
+//!                  u64 entries; u32 shards;
+//!                  u64 uptime_nanos                      health
+//!           | 0x0a u32 len utf8                         metrics snapshot (exposition text)
 //!
 //! candidate list := u32 n { u64 id; f64 lb }*n          headers, all candidates
 //!                   u32 m { u32 len; bytes }*m          inline payload prefix, m <= n
@@ -100,6 +106,18 @@ pub enum Request {
         /// phase-1 header list.
         ids: Vec<u64>,
     },
+    /// Liveness/readiness probe (ops surface, wire v2). Carries no query
+    /// information; servers answer from pre-aggregated atomics without
+    /// touching the index lock, so a health check stays fast while a bulk
+    /// insert holds the write lock. Reaching the handler at all also
+    /// proves the server is under its connection cap — load shedding
+    /// refuses the connection *before* any request is read.
+    Health,
+    /// Telemetry snapshot (ops surface, wire v2): the server renders its
+    /// metric registry, search-stat totals and slow-query log in the
+    /// plaintext exposition format (see the README's "Observability &
+    /// operations"). Answered without the index lock, like [`Request::Health`].
+    MetricsSnapshot,
 }
 
 /// One query of a [`Request::BatchKnn`] batch — same fields as
@@ -221,7 +239,34 @@ pub enum Response {
     /// binds each payload to its id, so a malicious server cannot
     /// substitute objects undetected.
     Objects(Vec<FetchedObject>),
+    /// Answer to [`Request::Health`]: a fixed-size liveness summary
+    /// served from atomics (never the index lock).
+    Health {
+        /// `0` = serving. Nonzero values are reserved for degraded states.
+        status: u8,
+        /// The server's wire protocol version ([`PROTOCOL_VERSION`]).
+        protocol: u32,
+        /// Entries resident across all shards (pre-aggregated gauge).
+        entries: u64,
+        /// Shard count (`1` for an unsharded server).
+        shards: u32,
+        /// Nanoseconds since the server's telemetry registry was created.
+        uptime_nanos: u64,
+    },
+    /// Answer to [`Request::MetricsSnapshot`]: the rendered exposition
+    /// text. Framed with a `u32` length — unlike `Error` messages, a
+    /// metrics dump legitimately exceeds `u16::MAX` bytes.
+    MetricsSnapshot(String),
 }
+
+/// Wire protocol version, reported by [`Response::Health`].
+///
+/// * v1 — tags `0x01..=0x07` requests / `0x01..=0x08` responses.
+/// * v2 — adds the ops surface: `Health` / `MetricsSnapshot` requests and
+///   their responses. Purely additive: every v1 message is bit-identical
+///   under v2, and a v1 peer rejects the new tags as unknown instead of
+///   misparsing them.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Protocol decode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -502,6 +547,8 @@ impl Request {
                     out.extend_from_slice(&id.to_le_bytes());
                 }
             }
+            Request::Health => out.push(0x08),
+            Request::MetricsSnapshot => out.push(0x09),
         }
         out
     }
@@ -578,6 +625,16 @@ impl Request {
                 r.finish("fetch")?;
                 Ok(Request::FetchObjects { ids })
             }
+            0x08 => {
+                r.finish("health request")
+                    .map_err(|_| err("health request carries payload"))?;
+                Ok(Request::Health)
+            }
+            0x09 => {
+                r.finish("metrics request")
+                    .map_err(|_| err("metrics request carries payload"))?;
+                Ok(Request::MetricsSnapshot)
+            }
             t => Err(err(&format!("unknown request tag {t}"))),
         }
     }
@@ -643,6 +700,29 @@ impl Response {
                     out.extend_from_slice(&wire_u32(o.payload.len()).to_le_bytes());
                     out.extend_from_slice(&o.payload);
                 }
+            }
+            Response::Health {
+                status,
+                protocol,
+                entries,
+                shards,
+                uptime_nanos,
+            } => {
+                out.push(0x09);
+                out.push(*status);
+                out.extend_from_slice(&protocol.to_le_bytes());
+                out.extend_from_slice(&entries.to_le_bytes());
+                out.extend_from_slice(&shards.to_le_bytes());
+                out.extend_from_slice(&uptime_nanos.to_le_bytes());
+            }
+            Response::MetricsSnapshot(text) => {
+                out.push(0x0a);
+                // u32 framing: a metrics dump can legitimately exceed the
+                // u16 cap `encode_message` truncates at. Over-long texts
+                // saturate the count and fail decode on the peer rather
+                // than shipping silently truncated metrics.
+                out.extend_from_slice(&wire_u32(text.len()).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
             }
         }
         out
@@ -716,6 +796,28 @@ impl Response {
                 }
                 r.finish("objects")?;
                 Ok(Response::Objects(objects))
+            }
+            0x09 => {
+                let status = r.u8("health status")?;
+                let protocol = r.u32("health protocol")?;
+                let entries = r.u64("health entries")?;
+                let shards = r.u32("health shards")?;
+                let uptime_nanos = r.u64("health uptime")?;
+                r.finish("health")?;
+                Ok(Response::Health {
+                    status,
+                    protocol,
+                    entries,
+                    shards,
+                    uptime_nanos,
+                })
+            }
+            0x0a => {
+                let n = r.u32("metrics length")? as usize;
+                let body = r.bytes(n, "metrics body")?;
+                let text = String::from_utf8_lossy(body).into_owned();
+                r.finish("metrics")?;
+                Ok(Response::MetricsSnapshot(text))
             }
             t => Err(err(&format!("unknown response tag {t}"))),
         }
@@ -1102,6 +1204,59 @@ mod tests {
         .encode();
         bytes.push(7);
         assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn health_round_trip() {
+        assert_eq!(
+            Request::decode(&Request::Health.encode()).unwrap(),
+            Request::Health
+        );
+        let mut bytes = Request::Health.encode();
+        bytes.push(1);
+        assert!(
+            Request::decode(&bytes).is_err(),
+            "health request must carry no payload"
+        );
+        let resp = Response::Health {
+            status: 0,
+            protocol: PROTOCOL_VERSION,
+            entries: 1_000_000,
+            shards: 4,
+            uptime_nanos: 987_654_321,
+        };
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        for cut in [1, 2, 5, 13, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bytes = resp.encode();
+        bytes.push(0);
+        assert!(Response::decode(&bytes).is_err(), "trailing byte rejected");
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trip() {
+        assert_eq!(
+            Request::decode(&Request::MetricsSnapshot.encode()).unwrap(),
+            Request::MetricsSnapshot
+        );
+        let mut bytes = Request::MetricsSnapshot.encode();
+        bytes.push(1);
+        assert!(
+            Request::decode(&bytes).is_err(),
+            "metrics request must carry no payload"
+        );
+        // u32 framing must carry texts past the u16 boundary that
+        // `encode_message` truncates at.
+        let text = "counter server.requests 1\n".repeat(4000);
+        assert!(text.len() > u16::MAX as usize);
+        let resp = Response::MetricsSnapshot(text);
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        for cut in [1, 4, bytes.len() - 1] {
+            assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     /// The privacy audit in code form: a Range/ApproxKnn request contains

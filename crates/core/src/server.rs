@@ -11,18 +11,20 @@
 //! compromising it yields sealed payloads and routing information only
 //! (§4.3).
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{RwLock, RwLockReadGuard};
 use simcloud_mindex::{
     CandidateCursor, IndexEntry, MIndex, MIndexConfig, MIndexError, PromiseEvaluator, Routing,
-    SearchStats, SharedSearchStats, FIRST_CELL_ONLY,
+    SearchStats, FIRST_CELL_ONLY,
 };
 use simcloud_storage::BucketStore;
+use simcloud_telemetry::Trace;
 use simcloud_transport::{RequestHandler, SharedRequestHandler};
 
 use crate::protocol::{
     Candidate, CandidateHeader, CandidateList, FetchedObject, Request, Response,
     MAX_CANDIDATE_HEADERS,
 };
+use crate::telemetry::{request_label, ServerTelemetry};
 
 /// Server-side configuration beyond the index shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +67,7 @@ impl ServerConfig {
 pub struct CloudServer<S: BucketStore> {
     index: RwLock<MIndex<S>>,
     config: ServerConfig,
-    last_search_stats: Mutex<SearchStats>,
-    total_search_stats: SharedSearchStats,
+    telemetry: ServerTelemetry,
 }
 
 impl<S: BucketStore> std::fmt::Debug for CloudServer<S> {
@@ -91,8 +92,7 @@ impl<S: BucketStore> CloudServer<S> {
         Ok(Self {
             index: RwLock::new(MIndex::new(config, store)?),
             config: server_config,
-            last_search_stats: Mutex::new(SearchStats::default()),
-            total_search_stats: SharedSearchStats::new(),
+            telemetry: ServerTelemetry::new(),
         })
     }
 
@@ -102,11 +102,15 @@ impl<S: BucketStore> CloudServer<S> {
     ///
     /// [`DiskStore`]: https://docs.rs/simcloud-storage
     pub fn rebuilt(config: MIndexConfig, store: S) -> Result<Self, MIndexError> {
+        let index = MIndex::rebuild(config, store)?;
+        let telemetry = ServerTelemetry::new();
+        // Seed the ops-surface gauge: Health answers from this atomic,
+        // never from the index lock.
+        telemetry.set_entries(index.len());
         Ok(Self {
-            index: RwLock::new(MIndex::rebuild(config, store)?),
+            index: RwLock::new(index),
             config: ServerConfig::default(),
-            last_search_stats: Mutex::new(SearchStats::default()),
-            total_search_stats: SharedSearchStats::new(),
+            telemetry,
         })
     }
 
@@ -131,18 +135,20 @@ impl<S: BucketStore> CloudServer<S> {
     /// recent search *failed*, so cost accounting never attributes a
     /// previous query's work to a failed request.
     pub fn last_search_stats(&self) -> SearchStats {
-        *self.last_search_stats.lock()
+        self.telemetry.last_search_stats()
     }
 
     /// Accumulated statistics over all search requests (lock-free atomic
     /// counters; exact once in-flight queries finish).
     pub fn total_search_stats(&self) -> SearchStats {
-        self.total_search_stats.snapshot()
+        self.telemetry.total_search_stats()
     }
 
-    fn record_search(&self, stats: SearchStats) {
-        *self.last_search_stats.lock() = stats;
-        self.total_search_stats.add(&stats);
+    /// The server's telemetry: registry, phase histograms, slow-query
+    /// log, the enabled switch and the [`Request::Health`] /
+    /// [`Request::MetricsSnapshot`] answer path.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.telemetry
     }
 
     /// Stages a ranked candidate set for the phase-1 wire (see
@@ -154,17 +160,22 @@ impl<S: BucketStore> CloudServer<S> {
     fn candidates_response(
         &self,
         result: Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError>,
+        trace: &mut Trace,
     ) -> Response {
         match result {
             Ok((entries, stats)) => {
-                self.record_search(stats);
-                Response::CandidateList(self.stage(entries))
+                self.telemetry.record_search(stats);
+                let list = {
+                    let _stage = trace.span("stage", self.telemetry.stage_hist());
+                    self.stage(entries)
+                };
+                Response::CandidateList(list)
             }
             Err(e) => {
                 // A failed search did no accountable work: zero the
                 // per-request stats instead of leaving the previous
                 // query's numbers in place.
-                *self.last_search_stats.lock() = SearchStats::default();
+                self.telemetry.record_failed_search();
                 Response::Error(e.to_string())
             }
         }
@@ -172,30 +183,70 @@ impl<S: BucketStore> CloudServer<S> {
 
     /// Processes one decoded request (the typed core of the handler).
     /// Needs only `&self`: searches share the index read lock, inserts
-    /// briefly take the write lock.
+    /// briefly take the write lock. Wraps [`CloudServer::process_traced`]
+    /// in its own request trace, so direct callers (in-process
+    /// transports, tests) feed the same histograms as the byte handler.
     pub fn process(&self, request: Request) -> Response {
+        let mut trace = self.telemetry.trace_labeled(request_label(&request));
+        let response = self.process_traced(request, &mut trace);
+        self.telemetry.note_response(&response);
+        self.telemetry.finish(trace);
+        response
+    }
+
+    /// [`CloudServer::process`] with the caller's request trace: each
+    /// lifecycle phase (route → open → pull → stage, or insert) is timed
+    /// into its histogram and the trace's phase breakdown.
+    fn process_traced(&self, request: Request, trace: &mut Trace) -> Response {
         match request {
             Request::Insert(entries) => {
-                let mut index = self.index.write();
-                let mut n = 0u32;
-                for e in entries {
-                    match index.insert(e) {
-                        Ok(()) => n += 1,
-                        // Bulk inserts are not atomic: the already-inserted
-                        // prefix stays, so the error must carry the count.
-                        Err(e) => {
-                            return Response::InsertError {
-                                inserted: n,
-                                message: e.to_string(),
+                let n_entries;
+                let response = {
+                    let _insert = trace.span("insert", self.telemetry.insert_hist());
+                    let mut index = self.index.write();
+                    let mut n = 0u32;
+                    let mut failure = None;
+                    for e in entries {
+                        match index.insert(e) {
+                            Ok(()) => n += 1,
+                            // Bulk inserts are not atomic: the already-
+                            // inserted prefix stays, so the error must
+                            // carry the count.
+                            Err(e) => {
+                                failure = Some(e.to_string());
+                                break;
                             }
                         }
                     }
-                }
-                Response::Inserted(n)
+                    n_entries = u64::from(n);
+                    match failure {
+                        Some(message) => Response::InsertError {
+                            inserted: n,
+                            message,
+                        },
+                        None => Response::Inserted(n),
+                    }
+                };
+                // The ops surface answers `entries` from this gauge, so
+                // Health never waits on the write lock above.
+                self.telemetry.add_entries(n_entries);
+                response
             }
             Request::Range { distances, radius } => {
-                let result = self.index.read().range_candidates(&distances, radius);
-                self.candidates_response(result)
+                let cursor = {
+                    let _open = trace.span("open", self.telemetry.open_hist());
+                    self.index.read().range_cursor(&distances, radius)
+                };
+                let result = match cursor {
+                    Ok(cursor) => {
+                        // Guard released: the pull decodes payloads from
+                        // the cursor's own staged records, lock-free.
+                        let _pull = trace.span("pull", self.telemetry.pull_hist());
+                        cursor.collect_up_to(None)
+                    }
+                    Err(e) => Err(e),
+                };
+                self.candidates_response(result, trace)
             }
             Request::ApproxKnn { routing, cand_size } => match check_cand_size(cand_size) {
                 // An oversized request is refused before any index work:
@@ -203,16 +254,34 @@ impl<S: BucketStore> CloudServer<S> {
                 // refused search did no accountable work, so the
                 // per-request stats are zeroed like any failed search.
                 Err(msg) => {
-                    *self.last_search_stats.lock() = SearchStats::default();
+                    self.telemetry.record_failed_search();
                     Response::Error(msg)
                 }
                 Ok(()) => {
-                    let evaluator = evaluator_for(routing);
-                    let result = self
-                        .index
-                        .read()
-                        .knn_candidates(&evaluator, cand_size as usize);
-                    self.candidates_response(result)
+                    let evaluator = {
+                        let _route = trace.span("route", self.telemetry.route_hist());
+                        evaluator_for(routing)
+                    };
+                    let cand_size = cand_size as usize;
+                    // Same cap rule as `MIndex::knn_candidates`:
+                    // `FIRST_CELL_ONLY` drains the whole first cell.
+                    let cap = if cand_size == FIRST_CELL_ONLY {
+                        None
+                    } else {
+                        Some(cand_size)
+                    };
+                    let cursor = {
+                        let _open = trace.span("open", self.telemetry.open_hist());
+                        self.index.read().knn_cursor(&evaluator, cand_size)
+                    };
+                    let result = match cursor {
+                        Ok(cursor) => {
+                            let _pull = trace.span("pull", self.telemetry.pull_hist());
+                            cursor.collect_up_to(cap)
+                        }
+                        Err(e) => Err(e),
+                    };
+                    self.candidates_response(result, trace)
                 }
             },
             Request::BatchKnn(queries) => {
@@ -225,6 +294,7 @@ impl<S: BucketStore> CloudServer<S> {
                 // Oversized queries are refused up front and never reach
                 // the index — their slots carry the clamp error.
                 let opened: Vec<Result<(CandidateCursor, Option<usize>), String>> = {
+                    let _open = trace.span("open", self.telemetry.open_hist());
                     let index = self.index.read();
                     queries
                         .into_iter()
@@ -249,13 +319,20 @@ impl<S: BucketStore> CloudServer<S> {
                 let mut sets = Vec::with_capacity(opened.len());
                 let mut batch_stats = SearchStats::default();
                 for result in opened {
-                    let collected = result.and_then(|(cursor, cap)| {
-                        cursor.collect_up_to(cap).map_err(|e| e.to_string())
-                    });
+                    let collected = {
+                        let _pull = trace.span("pull", self.telemetry.pull_hist());
+                        result.and_then(|(cursor, cap)| {
+                            cursor.collect_up_to(cap).map_err(|e| e.to_string())
+                        })
+                    };
                     match collected {
                         Ok((entries, stats)) => {
                             batch_stats.merge(&stats);
-                            sets.push(Ok(self.stage(entries)));
+                            let list = {
+                                let _stage = trace.span("stage", self.telemetry.stage_hist());
+                                self.stage(entries)
+                            };
+                            sets.push(Ok(list));
                         }
                         // A failing query answers in its own slot; its
                         // siblings' candidate sets still ship. The failed
@@ -264,7 +341,7 @@ impl<S: BucketStore> CloudServer<S> {
                         Err(e) => sets.push(Err(e)),
                     }
                 }
-                self.record_search(batch_stats);
+                self.telemetry.record_search(batch_stats);
                 Response::CandidateSets(sets)
             }
             Request::FetchObjects { ids } => {
@@ -307,6 +384,12 @@ impl<S: BucketStore> CloudServer<S> {
                 }
                 Err(e) => Response::Error(e.to_string()),
             },
+            // The ops surface: both answers come from ServerTelemetry's
+            // atomics and side locks — never `self.index` — so they stay
+            // fast while an insert holds the index write lock (the
+            // integration test pins this by probing mid-insert).
+            Request::Health => self.telemetry.health_response(1),
+            Request::MetricsSnapshot => Response::MetricsSnapshot(self.telemetry.metrics_text()),
         }
     }
 }
@@ -385,11 +468,28 @@ pub fn evaluator_for(routing: Routing) -> PromiseEvaluator {
 
 impl<S: BucketStore> SharedRequestHandler for CloudServer<S> {
     fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
-        let response = match Request::decode(request) {
-            Ok(req) => self.process(req),
-            Err(e) => Response::Error(e.to_string()),
+        let mut trace = self.telemetry.trace();
+        let decoded = {
+            let _decode = trace.span("decode", self.telemetry.decode_hist());
+            Request::decode(request)
         };
-        response.encode()
+        let response = match decoded {
+            Ok(req) => {
+                trace.set_label(request_label(&req));
+                self.process_traced(req, &mut trace)
+            }
+            Err(e) => {
+                trace.set_label("undecodable");
+                Response::Error(e.to_string())
+            }
+        };
+        self.telemetry.note_response(&response);
+        let bytes = {
+            let _encode = trace.span("encode", self.telemetry.encode_hist());
+            response.encode()
+        };
+        self.telemetry.finish(trace);
+        bytes
     }
 }
 

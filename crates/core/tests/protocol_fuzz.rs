@@ -180,6 +180,41 @@ proptest! {
         prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
+    /// Ops-surface wire v2: both parameterless requests and the two
+    /// response shapes round-trip, and truncations fail cleanly.
+    #[test]
+    fn health_round_trips(status in any::<u8>(), entries in any::<u64>(),
+                          shards in any::<u32>(), uptime_nanos in any::<u64>()) {
+        let req = Request::Health;
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let req = Request::MetricsSnapshot;
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let resp = Response::Health {
+            status,
+            protocol: simcloud_core::protocol::PROTOCOL_VERSION,
+            entries,
+            shards,
+            uptime_nanos,
+        };
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // Any truncation of the fixed-size health body must error, not panic.
+        let bytes = Response::Health {
+            status, protocol: 2, entries, shards, uptime_nanos,
+        }.encode();
+        for cut in 1..bytes.len() {
+            prop_assert!(Response::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips(text in ".{0,400}") {
+        let resp = Response::MetricsSnapshot(text.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::MetricsSnapshot(t) => prop_assert_eq!(t, text),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
     /// A server fed arbitrary bytes must answer (with an error), not panic —
     /// the handler is exposed to the network.
     #[test]

@@ -24,9 +24,11 @@ use simcloud_mindex::{
     FIRST_CELL_ONLY,
 };
 use simcloud_storage::{BucketStore, IoStats};
+use simcloud_telemetry::Registry;
 
-use crate::merge::drain_frontier;
+use crate::merge::{drain_frontier, drain_frontier_timed};
 use crate::router::ShardRouter;
+use crate::telemetry::ShardTiming;
 
 /// Aggregate shape of a sharded deployment (the `Info` view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,10 @@ pub struct ShardedShape {
 /// One shard's search answer: ranked `(entry, lower_bound)` candidates
 /// plus that search's statistics — the unit the gather step merges.
 type RankedCandidates = (Vec<(IndexEntry, f64)>, SearchStats);
+
+/// An opened (but not yet drained) scatter: one cursor per shard plus
+/// the query's global drain cap (`None` = drain everything).
+pub type OpenedFrontier = (Vec<CandidateCursor>, Option<usize>);
 
 /// N independent M-Index shards behind one scatter-gather facade.
 pub struct ShardedMIndex<S: BucketStore> {
@@ -60,6 +66,9 @@ pub struct ShardedMIndex<S: BucketStore> {
     /// µs per query) and sequential scatter-gather computes the identical
     /// answer.
     parallel_fanout: bool,
+    /// Optional shard-layer timing (see [`ShardTiming`]); bound by the
+    /// server front end so opens, pulls and merges land in its registry.
+    telemetry: Option<ShardTiming>,
 }
 
 impl<S: BucketStore> std::fmt::Debug for ShardedMIndex<S> {
@@ -97,7 +106,15 @@ impl<S: BucketStore> ShardedMIndex<S> {
             router,
             parallel_fanout: std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
                 > 1,
+            telemetry: None,
         })
+    }
+
+    /// Binds shard-layer timing (`shard.open` / `shard.pull` /
+    /// `shard.merge` histograms) into `registry`. Timing follows the
+    /// registry's enabled switch; an unbound index reads no clocks.
+    pub fn bind_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(ShardTiming::bind(registry));
     }
 
     /// Overrides the fan-out mode (default: parallel iff the machine has
@@ -301,14 +318,47 @@ impl<S: BucketStore> ShardedMIndex<S> {
         evaluator: &PromiseEvaluator,
         cand_size: usize,
     ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        let (cursors, cap) = self.open_knn_cursors(evaluator, cand_size)?;
+        self.drain(cursors, cap)
+    }
+
+    /// The scatter half of [`Self::knn_candidates`]: fans the open out to
+    /// every shard and returns the owned cursors plus the global drain
+    /// cap. Separated so a traced front end can time the open and the
+    /// drain as distinct request phases.
+    pub fn open_knn_cursors(
+        &self,
+        evaluator: &PromiseEvaluator,
+        cand_size: usize,
+    ) -> Result<OpenedFrontier, MIndexError> {
         let cap = if cand_size == FIRST_CELL_ONLY {
             None
         } else {
             Some(cand_size)
         };
         let budget = self.shard_open_budget(cand_size);
-        let cursors = Self::open_cursors(self.fan_out(|ix| ix.knn_cursor(evaluator, budget)))?;
-        drain_frontier(cursors, cap)
+        let cursors = Self::open_cursors(self.fan_out(|ix| {
+            let _open = self.telemetry.as_ref().map(ShardTiming::open_timer);
+            ix.knn_cursor(evaluator, budget)
+        }))?;
+        Ok((cursors, cap))
+    }
+
+    /// The gather half of every search: drains the merged frontier
+    /// lock-free (see [`drain_frontier`]), timing the coordinator's merge
+    /// and its pull runs when telemetry is bound.
+    pub fn drain(
+        &self,
+        cursors: Vec<CandidateCursor>,
+        cap: Option<usize>,
+    ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+        match &self.telemetry {
+            Some(t) => {
+                let _merge = t.merge_timer();
+                drain_frontier_timed(cursors, cap, t.pull_hist())
+            }
+            None => drain_frontier(cursors, cap),
+        }
     }
 
     /// Scatter-gather precise range candidates: the union of the per-shard
@@ -321,9 +371,21 @@ impl<S: BucketStore> ShardedMIndex<S> {
         query_distances: &[f64],
         radius: f64,
     ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
-        let cursors =
-            Self::open_cursors(self.fan_out(|ix| ix.range_cursor(query_distances, radius)))?;
-        drain_frontier(cursors, None)
+        let cursors = self.open_range_cursors(query_distances, radius)?;
+        self.drain(cursors, None)
+    }
+
+    /// The scatter half of [`Self::range_candidates`] (see
+    /// [`Self::open_knn_cursors`] for why the halves are public).
+    pub fn open_range_cursors(
+        &self,
+        query_distances: &[f64],
+        radius: f64,
+    ) -> Result<Vec<CandidateCursor>, MIndexError> {
+        Self::open_cursors(self.fan_out(|ix| {
+            let _open = self.telemetry.as_ref().map(ShardTiming::open_timer);
+            ix.range_cursor(query_distances, radius)
+        }))
     }
 
     /// Scatter-gather for a whole k-NN batch in **one** fan-out pass: each
@@ -336,6 +398,21 @@ impl<S: BucketStore> ShardedMIndex<S> {
         &self,
         queries: &[(PromiseEvaluator, usize)],
     ) -> Vec<Result<RankedCandidates, MIndexError>> {
+        self.open_batch_knn(queries)
+            .into_iter()
+            .map(|opened| opened.and_then(|(cursors, cap)| self.drain(cursors, cap)))
+            .collect()
+    }
+
+    /// The scatter half of [`Self::batch_knn_candidates`]: every query's
+    /// per-shard cursors opened in **one** fan-out pass, one slot per
+    /// query in request order (a failing query occupies only its own
+    /// slot). Each slot carries the owned cursors plus that query's
+    /// global drain cap, ready for [`Self::drain`].
+    pub fn open_batch_knn(
+        &self,
+        queries: &[(PromiseEvaluator, usize)],
+    ) -> Vec<Result<OpenedFrontier, MIndexError>> {
         // Per shard: one cursor per query. The closure itself cannot fail —
         // per-query errors stay in their slots — so a fan-out-level error
         // only arises from a worker panic and poisons the whole batch.
@@ -344,6 +421,7 @@ impl<S: BucketStore> ShardedMIndex<S> {
             .map(|&(_, cand_size)| self.shard_open_budget(cand_size))
             .collect();
         let per_shard = self.fan_out(|ix| {
+            let _open = self.telemetry.as_ref().map(ShardTiming::open_timer);
             Ok(queries
                 .iter()
                 .zip(&budgets)
@@ -389,7 +467,7 @@ impl<S: BucketStore> ShardedMIndex<S> {
                 } else {
                     Some(cand_size)
                 };
-                drain_frontier(cursors, cap)
+                Ok((cursors, cap))
             })
             .collect()
     }

@@ -43,6 +43,7 @@ pub mod index;
 pub mod merge;
 pub mod router;
 pub mod server;
+pub mod telemetry;
 
 pub use deploy::{
     client_for_sharded, client_for_sharded_with_model, memory_stores, over_tcp_sharded,
@@ -52,3 +53,4 @@ pub use deploy::{
 pub use index::{ShardedMIndex, ShardedShape};
 pub use router::{HashRouter, PivotRouter, ShardRouter};
 pub use server::ShardedCloudServer;
+pub use telemetry::ShardTiming;

@@ -28,6 +28,7 @@
 use std::cmp::Ordering;
 
 use simcloud_mindex::{CandidateCursor, IndexEntry, MIndexError, SearchStats};
+use simcloud_telemetry::{Histogram, SpanTimer};
 
 /// One shard's frontier head: the bound its cursor would yield next.
 #[derive(Clone, Copy)]
@@ -59,8 +60,29 @@ fn precedes(a: &Head, b: &Head) -> bool {
 /// counter) sum via [`SearchStats::merge_from`], and `candidates`
 /// reports the merged (capped) list — the set the client receives.
 pub fn drain_frontier(
+    cursors: Vec<CandidateCursor>,
+    cap: Option<usize>,
+) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
+    drain_frontier_timed(cursors, cap, None)
+}
+
+/// How often the drain loop samples a pull run into the `shard.pull`
+/// histogram. Runs are the hottest unit on the gather path (dozens per
+/// query), and two clock reads per run shows up as whole percents of
+/// query throughput — sampling every 8th run keeps the latency
+/// distribution representative while staying inside the ≤ 5 % telemetry
+/// budget asserted by `--bench obs`. The first run is always sampled, so
+/// any timed drain lands at least one record.
+const PULL_SAMPLE_EVERY: u32 = 8;
+
+/// [`drain_frontier`] with optional pull-run timing: when `pull` is
+/// bound, every [`PULL_SAMPLE_EVERY`]-th uninterrupted run against the
+/// winning cursor records its duration (one histogram sample per sampled
+/// run, amortized over the run's entries — never per candidate).
+pub fn drain_frontier_timed(
     mut cursors: Vec<CandidateCursor>,
     cap: Option<usize>,
+    pull: Option<&Histogram>,
 ) -> Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError> {
     let total: usize = cursors.iter().map(CandidateCursor::remaining).sum();
     let want = cap.map_or(total, |c| c.min(total));
@@ -75,6 +97,7 @@ pub fn drain_frontier(
         .enumerate()
         .filter_map(|(shard, c)| c.peek_bound().map(|bound| Head { bound, shard }))
         .collect();
+    let mut run_no: u32 = 0;
     while out.len() < want {
         // Argmin by (bound, shard) over the live heads, tracking the
         // runner-up for the run-length pull below.
@@ -106,20 +129,26 @@ pub fn drain_frontier(
         // minimum until its next bound passes the runner-up's head (or
         // ties it from a later shard), which is exactly when the old
         // k-way heap would have switched cursors.
-        while let Some(c) = cursor.next_candidate()? {
-            out.push(c);
-            if out.len() >= want {
-                break;
-            }
-            let run_continues = cursor.peek_bound().is_some_and(|bound| {
-                let next = Head {
-                    bound,
-                    shard: head.shard,
-                };
-                runner_up.is_none_or(|r| precedes(&next, &r))
-            });
-            if !run_continues {
-                break;
+        {
+            let _run = pull
+                .filter(|_| run_no.is_multiple_of(PULL_SAMPLE_EVERY))
+                .map(|h| SpanTimer::new(h, true));
+            run_no = run_no.wrapping_add(1);
+            while let Some(c) = cursor.next_candidate()? {
+                out.push(c);
+                if out.len() >= want {
+                    break;
+                }
+                let run_continues = cursor.peek_bound().is_some_and(|bound| {
+                    let next = Head {
+                        bound,
+                        shard: head.shard,
+                    };
+                    runner_up.is_none_or(|r| precedes(&next, &r))
+                });
+                if !run_continues {
+                    break;
+                }
             }
         }
         match cursor.peek_bound() {

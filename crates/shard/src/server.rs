@@ -8,23 +8,26 @@
 //! lock instead of a global one and searches scatter-gather across all
 //! shards in parallel.
 
-use parking_lot::Mutex;
 use simcloud_core::protocol::{Candidate, FetchedObject, Request, Response};
+use simcloud_core::telemetry::{request_label, ServerTelemetry};
 use simcloud_core::{check_cand_size, evaluator_for, stage_candidates, ServerConfig};
-use simcloud_mindex::{IndexEntry, MIndexConfig, MIndexError, SearchStats, SharedSearchStats};
+use simcloud_mindex::{IndexEntry, MIndexConfig, MIndexError, SearchStats};
 use simcloud_storage::BucketStore;
+use simcloud_telemetry::Trace;
 use simcloud_transport::{RequestHandler, SharedRequestHandler};
 
 use crate::index::ShardedMIndex;
 use crate::router::ShardRouter;
 
 /// Server half of the sharded Encrypted M-Index. Drop-in wire-compatible
-/// with `CloudServer`; holds no key material.
+/// with `CloudServer`; holds no key material. All self-reporting goes
+/// through the **same** [`ServerTelemetry`] implementation as the single
+/// server, so both deployments expose identically shaped metrics (the
+/// shard layer adds its own `shard.*` histograms to the shared registry).
 pub struct ShardedCloudServer<S: BucketStore> {
     index: ShardedMIndex<S>,
     config: ServerConfig,
-    last_search_stats: Mutex<SearchStats>,
-    total_search_stats: SharedSearchStats,
+    telemetry: ServerTelemetry,
 }
 
 impl<S: BucketStore> std::fmt::Debug for ShardedCloudServer<S> {
@@ -51,11 +54,17 @@ impl<S: BucketStore> ShardedCloudServer<S> {
         router: Box<dyn ShardRouter>,
         stores: Vec<S>,
     ) -> Result<Self, MIndexError> {
+        let telemetry = ServerTelemetry::new();
+        let mut index = ShardedMIndex::new(config, router, stores)?;
+        // Shard-layer timings land in the same registry, so one
+        // MetricsSnapshot answer carries the whole picture; the entries
+        // gauge is seeded here so Health never touches shard locks.
+        index.bind_telemetry(telemetry.registry());
+        telemetry.set_entries(index.len());
         Ok(Self {
-            index: ShardedMIndex::new(config, router, stores)?,
+            index,
             config: server_config,
-            last_search_stats: Mutex::new(SearchStats::default()),
-            total_search_stats: SharedSearchStats::new(),
+            telemetry,
         })
     }
 
@@ -86,33 +95,38 @@ impl<S: BucketStore> ShardedCloudServer<S> {
     /// counters summed, `candidates` the merged (capped) answer size.
     /// Zeroed when the most recent search failed.
     pub fn last_search_stats(&self) -> SearchStats {
-        *self.last_search_stats.lock()
+        self.telemetry.last_search_stats()
     }
 
     /// Accumulated statistics over all search requests.
     pub fn total_search_stats(&self) -> SearchStats {
-        self.total_search_stats.snapshot()
+        self.telemetry.total_search_stats()
     }
 
-    fn record_search(&self, stats: SearchStats) {
-        *self.last_search_stats.lock() = stats;
-        self.total_search_stats.add(&stats);
+    /// The server's telemetry: registry (including the shard-layer
+    /// histograms), phase histograms, slow-query log, the enabled switch
+    /// and the `Health` / `MetricsSnapshot` answer path — the same type
+    /// the single server exposes.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.telemetry
     }
 
     fn candidates_response(
         &self,
         result: Result<(Vec<(IndexEntry, f64)>, SearchStats), MIndexError>,
+        trace: &mut Trace,
     ) -> Response {
         match result {
             Ok((entries, stats)) => {
-                self.record_search(stats);
-                Response::CandidateList(stage_candidates(
-                    entries,
-                    self.config.max_inline_response_bytes,
-                ))
+                self.telemetry.record_search(stats);
+                let list = {
+                    let _stage = trace.span("stage", self.telemetry.stage_hist());
+                    stage_candidates(entries, self.config.max_inline_response_bytes)
+                };
+                Response::CandidateList(list)
             }
             Err(e) => {
-                *self.last_search_stats.lock() = SearchStats::default();
+                self.telemetry.record_failed_search();
                 Response::Error(e.to_string())
             }
         }
@@ -120,8 +134,24 @@ impl<S: BucketStore> ShardedCloudServer<S> {
 
     /// Processes one decoded request. Needs only `&self`: searches fan out
     /// over the shards' read locks, an insert takes exactly one shard's
-    /// write lock.
+    /// write lock. Wraps [`Self::process_traced`] in its own request
+    /// trace, so direct callers feed the same histograms as the byte
+    /// handler.
     pub fn process(&self, request: Request) -> Response {
+        let mut trace = self.telemetry.trace_labeled(request_label(&request));
+        let response = self.process_traced(request, &mut trace);
+        self.telemetry.note_response(&response);
+        self.telemetry.finish(trace);
+        response
+    }
+
+    /// [`Self::process`] with the caller's request trace: the same phase
+    /// vocabulary as the single server (route → open → pull → stage, or
+    /// insert), with the scatter-gather specifics — per-shard opens,
+    /// frontier pull runs, the coordinator merge — landing in the
+    /// registry's `shard.*` histograms underneath the `open`/`pull`
+    /// phases.
+    fn process_traced(&self, request: Request, trace: &mut Trace) -> Response {
         match request {
             Request::Insert(entries) => {
                 // Same non-atomic bulk *error* semantics as the single
@@ -133,36 +163,75 @@ impl<S: BucketStore> ShardedCloudServer<S> {
                 // This is the deliberate price of removing the global
                 // write lock; deployments needing bulk atomicity against
                 // readers must quiesce searches around the bulk.
-                let mut n = 0u32;
-                for e in entries {
-                    match self.index.insert(e) {
-                        Ok(()) => n += 1,
-                        Err(e) => {
-                            return Response::InsertError {
-                                inserted: n,
-                                message: e.to_string(),
+                let n_entries;
+                let response = {
+                    let _insert = trace.span("insert", self.telemetry.insert_hist());
+                    let mut n = 0u32;
+                    let mut failure = None;
+                    for e in entries {
+                        match self.index.insert(e) {
+                            Ok(()) => n += 1,
+                            Err(e) => {
+                                failure = Some(e.to_string());
+                                break;
                             }
                         }
                     }
-                }
-                Response::Inserted(n)
+                    n_entries = u64::from(n);
+                    match failure {
+                        Some(message) => Response::InsertError {
+                            inserted: n,
+                            message,
+                        },
+                        None => Response::Inserted(n),
+                    }
+                };
+                // The ops surface answers `entries` from this gauge, so
+                // Health never waits on any shard's write lock.
+                self.telemetry.add_entries(n_entries);
+                response
             }
             Request::Range { distances, radius } => {
-                self.candidates_response(self.index.range_candidates(&distances, radius))
+                let cursors = {
+                    let _open = trace.span("open", self.telemetry.open_hist());
+                    self.index.open_range_cursors(&distances, radius)
+                };
+                let result = match cursors {
+                    Ok(cursors) => {
+                        // Shard guards released with the fan-out: the
+                        // drain runs lock-free over owned cursors.
+                        let _pull = trace.span("pull", self.telemetry.pull_hist());
+                        self.index.drain(cursors, None)
+                    }
+                    Err(e) => Err(e),
+                };
+                self.candidates_response(result, trace)
             }
             Request::ApproxKnn { routing, cand_size } => match check_cand_size(cand_size) {
                 // Refused before any fan-out: the answer could never be
                 // decoded by the requester. Per-request stats are zeroed
                 // like any failed search.
                 Err(msg) => {
-                    *self.last_search_stats.lock() = SearchStats::default();
+                    self.telemetry.record_failed_search();
                     Response::Error(msg)
                 }
                 Ok(()) => {
-                    let evaluator = evaluator_for(routing);
-                    self.candidates_response(
-                        self.index.knn_candidates(&evaluator, cand_size as usize),
-                    )
+                    let evaluator = {
+                        let _route = trace.span("route", self.telemetry.route_hist());
+                        evaluator_for(routing)
+                    };
+                    let opened = {
+                        let _open = trace.span("open", self.telemetry.open_hist());
+                        self.index.open_knn_cursors(&evaluator, cand_size as usize)
+                    };
+                    let result = match opened {
+                        Ok((cursors, cap)) => {
+                            let _pull = trace.span("pull", self.telemetry.pull_hist());
+                            self.index.drain(cursors, cap)
+                        }
+                        Err(e) => Err(e),
+                    };
+                    self.candidates_response(result, trace)
                 }
             },
             Request::BatchKnn(queries) => {
@@ -170,8 +239,8 @@ impl<S: BucketStore> ShardedCloudServer<S> {
                 // and never reach the index; every admissible query runs
                 // in **one** batch fan-out — each shard is locked once and
                 // opens all of the batch's cursors under that single guard
-                // (`ShardedMIndex::batch_knn_candidates`), then the
-                // coordinator drains each query's frontier lock-free.
+                // (`ShardedMIndex::open_batch_knn`), then the coordinator
+                // drains each query's frontier lock-free.
                 let mut slots: Vec<Option<String>> = Vec::with_capacity(queries.len());
                 let mut plans = Vec::new();
                 for q in queries {
@@ -183,32 +252,49 @@ impl<S: BucketStore> ShardedCloudServer<S> {
                         Err(msg) => slots.push(Some(msg)),
                     }
                 }
-                let mut results = self.index.batch_knn_candidates(&plans).into_iter();
+                let opened = {
+                    let _open = trace.span("open", self.telemetry.open_hist());
+                    self.index.open_batch_knn(&plans)
+                };
+                let mut results = opened.into_iter();
                 let mut sets = Vec::with_capacity(slots.len());
                 let mut batch_stats = SearchStats::default();
                 for slot in slots {
                     match slot {
                         Some(msg) => sets.push(Err(msg)),
                         None => match results.next() {
-                            Some(Ok((entries, stats))) => {
-                                batch_stats.merge(&stats);
-                                sets.push(Ok(stage_candidates(
-                                    entries,
-                                    self.config.max_inline_response_bytes,
-                                )));
+                            Some(opened) => {
+                                let drained = {
+                                    let _pull = trace.span("pull", self.telemetry.pull_hist());
+                                    opened.and_then(|(cursors, cap)| self.index.drain(cursors, cap))
+                                };
+                                match drained {
+                                    Ok((entries, stats)) => {
+                                        batch_stats.merge(&stats);
+                                        let list = {
+                                            let _stage =
+                                                trace.span("stage", self.telemetry.stage_hist());
+                                            stage_candidates(
+                                                entries,
+                                                self.config.max_inline_response_bytes,
+                                            )
+                                        };
+                                        sets.push(Ok(list));
+                                    }
+                                    // A failing query answers in its own
+                                    // slot; batch stats cover exactly the
+                                    // successful queries.
+                                    Err(e) => sets.push(Err(e.to_string())),
+                                }
                             }
-                            // A failing query answers in its own slot;
-                            // batch stats cover exactly the successful
-                            // queries.
-                            Some(Err(e)) => sets.push(Err(e.to_string())),
-                            // batch_knn_candidates answers one slot per
-                            // plan; a short answer would be a coordinator
-                            // bug — surface it per slot, never panic.
+                            // open_batch_knn answers one slot per plan; a
+                            // short answer would be a coordinator bug —
+                            // surface it per slot, never panic.
                             None => sets.push(Err("batch answer missing a query slot".into())),
                         },
                     }
                 }
-                self.record_search(batch_stats);
+                self.telemetry.record_search(batch_stats);
                 Response::CandidateSets(sets)
             }
             Request::FetchObjects { ids } => match self.index.fetch_entries(&ids) {
@@ -248,17 +334,41 @@ impl<S: BucketStore> ShardedCloudServer<S> {
                 ),
                 Err(e) => Response::Error(e.to_string()),
             },
+            // The ops surface: both answers come from ServerTelemetry's
+            // atomics and side locks — never a shard lock — so they stay
+            // fast while inserts hold shard write locks.
+            Request::Health => self
+                .telemetry
+                .health_response(u32::try_from(self.index.shard_count()).unwrap_or(u32::MAX)),
+            Request::MetricsSnapshot => Response::MetricsSnapshot(self.telemetry.metrics_text()),
         }
     }
 }
 
 impl<S: BucketStore> SharedRequestHandler for ShardedCloudServer<S> {
     fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
-        let response = match Request::decode(request) {
-            Ok(req) => self.process(req),
-            Err(e) => Response::Error(e.to_string()),
+        let mut trace = self.telemetry.trace();
+        let decoded = {
+            let _decode = trace.span("decode", self.telemetry.decode_hist());
+            Request::decode(request)
         };
-        response.encode()
+        let response = match decoded {
+            Ok(req) => {
+                trace.set_label(request_label(&req));
+                self.process_traced(req, &mut trace)
+            }
+            Err(e) => {
+                trace.set_label("undecodable");
+                Response::Error(e.to_string())
+            }
+        };
+        self.telemetry.note_response(&response);
+        let bytes = {
+            let _encode = trace.span("encode", self.telemetry.encode_hist());
+            response.encode()
+        };
+        self.telemetry.finish(trace);
+        bytes
     }
 }
 

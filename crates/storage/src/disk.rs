@@ -43,12 +43,14 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use parking_lot::Mutex;
+use simcloud_telemetry::Registry;
 
 use crate::backend::{FileEnv, StorageEnv};
 use crate::meta::Meta;
 use crate::pagefmt::{
     self, get_bytes, read_u16, read_u32, read_u64, PAGE_CAP, PAGE_HDR, PAGE_SIZE,
 };
+use crate::telemetry::StorageTiming;
 use crate::wal;
 use crate::{BucketId, BucketStore, IoStats, Record, StorageError};
 
@@ -118,6 +120,10 @@ struct Inner {
     tick: u64,
     stats: IoStats,
     recovered: bool,
+    /// Optional flush timing (see [`StorageTiming`]); bound by the server
+    /// front end so WAL appends, fsyncs and checkpoints land in its
+    /// registry.
+    telemetry: Option<StorageTiming>,
 }
 
 /// Paged single-file bucket store with WAL-backed crash safety and an LRU
@@ -224,6 +230,7 @@ impl DiskStore {
                 tick: 0,
                 stats,
                 recovered: false,
+                telemetry: None,
             }),
         })
     }
@@ -281,6 +288,7 @@ impl DiskStore {
             tick: 0,
             stats,
             recovered,
+            telemetry: None,
         };
         inner.load_directory()?;
         Ok(Self {
@@ -297,6 +305,13 @@ impl DiskStore {
     /// recovery that had nothing to replay).
     pub fn recovered_on_open(&self) -> bool {
         self.inner.lock().recovered
+    }
+
+    /// Binds flush timing (`wal.append` / `wal.fsync` / `wal.checkpoint`
+    /// histograms) into `registry`. Timing follows the registry's enabled
+    /// switch; an unbound store reads no clocks.
+    pub fn bind_telemetry(&self, registry: &Registry) {
+        self.inner.lock().telemetry = Some(StorageTiming::bind(registry));
     }
 
     /// Full offline-style verification: every committed page re-read from
@@ -678,43 +693,58 @@ impl Inner {
             clean: false,
         };
         if self.wal_enabled {
-            let wal_backend = self.env.wal();
-            let mut off = 0u64;
-            for &page in &dirty {
-                let image = self.pool.get(&page).ok_or_else(|| {
-                    StorageError::Corrupt(format!("page {page} vanished from pool"))
-                })?;
-                off = wal::append_page_frame(&mut *wal_backend, off, next_lsn, page, &image.data)?;
+            let timing = self.telemetry.clone();
+            {
+                let _append = timing.as_ref().map(StorageTiming::wal_append_timer);
+                let wal_backend = self.env.wal();
+                let mut off = 0u64;
+                for &page in &dirty {
+                    let image = self.pool.get(&page).ok_or_else(|| {
+                        StorageError::Corrupt(format!("page {page} vanished from pool"))
+                    })?;
+                    off = wal::append_page_frame(
+                        &mut *wal_backend,
+                        off,
+                        next_lsn,
+                        page,
+                        &image.data,
+                    )?;
+                    self.stats.wal_appends += 1;
+                }
+                wal::append_commit_frame(&mut *wal_backend, off, next_lsn, &new_meta.encode())?;
                 self.stats.wal_appends += 1;
             }
-            wal::append_commit_frame(&mut *wal_backend, off, next_lsn, &new_meta.encode())?;
-            self.stats.wal_appends += 1;
             // The batch is durable from here: any later crash replays it.
-            wal_backend.sync()?;
+            let _fsync = timing.as_ref().map(StorageTiming::wal_fsync_timer);
+            self.env.wal().sync()?;
         }
         {
-            let pages_backend = self.env.pages();
-            for &page in &dirty {
-                let image = self.pool.get(&page).ok_or_else(|| {
-                    StorageError::Corrupt(format!("page {page} vanished from pool"))
-                })?;
-                pages_backend.write_at(u64::from(page) * PAGE_SIZE as u64, &image.data)?;
-                self.stats.page_writes += 1;
+            let timing = self.telemetry.clone();
+            let _checkpoint = timing.as_ref().map(StorageTiming::checkpoint_timer);
+            {
+                let pages_backend = self.env.pages();
+                for &page in &dirty {
+                    let image = self.pool.get(&page).ok_or_else(|| {
+                        StorageError::Corrupt(format!("page {page} vanished from pool"))
+                    })?;
+                    pages_backend.write_at(u64::from(page) * PAGE_SIZE as u64, &image.data)?;
+                    self.stats.page_writes += 1;
+                }
+                // Data pages reach the platter before any pointer to them is
+                // published — the pre-WAL flush-ordering hazard is gone.
+                pages_backend.sync()?;
             }
-            // Data pages reach the platter before any pointer to them is
-            // published — the pre-WAL flush-ordering hazard is gone.
-            pages_backend.sync()?;
-        }
-        self.env.store_meta(
-            &Meta {
-                clean: true,
-                ..new_meta
+            self.env.store_meta(
+                &Meta {
+                    clean: true,
+                    ..new_meta
+                }
+                .encode(),
+            )?;
+            if self.wal_enabled {
+                self.env.wal().set_len(0)?;
+                self.env.wal().sync()?;
             }
-            .encode(),
-        )?;
-        if self.wal_enabled {
-            self.env.wal().set_len(0)?;
-            self.env.wal().sync()?;
         }
         for &page in &dirty {
             if let Some(p) = self.pool.get_mut(&page) {

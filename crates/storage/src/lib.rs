@@ -23,6 +23,7 @@ pub mod memory;
 pub mod meta;
 pub mod pagefmt;
 pub mod record;
+pub mod telemetry;
 pub mod wal;
 
 pub use backend::{
@@ -32,6 +33,7 @@ pub use backend::{
 pub use disk::{DiskStore, DiskStoreOptions};
 pub use memory::MemoryStore;
 pub use record::Record;
+pub use telemetry::StorageTiming;
 
 /// Identifier of a bucket (an M-Index leaf owns exactly one bucket).
 #[derive(

@@ -1,0 +1,77 @@
+//! Storage-layer timing: WAL appends, the commit-point fsync and the
+//! checkpoint, bound into a [`Registry`] under the `wal` component.
+//!
+//! A server front end binds one of these against its registry
+//! (`DiskStore::bind_telemetry`), so a `MetricsSnapshot` answer carries
+//! the durability costs of the paged store alongside the request-path
+//! metrics. Timing follows the registry's enabled switch; an unbound or
+//! disabled store reads no clocks on the flush path.
+
+use std::sync::Arc;
+
+use simcloud_telemetry::{Histogram, Registry, SpanTimer};
+
+/// Histograms for the commit protocol, bound to one registry.
+///
+/// * `wal.append` — one record per flush: serializing every dirty page
+///   frame plus the commit frame into the log.
+/// * `wal.fsync` — one record per flush: the log sync that **is** the
+///   commit point.
+/// * `wal.checkpoint` — one record per flush: writing the sealed pages in
+///   place, syncing the page file, publishing the clean meta and
+///   truncating the log.
+#[derive(Debug, Clone)]
+pub struct StorageTiming {
+    registry: Registry,
+    wal_append: Arc<Histogram>,
+    wal_fsync: Arc<Histogram>,
+    checkpoint: Arc<Histogram>,
+}
+
+impl StorageTiming {
+    /// Registers the storage histograms on `registry` and binds to its
+    /// enabled switch.
+    pub fn bind(registry: &Registry) -> Self {
+        StorageTiming {
+            registry: registry.clone(),
+            wal_append: registry.histogram("wal", "append"),
+            wal_fsync: registry.histogram("wal", "fsync"),
+            checkpoint: registry.histogram("wal", "checkpoint"),
+        }
+    }
+
+    /// RAII timer for one flush's WAL frame appends (free when disabled).
+    pub(crate) fn wal_append_timer(&self) -> SpanTimer<'_> {
+        SpanTimer::new(&self.wal_append, self.registry.enabled())
+    }
+
+    /// RAII timer for the commit-point fsync (free when disabled).
+    pub(crate) fn wal_fsync_timer(&self) -> SpanTimer<'_> {
+        SpanTimer::new(&self.wal_fsync, self.registry.enabled())
+    }
+
+    /// RAII timer for the checkpoint section (free when disabled).
+    pub(crate) fn checkpoint_timer(&self) -> SpanTimer<'_> {
+        SpanTimer::new(&self.checkpoint, self.registry.enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_record_into_their_histograms() {
+        let registry = Registry::new();
+        let timing = StorageTiming::bind(&registry);
+        {
+            let _a = timing.wal_append_timer();
+            let _f = timing.wal_fsync_timer();
+            let _c = timing.checkpoint_timer();
+        }
+        let text = registry.render();
+        assert!(text.contains("histogram wal.append count=1"), "{text}");
+        assert!(text.contains("histogram wal.fsync count=1"), "{text}");
+        assert!(text.contains("histogram wal.checkpoint count=1"), "{text}");
+    }
+}

@@ -1,0 +1,194 @@
+//! The metric [`Registry`]: a global-free, `Arc`-shared catalog of
+//! named metrics plus the plaintext exposition renderer.
+//!
+//! Instrumented components register their metrics **once** (at
+//! construction) and cache the returned `Arc` handles — the hot path
+//! touches only the atomics inside the handle, never the registry map.
+//! Keys are `(component, name)` pairs (`"server"`/`"request"`,
+//! `"wal"`/`"fsync"`, ...), rendered as `component.name` in the
+//! exposition text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+type Key = (String, String);
+
+/// Recovers a possibly-poisoned mutex guard: metrics are plain data, a
+/// panicking recorder cannot leave them in a state worth refusing.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: AtomicBool,
+    start: Instant,
+    counters: Mutex<BTreeMap<Key, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+/// Shared, cloneable metric catalog. Cloning is `Arc`-cheap; every clone
+/// sees (and renders) the same metrics and the same enabled flag.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// New registry, telemetry enabled.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                start: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Turns span timing on or off. Counters and gauges stay live either
+    /// way (they are single relaxed RMWs); the flag gates the clock reads
+    /// and per-request bookkeeping, which is where the measurable cost is.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether span timing is on.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the registry was created (server uptime,
+    /// saturating).
+    pub fn uptime_nanos(&self) -> u64 {
+        u64::try_from(self.inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Registers (or retrieves) the counter `component.name`.
+    pub fn counter(&self, component: &str, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            relock(&self.inner.counters)
+                .entry((component.to_owned(), name.to_owned()))
+                .or_default(),
+        )
+    }
+
+    /// Registers (or retrieves) the gauge `component.name`.
+    pub fn gauge(&self, component: &str, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            relock(&self.inner.gauges)
+                .entry((component.to_owned(), name.to_owned()))
+                .or_default(),
+        )
+    }
+
+    /// Registers (or retrieves) the histogram `component.name`.
+    pub fn histogram(&self, component: &str, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            relock(&self.inner.histograms)
+                .entry((component.to_owned(), name.to_owned()))
+                .or_default(),
+        )
+    }
+
+    /// Renders every registered metric in the plaintext exposition
+    /// format, deterministically ordered (type section, then key):
+    ///
+    /// ```text
+    /// counter server.requests 1042
+    /// gauge server.entries 600
+    /// histogram server.request count=1042 sum=52100000 mean=50000 p50=65535 p95=131071 p99=262143 max=241300
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// [`Registry::render`] into an existing buffer.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for ((c, n), v) in relock(&self.inner.counters).iter() {
+            let _ = writeln!(out, "counter {c}.{n} {}", v.get());
+        }
+        for ((c, n), v) in relock(&self.inner.gauges).iter() {
+            let _ = writeln!(out, "gauge {c}.{n} {}", v.get());
+        }
+        for ((c, n), v) in relock(&self.inner.histograms).iter() {
+            let s = v.snapshot();
+            let _ = writeln!(
+                out,
+                "histogram {c}.{n} count={} sum={} mean={} p50={} p95={} p99={} max={}",
+                s.count,
+                s.sum,
+                s.mean(),
+                s.p50(),
+                s.p95(),
+                s.p99(),
+                s.max
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("server", "requests");
+        let b = r.counter("server", "requests");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("a", "x").add(7);
+        assert_eq!(r2.counter("a", "x").get(), 7);
+        r2.set_enabled(false);
+        assert!(!r.enabled());
+    }
+
+    #[test]
+    fn render_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("server", "requests").add(3);
+        r.counter("client", "retries").inc();
+        r.gauge("server", "entries").set(42);
+        r.histogram("server", "request").record(100);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.first().copied(), Some("counter client.retries 1"));
+        assert_eq!(lines.get(1).copied(), Some("counter server.requests 3"));
+        assert_eq!(lines.get(2).copied(), Some("gauge server.entries 42"));
+        assert!(lines
+            .get(3)
+            .is_some_and(|l| l.starts_with("histogram server.request count=1 sum=100 ")));
+    }
+
+    #[test]
+    fn uptime_advances() {
+        let r = Registry::new();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(r.uptime_nanos() > 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Bounded worst-N slow-query log.
+//!
+//! The log keeps the `capacity` slowest completed requests seen so far,
+//! each with its full per-phase breakdown — the first place an operator
+//! looks when p99 moves. Offering a record is a short mutex-guarded
+//! scan; the fast path (request faster than the current N-th worst once
+//! the log is full) is one lock + one comparison, and the log is only
+//! consulted at all when telemetry is enabled.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::span::TraceRecord;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One retained slow request.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Request kind (`"knn"`, `"insert"`, ...).
+    pub label: &'static str,
+    /// Whole-request wall time in nanoseconds.
+    pub total_nanos: u64,
+    /// `(phase, nanoseconds)` in execution order.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+/// Fixed-capacity worst-N log, ordered slowest first.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    entries: Mutex<Vec<SlowQuery>>,
+}
+
+impl SlowLog {
+    /// New log retaining the `capacity` slowest requests.
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers a completed trace; it is retained iff it ranks among the
+    /// `capacity` slowest seen so far.
+    pub fn offer(&self, record: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = relock(&self.entries);
+        if entries.len() >= self.capacity
+            && entries
+                .last()
+                .is_some_and(|worst_kept| record.total_nanos <= worst_kept.total_nanos)
+        {
+            return;
+        }
+        let at = entries.partition_point(|e| e.total_nanos >= record.total_nanos);
+        entries.insert(
+            at,
+            SlowQuery {
+                label: record.label,
+                total_nanos: record.total_nanos,
+                phases: record.phases,
+            },
+        );
+        entries.truncate(self.capacity);
+    }
+
+    /// The retained requests, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        relock(&self.entries).clone()
+    }
+
+    /// Empties the log.
+    pub fn clear(&self) {
+        relock(&self.entries).clear();
+    }
+
+    /// Renders the log in the exposition format, one line per retained
+    /// request:
+    ///
+    /// ```text
+    /// slow_query rank=1 label=knn total_nanos=51234567 phases=decode:2100,open:48000000,stage:900000,encode:334467
+    /// ```
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (rank, q) in self.snapshot().iter().enumerate() {
+            let _ = write!(
+                out,
+                "slow_query rank={} label={} total_nanos={} phases=",
+                rank + 1,
+                q.label,
+                q.total_nanos
+            );
+            for (i, (name, nanos)) in q.phases.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}{name}:{nanos}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &'static str, total: u64) -> TraceRecord {
+        TraceRecord {
+            label,
+            total_nanos: total,
+            phases: vec![("decode", 1), ("stage", total.saturating_sub(1))],
+        }
+    }
+
+    #[test]
+    fn keeps_worst_n_sorted() {
+        let log = SlowLog::new(3);
+        for t in [50, 10, 99, 70, 5, 80] {
+            log.offer(rec("knn", t));
+        }
+        let kept: Vec<u64> = log.snapshot().iter().map(|q| q.total_nanos).collect();
+        assert_eq!(kept, vec![99, 80, 70]);
+    }
+
+    #[test]
+    fn phases_survive_into_the_log() {
+        let log = SlowLog::new(2);
+        log.offer(rec("range", 1000));
+        let snap = log.snapshot();
+        assert_eq!(snap.first().map(|q| q.label), Some("range"));
+        assert_eq!(
+            snap.first().map(|q| q.phases.clone()),
+            Some(vec![("decode", 1), ("stage", 999)])
+        );
+    }
+
+    #[test]
+    fn render_lists_ranks_and_phases() {
+        let log = SlowLog::new(2);
+        log.offer(rec("knn", 100));
+        log.offer(rec("insert", 200));
+        let mut out = String::new();
+        log.render_into(&mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines.first().copied(),
+            Some("slow_query rank=1 label=insert total_nanos=200 phases=decode:1,stage:199")
+        );
+        assert!(lines
+            .get(1)
+            .is_some_and(|l| l.starts_with("slow_query rank=2 label=knn ")));
+    }
+
+    #[test]
+    fn zero_capacity_log_is_inert() {
+        let log = SlowLog::new(0);
+        log.offer(rec("knn", 100));
+        assert!(log.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Telemetry primitive guarantees: concurrent recording is lossless,
+//! quantile estimates bracket the truth within one log bucket, and
+//! snapshot merging sums (never overwrites).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use simcloud_telemetry::{Histogram, HistogramSnapshot};
+
+/// N threads hammer one histogram; after they join, the snapshot is
+/// exact — every sample counted, the sum byte-for-byte right, bucket
+/// occupancies adding up to the count.
+#[test]
+fn concurrent_hammer_snapshot_is_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across many buckets.
+                    hist.record((t * PER_THREAD + i) * 37 % (1 << 20));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread");
+    }
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|n| n * 37 % (1 << 20)).sum();
+    let expected_max: u64 = (0..THREADS * PER_THREAD)
+        .map(|n| n * 37 % (1 << 20))
+        .max()
+        .unwrap_or(0);
+    let s = hist.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    assert_eq!(s.sum, expected_sum);
+    assert_eq!(s.max, expected_max);
+    let bucket_total: u64 = (0..simcloud_telemetry::BUCKET_COUNT)
+        .map(|i| s.bucket(i))
+        .sum();
+    assert_eq!(bucket_total, s.count, "every sample landed in a bucket");
+}
+
+/// The true rank-`ceil(q·n)` order statistic of the recorded samples.
+fn true_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantile estimates never undershoot the true order statistic and
+    /// overshoot by at most one power-of-two bucket (≤ 2x in value) —
+    /// the bounded relative error the log-bucketed layout guarantees.
+    #[test]
+    fn quantiles_bracket_truth_within_one_bucket(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        qi in 0usize..3,
+    ) {
+        let q = [0.50, 0.95, 0.99][qi];
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let est = hist.snapshot().quantile(q);
+        let truth = true_quantile(&samples, q);
+        prop_assert!(est >= truth, "estimate {est} undershoots true q{q} = {truth}");
+        prop_assert!(
+            est <= truth.max(1) * 2,
+            "estimate {est} beyond one bucket above true q{q} = {truth}"
+        );
+    }
+
+    /// `HistogramSnapshot::merge_from` sums counts, sums and every
+    /// bucket, keeps the larger max, and equals the histogram that
+    /// recorded both sample sets directly.
+    #[test]
+    fn snapshot_merge_sums_not_overwrites(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let (ha, hb, hboth) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hboth.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hboth.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge_from(&hb.snapshot());
+        prop_assert_eq!(merged, hboth.snapshot());
+    }
+}
+
+/// Merging into a default (empty) snapshot reproduces the source — the
+/// identity law aggregation loops rely on.
+#[test]
+fn merge_into_empty_is_identity() {
+    let h = Histogram::new();
+    for v in [3, 900, 1 << 30] {
+        h.record(v);
+    }
+    let mut acc = HistogramSnapshot::default();
+    acc.merge_from(&h.snapshot());
+    assert_eq!(acc, h.snapshot());
+}

@@ -49,6 +49,7 @@ pub mod fault;
 pub mod stats;
 pub mod stopwatch;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 
 pub use fault::{Direction, FaultAction, FaultRule, FaultScript, FaultStream, FaultTransport};
@@ -58,6 +59,7 @@ pub use tcp::{
     serve_tcp, serve_tcp_shared, serve_tcp_shared_with, serve_tcp_with, RetryPolicy, ServeOptions,
     TcpClientConfig, TcpTransport,
 };
+pub use telemetry::TransportTiming;
 pub use transport::{
     InProcessTransport, NetworkModel, RequestClass, RequestHandler, Shared, SharedRequestHandler,
     Transport,

@@ -50,8 +50,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use simcloud_telemetry::Registry;
 
 use crate::fault::{FaultScript, FaultStream};
+use crate::telemetry::TransportTiming;
 use crate::transport::{
     RequestClass, RequestHandler, SharedRequestHandler, Transport, FRAME_HEADER,
 };
@@ -321,6 +323,7 @@ pub struct TcpTransport {
     conn: Option<FaultStream<TcpStream>>,
     ever_connected: bool,
     stats: TransportStats,
+    telemetry: Option<TransportTiming>,
 }
 
 impl TcpTransport {
@@ -358,6 +361,7 @@ impl TcpTransport {
             conn: None,
             ever_connected: false,
             stats: TransportStats::default(),
+            telemetry: None,
         };
         let stream = t.dial()?;
         t.conn = Some(stream);
@@ -370,7 +374,17 @@ impl TcpTransport {
         self.config
     }
 
+    /// Binds the client's fault-tolerance metrics (`transport.dial` /
+    /// `transport.backoff` histograms, `transport.retries` /
+    /// `transport.reconnects` counters) into `registry`, so a front end
+    /// can expose its outbound-connection health next to the server-side
+    /// request metrics.
+    pub fn bind_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(TransportTiming::bind(registry));
+    }
+
     fn dial(&self) -> std::io::Result<FaultStream<TcpStream>> {
+        let _dial = self.telemetry.as_ref().map(TransportTiming::dial_timer);
         let stream = match self.config.connect_timeout {
             Some(t) => TcpStream::connect_timeout(&self.addr, t.max(MIN_TIMEOUT))?,
             None => TcpStream::connect(self.addr)?,
@@ -393,6 +407,9 @@ impl TcpTransport {
                     self.conn = Some(c);
                     if self.ever_connected {
                         self.stats.reconnects += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.count_reconnect();
+                        }
                     }
                     self.ever_connected = true;
                 }
@@ -457,8 +474,14 @@ impl Transport for TcpTransport {
                 if let Some(left) = remaining(deadline)? {
                     pause = pause.min(left);
                 }
-                std::thread::sleep(pause);
+                {
+                    let _backoff = self.telemetry.as_ref().map(TransportTiming::backoff_timer);
+                    std::thread::sleep(pause);
+                }
                 self.stats.retries += 1;
+                if let Some(t) = &self.telemetry {
+                    t.count_retry();
+                }
             }
             let (err, maybe_processed) = match self.attempt(request, deadline) {
                 Ok(response) => return Ok(response),

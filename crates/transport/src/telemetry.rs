@@ -1,0 +1,93 @@
+//! Transport-layer client telemetry: dial and backoff timing plus retry
+//! and reconnect counters, bound into a [`Registry`] under the
+//! `transport` component.
+//!
+//! A client binds one of these (`TcpTransport::bind_telemetry`) to watch
+//! its fault-tolerance machinery: how long dials take, how much time is
+//! lost sleeping between attempts, and how often the retry/reconnect
+//! paths fire. The counters always count (they are the
+//! [`crate::TransportStats`] retry/reconnect numbers, mirrored into the
+//! registry); only the clock-reading histograms follow the registry's
+//! enabled switch.
+
+use std::sync::Arc;
+
+use simcloud_telemetry::{Counter, Histogram, Registry, SpanTimer};
+
+/// Client transport metrics bound to one registry.
+///
+/// * `transport.dial` (histogram) — one record per TCP dial, successful
+///   or not.
+/// * `transport.backoff` (histogram) — one record per retry pause.
+/// * `transport.retries` (counter) — request attempts after the first.
+/// * `transport.reconnects` (counter) — re-dials after a connection was
+///   ever established.
+#[derive(Debug, Clone)]
+pub struct TransportTiming {
+    registry: Registry,
+    dial: Arc<Histogram>,
+    backoff: Arc<Histogram>,
+    retries: Arc<Counter>,
+    reconnects: Arc<Counter>,
+}
+
+impl TransportTiming {
+    /// Registers the transport metrics on `registry` and binds to its
+    /// enabled switch.
+    pub fn bind(registry: &Registry) -> Self {
+        TransportTiming {
+            registry: registry.clone(),
+            dial: registry.histogram("transport", "dial"),
+            backoff: registry.histogram("transport", "backoff"),
+            retries: registry.counter("transport", "retries"),
+            reconnects: registry.counter("transport", "reconnects"),
+        }
+    }
+
+    /// RAII timer for one dial (free when disabled).
+    pub(crate) fn dial_timer(&self) -> SpanTimer<'_> {
+        SpanTimer::new(&self.dial, self.registry.enabled())
+    }
+
+    /// RAII timer for one retry backoff pause (free when disabled).
+    pub(crate) fn backoff_timer(&self) -> SpanTimer<'_> {
+        SpanTimer::new(&self.backoff, self.registry.enabled())
+    }
+
+    /// Counts one retry attempt.
+    pub(crate) fn count_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// Counts one reconnect.
+    pub(crate) fn count_reconnect(&self) {
+        self.reconnects.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_timers_land_in_the_registry() {
+        let registry = Registry::new();
+        let timing = TransportTiming::bind(&registry);
+        {
+            let _d = timing.dial_timer();
+        }
+        {
+            let _b = timing.backoff_timer();
+        }
+        timing.count_retry();
+        timing.count_reconnect();
+        let text = registry.render();
+        assert!(text.contains("counter transport.retries 1"), "{text}");
+        assert!(text.contains("counter transport.reconnects 1"), "{text}");
+        assert!(text.contains("histogram transport.dial count=1"), "{text}");
+        assert!(
+            text.contains("histogram transport.backoff count=1"),
+            "{text}"
+        );
+    }
+}

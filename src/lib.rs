@@ -30,6 +30,9 @@
 //! assert!(costs.candidates <= 100);
 //! ```
 
+/// Telemetry (counters, latency histograms, phase spans, slow-query log).
+pub use simcloud_telemetry as telemetry;
+
 /// Metric-space toolkit (vectors, metrics, pivots, permutations).
 pub use simcloud_metric as metric;
 
